@@ -1,0 +1,68 @@
+"""Extension — cross-device portability of the generator.
+
+Table 2 compares against designs on Stratix-V, VC709 and KU060.  The
+generator is device-agnostic: this bench retargets the same VGG conv
+layer at each comparison device and reports the best design.  Devices
+without hardened floating-point DSPs pay ~3 DSP blocks per float MAC —
+which is exactly why every pre-Arria-10 row of Table 2 is fixed-point,
+and why the paper's float numbers were remarkable at the time.
+"""
+
+from repro.hw.datatype import FIXED_16, FLOAT32
+from repro.hw.device import (
+    ARRIA10_GT1150,
+    STRATIX_V,
+    XILINX_KU060,
+    XILINX_VC709,
+)
+from repro.model.platform import Platform
+from repro.nn.models import vgg16
+from repro.dse.explore import DseConfig, explore
+from repro.experiments.common import ExperimentResult
+
+DEVICES = (ARRIA10_GT1150, STRATIX_V, XILINX_VC709, XILINX_KU060)
+
+
+def run_extension() -> ExperimentResult:
+    layer = vgg16().layer("conv8")
+    nest = layer.to_loop_nest()
+    result = ExperimentResult(
+        name="Extension: device portability",
+        description="Best design for VGG conv8 per device and precision "
+        "(same generator, different capacity/cost models)",
+        headers=["device", "precision", "lanes", "DSP used", "MHz", "Gops"],
+    )
+    config = DseConfig(min_dsp_utilization=0.5, vector_choices=(4, 8), top_n=3)
+    float_gops: dict[str, float] = {}
+    for device in DEVICES:
+        for datatype in (FLOAT32, FIXED_16):
+            platform = Platform(device=device, datatype=datatype)
+            best = explore(nest, platform, config).best
+            result.add_row(
+                device.name,
+                datatype.name,
+                best.design.shape.lanes,
+                f"{best.dsp_blocks:.0f}",
+                f"{best.performance.frequency_mhz:.0f}",
+                f"{best.throughput_gops:.0f}",
+            )
+            key = f"{device.name}_{datatype.name}"
+            result.metrics[f"{key}_gops"] = best.throughput_gops
+            if datatype is FLOAT32:
+                float_gops[device.name] = best.throughput_gops
+    result.note(
+        "Arria 10's hardened FP DSPs give it a ~3x float advantage per "
+        "block over the DSP48-based devices — the architectural fact "
+        "behind Table 2's all-fixed-point prior art."
+    )
+    return result
+
+
+def test_extension_devices(exhibit):
+    result = exhibit(run_extension)
+    arria_float = result.metrics["arria10_gt1150_float32_gops"]
+    # the soft-float devices fall far behind at float...
+    assert arria_float > 1.8 * result.metrics["xilinx_ku060_float32_gops"]
+    assert arria_float > 1.5 * result.metrics["stratix_v_gsd8_float32_gops"]
+    # ...but VC709's 3600 DSPs make a competitive fixed-point target
+    assert result.metrics["xilinx_vc709_fixed16_gops"] > arria_float

@@ -1,0 +1,71 @@
+"""Extension — GoogLeNet through the unified flow.
+
+The paper's introduction names GoogLeNet among the models the approach
+targets but evaluates only AlexNet and VGG.  This bench runs the full
+unified DSE on GoogLeNet's 57 conv layers (9 inception modules with 1x1,
+3x3 and 5x5 branches, plus a folded 7x7/stride-2 stem) — a much more
+irregular workload than the evaluated networks — and reports the
+per-branch efficiency spread.
+"""
+
+from repro.model.platform import Platform
+from repro.nn.models import googlenet
+from repro.dse.explore import DseConfig
+from repro.dse.multi_layer import prepare_network_nests, select_unified_design
+from repro.experiments.common import ExperimentResult
+
+
+def run_extension() -> ExperimentResult:
+    platform = Platform()
+    network = googlenet()
+    workloads = prepare_network_nests(network)
+    result_ml = select_unified_design(
+        workloads,
+        platform,
+        DseConfig(min_dsp_utilization=0.8, vector_choices=(8,), top_n=4),
+    )
+
+    result = ExperimentResult(
+        name="Extension: GoogLeNet",
+        description=f"Unified design for GoogLeNet's {len(workloads)} conv "
+        f"layers: {result_ml.config.shape} @ {result_ml.frequency_mhz:.1f} MHz",
+        headers=["layer class", "count", "mean GFlops", "mean eff", "worst eff"],
+    )
+
+    def classify(name: str) -> str:
+        if name == "conv1":
+            return "stem 7x7 (folded)"
+        if "1x1" in name or name.endswith("r") or "pool" in name or "reduce" in name:
+            return "1x1 branches"
+        if "5x5" in name:
+            return "5x5 branches"
+        return "3x3 branches"
+
+    groups: dict[str, list] = {}
+    for layer in result_ml.layers:
+        groups.setdefault(classify(layer.name), []).append(layer)
+    for label, members in sorted(groups.items()):
+        gops = [m.throughput_gops for m in members]
+        effs = [m.dsp_efficiency for m in members]
+        result.add_row(
+            label, len(members), f"{sum(gops) / len(gops):.1f}",
+            f"{sum(effs) / len(effs):.1%}", f"{min(effs):.1%}",
+        )
+    result.metrics["aggregate_gops"] = result_ml.aggregate_gops
+    result.metrics["latency_ms"] = result_ml.total_seconds * 1e3
+    result.metrics["dsp_utilization"] = result_ml.dsp_utilization
+    result.metrics["layers"] = float(len(workloads))
+    result.note(
+        "GoogLeNet's mix of kernel sizes makes one design fit less uniformly "
+        "than VGG (exactly the paper's AlexNet-vs-VGG observation, amplified); "
+        "the flow still finds a high-utilization design covering every branch."
+    )
+    return result
+
+
+def test_extension_googlenet(exhibit):
+    result = exhibit(run_extension)
+    assert result.metrics["layers"] == 57
+    assert result.metrics["dsp_utilization"] >= 0.8
+    assert result.metrics["aggregate_gops"] > 100
+    assert result.metrics["latency_ms"] < 50

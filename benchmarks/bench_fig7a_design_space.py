@@ -1,0 +1,21 @@
+"""Figure 7(a) — the pruned design space of AlexNet's conv layers.
+
+Scatter of (DSP, BRAM, aggregate throughput) over the c_s=80% space at
+the assumed 280 MHz clock.  The paper's observation to reproduce: the
+highest-throughput options sit at moderate BRAM/DSP cost, not at the
+resource ceilings.
+"""
+
+from repro.experiments.fig7 import run_fig7a_design_space
+
+
+def test_fig7a_design_space(exhibit):
+    result = exhibit(run_fig7a_design_space)
+    assert result.metrics["points"] >= 40
+    assert result.metrics["best_gflops"] > 400
+    # "moderate BRAM blocks and DSPs": the winner is below both ceilings,
+    # and the Pareto knee confirms the structure
+    assert result.metrics["best_dsp_utilization"] <= 1.0
+    assert result.metrics["best_bram_utilization"] < 0.9
+    assert result.metrics["knee_bram_utilization"] < 0.9
+    assert result.metrics["knee_gflops"] > 0.8 * result.metrics["best_gflops"]

@@ -1,0 +1,16 @@
+"""Figure 7(b) — analytical model vs 'on-board' for the top-14 designs.
+
+Several finalists share the top estimated throughput and separate only
+through realized clocks (the reason phase 2 exists); with the realized
+clock plugged into the model, it matches the performance simulator's
+measurement within the paper's 2% average.
+"""
+
+from repro.experiments.fig7 import run_fig7b_model_accuracy
+
+
+def test_fig7b_model_accuracy(exhibit):
+    result = exhibit(run_fig7b_model_accuracy)
+    assert result.metrics["mean_model_error"] < 0.02
+    assert result.metrics["max_model_error"] < 0.05
+    assert result.metrics["top_estimate_ties"] >= 2

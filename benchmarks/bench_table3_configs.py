@@ -1,0 +1,19 @@
+"""Table 3 — the unified design per network (shape, clock, resources).
+
+Paper: AlexNet (11,14,8) @ 270.8 MHz, VGG (8,19,8) @ 252.6 MHz, both 81%
+DSP.  Ours explores the same space against the frequency surrogate;
+targets: >=80% DSP utilization, vector 8, clocks in the 220-285 MHz band,
+BRAM within the device.
+"""
+
+from repro.experiments.table3 import run_table3_configs
+
+
+def test_table3_configs(exhibit):
+    result = exhibit(run_table3_configs)
+    for name in ("alexnet", "vgg16"):
+        assert 220 <= result.metrics[f"{name}_freq_mhz"] <= 285
+        assert result.metrics[f"{name}_dsp_utilization"] >= 0.8
+        assert result.metrics[f"{name}_bram_utilization"] <= 1.0
+        # vector 8 designs in the paper's lane range
+        assert 1100 <= result.metrics[f"{name}_lanes"] <= 1518

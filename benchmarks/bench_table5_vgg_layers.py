@@ -1,0 +1,19 @@
+"""Table 5 — per-layer throughput / DSP efficiency, VGG16 conv1-13.
+
+Structure to reproduce: conv1 far below the rest (3 input channels vs an
+8-wide SIMD vector caps it under ~45%), conv3-13 uniform and near-peak,
+and the VGG aggregate above AlexNet's (the paper credits VGG's regular
+shape).
+"""
+
+from repro.experiments.tables45 import run_table4_alexnet, run_table5_vgg
+
+
+def test_table5_vgg_layers(exhibit):
+    result = exhibit(run_table5_vgg)
+    assert result.metrics["conv1_eff"] < 0.45
+    deep = [result.metrics[f"conv{i}_eff"] for i in range(3, 14)]
+    assert min(deep) > 0.9
+    assert max(deep) - min(deep) < 0.05
+    alexnet = run_table4_alexnet()
+    assert result.metrics["aggregate_gops"] > alexnet.metrics["aggregate_gops"]

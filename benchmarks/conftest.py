@@ -1,0 +1,48 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's exhibits: it times the full
+driver once (these are minutes-scale computations, not microbenchmarks),
+prints the regenerated table next to the paper's values, and archives the
+text under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+exact output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def exhibit(benchmark, request):
+    """Run an experiment driver once under the benchmark timer, then print
+    and archive its formatted output.
+
+    Usage::
+
+        def test_table1(exhibit):
+            result = exhibit(run_table1_shape_impact)
+    """
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+        text = result.format()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        # SVG figure(s), where the exhibit carries raw series (the text
+        # table above is each figure's accessibility table view).
+        from repro.viz.figures import render_experiment_charts
+
+        for stem, svg in render_experiment_charts(result).items():
+            (RESULTS_DIR / f"{slug}_{stem}.svg").write_text(svg)
+        return result
+
+    return runner

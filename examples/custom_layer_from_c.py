@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario: bring your own layer, validate the generated design in C.
+
+The flow is not limited to the built-in models: any conforming loop nest
+parses, maps and synthesizes — here a depth-reduced custom layer and a
+matrix-multiply nest (systolic matmul is the classic special case).  If a
+C compiler is available, the generated testbench is compiled and executed
+so the design's functional correctness is *demonstrated*, not assumed.
+
+Run:  python examples/custom_layer_from_c.py
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.flow import compile_c_source
+from repro.model import Platform
+from repro.codegen import compile_and_run_testbench
+from repro.dse import DseConfig
+
+CUSTOM_LAYER = """
+// a custom 32->48 channel layer on 20x20 maps, 5x5 kernels
+#pragma systolic
+for (o = 0; o < 48; o++)
+  for (i = 0; i < 32; i++)
+    for (c = 0; c < 20; c++)
+      for (r = 0; r < 20; r++)
+        for (p = 0; p < 5; p++)
+          for (q = 0; q < 5; q++)
+            OUT[o][r][c] += W[o][i][p][q] * IN[i][r+p][c+q];
+"""
+
+MATMUL = """
+// C[i][j] += A[i][k] * B[k][j] — the classic systolic array workload
+#pragma systolic
+for (i = 0; i < 64; i++)
+  for (j = 0; j < 64; j++)
+    for (k = 0; k < 96; k++)
+      ACC[i][j] += A[i][k] * B[k][j];
+"""
+
+
+def synthesize_and_validate(name: str, source: str) -> None:
+    config = DseConfig(min_dsp_utilization=0.3, vector_choices=(4, 8), top_n=4)
+    result = compile_c_source(source, Platform(), config, name=name)
+    ev = result.evaluation
+    print(f"{name}: array {ev.design.shape}, mapping "
+          f"({ev.design.mapping.row},{ev.design.mapping.col},{ev.design.mapping.vector}), "
+          f"{result.frequency_mhz:.0f} MHz, "
+          f"{result.throughput_gops:.0f} GFlops simulated")
+
+    out_dir = Path(f"{name}_out")
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "kernel.cl").write_text(result.kernel_source)
+    (out_dir / "testbench.c").write_text(result.testbench_source)
+
+    if shutil.which("gcc"):
+        ok, output = compile_and_run_testbench(result.testbench_source)
+        status = output.strip().splitlines()[-1] if output.strip() else ""
+        print(f"  testbench: {'OK' if ok else 'FAILED'} ({status})")
+    else:
+        print("  (no C compiler found — testbench written but not executed)")
+
+
+def main() -> None:
+    synthesize_and_validate("custom_layer", CUSTOM_LAYER)
+    print()
+    synthesize_and_validate("matmul", MATMUL)
+    print("\nnote: the matmul nest has exactly 2 feasible mappings (i/j spatial,"
+          "\nk as the accumulation vector) — the generic feasibility analysis"
+          "\nrecovers the textbook systolic matmul without any CNN-specific code.")
+
+
+if __name__ == "__main__":
+    main()

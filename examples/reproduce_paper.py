@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Streams each exhibit (paper values side by side with this reproduction's
+measured values) to stdout.  Equivalent to
+``python -m repro.experiments``; the asserting versions live under
+``benchmarks/`` (``pytest benchmarks/ --benchmark-only``).
+
+Run:  python examples/reproduce_paper.py --fast   (~1 min)
+      python examples/reproduce_paper.py          (~10 min, full scale)
+"""
+
+import sys
+
+from repro.experiments.report_all import generate_report
+
+
+def main() -> None:
+    generate_report(fast="--fast" in sys.argv)
+
+
+if __name__ == "__main__":
+    main()

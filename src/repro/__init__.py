@@ -1,0 +1,59 @@
+"""repro — Automated systolic array architecture synthesis for CNN
+inference on FPGAs (reproduction of Wei et al., DAC 2017).
+
+The public API re-exports the main entry points of each layer; see the
+package docstrings (``repro.ir``, ``repro.model``, ``repro.dse``,
+``repro.sim``, ``repro.codegen``, ``repro.flow``) for the full surface,
+and README.md / DESIGN.md for the architecture.
+
+Typical use::
+
+    from repro import compile_c_source, Platform
+
+    result = compile_c_source(open("layer.c").read())
+    print(result.throughput_gops)
+
+or, layer by layer::
+
+    from repro import alexnet, Platform, synthesize_network
+
+    synthesis = synthesize_network(alexnet(), Platform())
+    print(synthesis.latency_ms)
+"""
+
+from repro.flow.compile import (
+    compile_c_source,
+    synthesize_nest,
+    synthesize_network,
+)
+from repro.ir.loop import LoopNest, conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping, feasible_mappings
+from repro.model.platform import Platform
+from repro.nn.models import alexnet, tiny_cnn, vgg16
+from repro.dse.explore import DseConfig, explore
+from repro.dse.multi_layer import select_unified_design
+from repro.sim.perf import simulate_performance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayShape",
+    "DesignPoint",
+    "DseConfig",
+    "LoopNest",
+    "Mapping",
+    "Platform",
+    "__version__",
+    "alexnet",
+    "compile_c_source",
+    "conv_loop_nest",
+    "explore",
+    "feasible_mappings",
+    "select_unified_design",
+    "simulate_performance",
+    "synthesize_nest",
+    "synthesize_network",
+    "tiny_cnn",
+    "vgg16",
+]

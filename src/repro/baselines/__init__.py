@@ -1,0 +1,21 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.roofline` — a roofline-model DSE for a direct
+  (non-systolic) accelerator in the style of Zhang et al. (FPGA'15),
+  the optimization approach the paper argues breaks down on large
+  devices because direct interconnects cannot hold frequency at high
+  DSP utilization;
+* :mod:`repro.baselines.literature` — the published rows of the paper's
+  Table 2 (prior FPGA CNN accelerators), used by the comparison bench.
+"""
+
+from repro.baselines.literature import LITERATURE_ROWS, LiteratureDesign, PAPER_OURS_ROWS
+from repro.baselines.roofline import RooflineDesign, roofline_explore
+
+__all__ = [
+    "LITERATURE_ROWS",
+    "LiteratureDesign",
+    "PAPER_OURS_ROWS",
+    "RooflineDesign",
+    "roofline_explore",
+]

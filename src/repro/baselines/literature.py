@@ -1,0 +1,96 @@
+"""Published comparison data — the paper's Table 2.
+
+These rows are *reference constants from the literature* (they cannot be
+re-measured here); the "ours" rows are what this reproduction must
+regenerate with its own DSE + simulator and compare against the paper's
+reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiteratureDesign:
+    """One row of Table 2.
+
+    Attributes:
+        label: citation tag used in the paper.
+        fpga: device string.
+        frequency_mhz: reported clock.
+        cnn: model evaluated ("VGG" or "AlexNet").
+        precision: datatype string.
+        dsp_used / dsp_pct: DSP count and utilization (None if N/A).
+        bram_used / bram_pct: BRAM blocks and utilization (None if N/A).
+        latency_ms: reported latency per image.
+        throughput_gops: reported throughput (Gops or GFlops).
+        is_float: floating-point design.
+    """
+
+    label: str
+    fpga: str
+    frequency_mhz: float
+    cnn: str
+    precision: str
+    dsp_used: int | None
+    dsp_pct: float | None
+    bram_used: int | None
+    bram_pct: float | None
+    latency_ms: float
+    throughput_gops: float
+    is_float: bool
+
+
+LITERATURE_ROWS: tuple[LiteratureDesign, ...] = (
+    LiteratureDesign(
+        "[9] Qiu FPGA'16", "Stratix-V", 120, "VGG", "fixed 8-16b",
+        727, 0.37, 1500, 0.58, 262.9, 117.8, False,
+    ),
+    LiteratureDesign(
+        "[10] Caffeine VC709", "Xilinx VC709", 150, "VGG", "fixed 16b",
+        2833, 0.78, 1248, 0.42, 65.13, 354.0, False,
+    ),
+    LiteratureDesign(
+        "[10] Caffeine KU060", "Xilinx KU060", 200, "VGG", "fixed 16b",
+        1058, 0.38, 782, 0.36, 101.15, 266.0, False,
+    ),
+    LiteratureDesign(
+        "[11] Ma FPGA'17", "Arria10 GX1150", 150, "VGG", "fixed 8-16b",
+        1518, 1.00, 1900, 0.70, 47.97, 645.25, False,
+    ),
+    LiteratureDesign(
+        "[17] Aydonat FPGA'17", "Arria10 GX1150", 303, "AlexNet", "float 16b",
+        1476, 0.97, 2487, 0.92, 1.06, 1382.0, True,
+    ),
+    LiteratureDesign(
+        "[26] Zhang FPGA'17 float", "Arria10 GX1150", 370, "VGG", "float 32b",
+        1320, 0.87, 1250, 0.46, 35.5, 866.0, True,
+    ),
+    LiteratureDesign(
+        "[26] Zhang FPGA'17 fixed", "Arria10 GX1150", 385, "VGG", "fixed 16b",
+        2756, 0.91, 1450, 0.54, 17.18, 1790.0, False,
+    ),
+)
+"""Prior-art rows of Table 2, as printed in the paper."""
+
+
+PAPER_OURS_ROWS: tuple[LiteratureDesign, ...] = (
+    LiteratureDesign(
+        "Ours AlexNet float", "Arria10 GT1150", 239.62, "AlexNet", "float 32b",
+        1290, 0.85, 2360, 0.86, 4.05, 360.4, True,
+    ),
+    LiteratureDesign(
+        "Ours VGG float", "Arria10 GT1150", 221.65, "VGG", "float 32b",
+        1340, 0.88, 2455, 0.90, 54.12, 460.5, True,
+    ),
+    LiteratureDesign(
+        "Ours VGG fixed", "Arria10 GT1150", 231.85, "VGG", "fixed 8-16b",
+        1500, 0.49, 1668, 0.61, 26.85, 1171.3, False,
+    ),
+)
+"""The paper's own Table 2 rows — the targets this reproduction must
+regenerate (shape, not silicon-exact values; see EXPERIMENTS.md)."""
+
+
+__all__ = ["LITERATURE_ROWS", "LiteratureDesign", "PAPER_OURS_ROWS"]

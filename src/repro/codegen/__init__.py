@@ -1,0 +1,42 @@
+"""Code generation (the right half of the paper's Fig. 6).
+
+The design options chosen by the DSE "are parameterized to instantiate
+template files, including OpenCL systolic array implementation (kernel),
+as well as the C/C++ software program (host)".  This package emits:
+
+* :mod:`repro.codegen.opencl` — the Intel-style single-work-item OpenCL
+  kernel: parameter header, double-buffered IB/WB chains, the PE array as
+  fully unrolled shift registers, OB drain;
+* :mod:`repro.codegen.host` — the C++ host program;
+* :mod:`repro.codegen.testbench` — a self-contained plain-C testbench
+  implementing the *same* block/buffer/schedule semantics, plus a naive
+  reference and a comparison ``main``; with a C compiler available the
+  testbench is compiled and executed, giving true end-to-end functional
+  validation of the generated design (the RTL-simulation stand-in).
+"""
+
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.host import generate_host
+from repro.codegen.opencl import OPENCL_SHIM, generate_kernel, generate_kernel_driver
+from repro.codegen.testbench import (
+    compile_and_run_testbench,
+    generate_testbench,
+)
+from repro.codegen.unified import (
+    UnifiedLayerSpec,
+    generate_unified_kernel,
+    generate_unified_testbench,
+)
+
+__all__ = [
+    "CodeWriter",
+    "OPENCL_SHIM",
+    "UnifiedLayerSpec",
+    "compile_and_run_testbench",
+    "generate_host",
+    "generate_kernel",
+    "generate_kernel_driver",
+    "generate_testbench",
+    "generate_unified_kernel",
+    "generate_unified_testbench",
+]

@@ -1,0 +1,65 @@
+"""A small indentation-aware code writer used by all generators."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class CodeWriter:
+    """Accumulates source lines with managed indentation.
+
+    Usage::
+
+        w = CodeWriter()
+        w.line("int main(void) {")
+        with w.indented():
+            w.line("return 0;")
+        w.line("}")
+        text = w.render()
+    """
+
+    def __init__(self, indent_unit: str = "    ") -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+        self._unit = indent_unit
+
+    def line(self, text: str = "") -> None:
+        """Emit one line at the current indentation (blank stays blank)."""
+        if text:
+            self._lines.append(self._unit * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        """Emit several lines."""
+        for text in texts:
+            self.line(text)
+
+    def comment(self, text: str) -> None:
+        """Emit a // comment."""
+        self.line(f"// {text}")
+
+    @contextmanager
+    def indented(self) -> Iterator[None]:
+        """Indent one level inside the context."""
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
+    @contextmanager
+    def block(self, header: str, footer: str = "}") -> Iterator[None]:
+        """Emit ``header {`` ... ``footer`` around the context."""
+        self.line(header + " {")
+        with self.indented():
+            yield
+        self.line(footer)
+
+    def render(self) -> str:
+        """The accumulated source text (trailing newline included)."""
+        return "\n".join(self._lines) + "\n"
+
+
+__all__ = ["CodeWriter"]

@@ -1,0 +1,238 @@
+"""The two-phase design-space exploration driver (paper Fig. 5).
+
+Phase 1 (architectural, analytical): enumerate Problem-1 configurations
+under the Eq. 12 DSP-utilization bound; for each, solve Problem 2 with the
+pruned tiling search; keep the top-N designs by estimated throughput at
+the assumed clock.
+
+A correctness-preserving speedup on top of the paper's pruning: every
+configuration's throughput is bounded above by its shape-only computation
+throughput (PT with ideal tiling), which costs microseconds.  Walking
+configurations in descending upper-bound order lets the search stop
+tuning configurations that provably cannot enter the current top-N —
+an admissible branch-and-bound, so the returned top-N is identical to
+tuning everything (asserted in tests).
+
+Phase 2 (implementation): realize each finalist's clock through the
+frequency surrogate (the P&R stand-in), re-estimate throughput at the
+realized clock, and pick the winner — reproducing Fig. 7(b)'s structure
+where same-estimate designs separate by realized frequency.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.ir.loop import LoopNest
+from repro.model.design_point import DesignEvaluation, DesignPoint
+from repro.model.platform import Platform
+from repro.dse.space import DEFAULT_VECTOR_CHOICES, SystolicConfig, enumerate_configs
+from repro.dse.tuner import MiddleTuner
+
+
+@dataclass(frozen=True)
+class DseConfig:
+    """Knobs of the exploration.
+
+    Attributes:
+        min_dsp_utilization: Eq. 12's c_s (paper example: 0.8).
+        vector_choices: SIMD widths for Problem 1.
+        top_n: finalists carried into phase 2 (paper uses 14 in Fig. 7b).
+        include_cover: extend the power-of-two tiling candidates with the
+            cover bound (see tuner docs); False = paper-faithful pruning.
+        upper_bound_pruning: enable the admissible branch-and-bound.
+    """
+
+    min_dsp_utilization: float = 0.8
+    vector_choices: tuple[int, ...] = DEFAULT_VECTOR_CHOICES
+    top_n: int = 14
+    include_cover: bool = True
+    upper_bound_pruning: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_dsp_utilization <= 1.0:
+            raise ValueError("c_s must be in [0, 1]")
+        if self.top_n < 1:
+            raise ValueError("top_n must be >= 1")
+
+
+@dataclass(frozen=True)
+class Phase1Result:
+    """Output of the analytical phase.
+
+    Attributes:
+        finalists: top designs, throughput-descending, fully evaluated at
+            the assumed clock.
+        configs_enumerated: Problem-1 points seen.
+        configs_tuned: configurations whose tiling space was searched
+            (smaller when upper-bound pruning fires).
+        tilings_evaluated: total Problem-2 candidates walked.
+        elapsed_seconds: wall-clock time of the phase.
+    """
+
+    finalists: tuple[DesignEvaluation, ...]
+    configs_enumerated: int
+    configs_tuned: int
+    tilings_evaluated: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class Phase2Result:
+    """Output of the implementation phase.
+
+    Attributes:
+        best: the winning design evaluated at its realized clock.
+        finalists: all finalists re-evaluated at realized clocks,
+            descending by realized throughput.
+        estimated_gops: finalist throughputs at the assumed clock (same
+            order as ``finalists``), for the Fig. 7(b) comparison.
+    """
+
+    best: DesignEvaluation
+    finalists: tuple[DesignEvaluation, ...]
+    estimated_gops: tuple[float, ...]
+
+
+def _shape_only_efficiency(nest: LoopNest, config: SystolicConfig) -> float:
+    """Eff upper bound: quantization from the inner bounds only."""
+    inner = {
+        config.mapping.row: config.shape.rows,
+        config.mapping.col: config.shape.cols,
+        config.mapping.vector: config.shape.vector,
+    }
+    eff = 1.0
+    for it, t in inner.items():
+        n = nest.bounds[it]
+        eff *= n / (math.ceil(n / t) * t)
+    return eff
+
+
+def throughput_upper_bound_gops(
+    nest: LoopNest, config: SystolicConfig, platform: Platform
+) -> float:
+    """Cheap admissible bound: PT at ideal tiling (Eq. 8 with shape-only
+    efficiency).  True throughput is min(PT, MT) <= PT, and Eff(s, t) <=
+    shape-only Eff for any s."""
+    eff = _shape_only_efficiency(nest, config)
+    return eff * 2.0 * config.shape.lanes * platform.assumed_clock_mhz * 1e6 / 1e9
+
+
+def phase1(
+    nest: LoopNest,
+    platform: Platform,
+    config: DseConfig = DseConfig(),
+) -> Phase1Result:
+    """Run the analytical filtering phase on one layer."""
+    start = time.perf_counter()
+    candidates = list(
+        enumerate_configs(
+            nest,
+            platform,
+            min_dsp_utilization=config.min_dsp_utilization,
+            vector_choices=config.vector_choices,
+        )
+    )
+    ranked = sorted(
+        ((throughput_upper_bound_gops(nest, c, platform), c) for c in candidates),
+        key=lambda pair: pair[0],
+        reverse=True,
+    )
+
+    finalists: list[tuple[float, DesignEvaluation]] = []
+    tuned = 0
+    tilings = 0
+    for upper_bound, candidate in ranked:
+        if (
+            config.upper_bound_pruning
+            and len(finalists) >= config.top_n
+            and upper_bound <= finalists[-1][0]
+        ):
+            break  # nothing below this bound can enter the top-N
+        tuner = MiddleTuner(
+            nest,
+            candidate.mapping,
+            candidate.shape,
+            platform,
+            include_cover=config.include_cover,
+        )
+        try:
+            result = tuner.tune()
+        except RuntimeError:
+            continue  # no feasible tiling (BRAM) for this config
+        tuned += 1
+        tilings += result.candidates_evaluated
+        evaluation = result.design.evaluate(platform)
+        finalists.append((evaluation.throughput_gops, evaluation))
+        finalists.sort(key=lambda pair: pair[0], reverse=True)
+        del finalists[config.top_n :]
+
+    return Phase1Result(
+        finalists=tuple(ev for _, ev in finalists),
+        configs_enumerated=len(candidates),
+        configs_tuned=tuned,
+        tilings_evaluated=tilings,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def phase2(phase1_result: Phase1Result, platform: Platform) -> Phase2Result:
+    """Realize clocks for the finalists and pick the on-board winner."""
+    if not phase1_result.finalists:
+        raise ValueError("phase 1 produced no feasible designs")
+    realized: list[tuple[DesignEvaluation, float]] = []
+    for evaluation in phase1_result.finalists:
+        design: DesignPoint = evaluation.design
+        freq = platform.frequency_model.realize(
+            rows=design.shape.rows,
+            cols=design.shape.cols,
+            vector=design.shape.vector,
+            dsp_utilization=evaluation.dsp_utilization,
+            bram_utilization=evaluation.bram_utilization,
+            signature=design.signature,
+        )
+        realized.append((design.evaluate(platform, frequency_mhz=freq), evaluation.throughput_gops))
+    realized.sort(key=lambda pair: pair[0].throughput_gops, reverse=True)
+    return Phase2Result(
+        best=realized[0][0],
+        finalists=tuple(ev for ev, _ in realized),
+        estimated_gops=tuple(est for _, est in realized),
+    )
+
+
+def explore(
+    nest: LoopNest,
+    platform: Platform,
+    config: DseConfig = DseConfig(),
+) -> Phase2Result:
+    """Full two-phase DSE for a single layer."""
+    return phase2(phase1(nest, platform, config), platform)
+
+
+def explore_network(
+    nests: tuple[LoopNest, ...],
+    platform: Platform,
+    config: DseConfig = DseConfig(),
+):
+    """Full two-phase DSE for a whole network (unified design).
+
+    Thin wrapper re-exported here for discoverability; the heavy lifting
+    lives in :mod:`repro.dse.multi_layer`.
+    """
+    from repro.dse.multi_layer import select_unified_design
+
+    return select_unified_design(nests, platform, config)
+
+
+__all__ = [
+    "DseConfig",
+    "Phase1Result",
+    "Phase2Result",
+    "explore",
+    "explore_network",
+    "phase1",
+    "phase2",
+    "throughput_upper_bound_gops",
+]

@@ -1,0 +1,330 @@
+"""Unified multi-layer design selection (paper Section 5.3).
+
+The paper deploys ONE systolic design per network "instead of making an
+optimal design for each layer, because it has big performance overhead to
+reprogram the FPGA for different layers".  A unified design fixes the
+mapping and PE-array shape (the hardware); the middle-loop bounds are
+runtime loop limits, so each layer runs its own best data-reuse strategy
+within the fixed buffer budget.  Grouped layers execute once per group;
+AlexNet's conv1 is folded to a mappable unit-stride shape, and its
+*effective* operation count stays the original layer's (the zero-padded
+folded MACs are waste, which is part of why conv1's measured efficiency
+is low — exactly as in the paper).
+
+Aggregate optimization target: total effective ops / total latency over
+all conv layers of one image.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.ir.loop import LoopNest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping, feasible_mappings
+from repro.model.platform import Platform
+from repro.nn.folding import fold_layer
+from repro.nn.models import Network
+from repro.dse.explore import DseConfig
+from repro.dse.space import SystolicConfig, enumerate_shapes
+from repro.dse.tuner import MiddleTuner
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """One conv layer as the DSE sees it.
+
+    Attributes:
+        name: original layer name.
+        nest: the loop nest actually executed (per-group view; folded for
+            strided layers).
+        multiplicity: times the nest runs per image (= groups).
+        effective_ops: the original layer's operation count — the
+            numerator of every throughput/efficiency figure, so folding
+            waste shows up as lost efficiency rather than phantom ops.
+    """
+
+    name: str
+    nest: LoopNest
+    multiplicity: int
+    effective_ops: int
+
+
+def prepare_network_nests(
+    network: Network, *, fold_strided: bool = True
+) -> tuple[LayerWorkload, ...]:
+    """Lower a network's conv layers to DSE workloads."""
+    workloads = []
+    for layer in network.conv_layers:
+        target = layer
+        if fold_strided and layer.stride > 1:
+            target = fold_layer(layer)
+        per_group = target.group_view()
+        workloads.append(
+            LayerWorkload(
+                name=layer.name,
+                nest=per_group.to_loop_nest(),
+                multiplicity=layer.groups,
+                effective_ops=layer.flops,
+            )
+        )
+    return tuple(workloads)
+
+
+@dataclass(frozen=True)
+class LayerPerformance:
+    """Per-layer outcome of a unified design (a Table 4/5 row).
+
+    Attributes:
+        name: layer name.
+        throughput_gops: effective ops / layer time.
+        dsp_efficiency: effective ops / (lanes * 2 * cycles) — i.e.
+            throughput / raw peak, the quantity Tables 4 and 5 print.
+        seconds: layer latency per image (all groups).
+        bound: 'compute' or 'memory'.
+        middle: the layer's chosen data-reuse bounds.
+    """
+
+    name: str
+    throughput_gops: float
+    dsp_efficiency: float
+    seconds: float
+    bound: str
+    middle: dict[str, int]
+
+
+@dataclass(frozen=True)
+class MultiLayerResult:
+    """A unified design and its per-layer performance.
+
+    Attributes:
+        config: winning mapping + shape.
+        frequency_mhz: realized clock (phase 2).
+        layers: per-layer records, network order.
+        total_seconds: conv latency per image.
+        aggregate_gops: total effective ops / total latency.
+        dsp_utilization / bram_utilization / logic_utilization: resource
+            report of the unified design (BRAM is the max over layers).
+        configs_enumerated / configs_tuned: search statistics.
+        elapsed_seconds: DSE wall-clock time.
+    """
+
+    config: SystolicConfig
+    frequency_mhz: float
+    layers: tuple[LayerPerformance, ...]
+    total_seconds: float
+    aggregate_gops: float
+    dsp_utilization: float
+    bram_utilization: float
+    logic_utilization: float
+    configs_enumerated: int
+    configs_tuned: int
+    elapsed_seconds: float
+
+
+def _envelope_nest(workloads: tuple[LayerWorkload, ...]) -> LoopNest:
+    """A synthetic nest whose bounds are the per-loop maxima — used for
+    shape enumeration so a unified array may exceed any single layer's
+    extent along a loop (e.g. AlexNet's (11, 14, 8) with conv3-5 at
+    C = 13 < 14)."""
+    base = workloads[0].nest
+    bounds = {it: max(w.nest.bounds[it] for w in workloads) for it in base.iterators}
+    return base.with_bounds(bounds, name="envelope")
+
+
+def _common_mappings(workloads: tuple[LayerWorkload, ...]) -> tuple[Mapping, ...]:
+    """Mappings feasible for every layer."""
+    common = None
+    for workload in workloads:
+        mappings = set(feasible_mappings(workload.nest))
+        common = mappings if common is None else (common & mappings)
+    return tuple(sorted(common, key=str)) if common else ()
+
+
+def _aggregate_upper_bound(
+    workloads: tuple[LayerWorkload, ...],
+    config: SystolicConfig,
+    platform: Platform,
+) -> float:
+    """Admissible aggregate-throughput bound from per-layer PT bounds."""
+    total_ops = 0.0
+    total_time = 0.0
+    freq = platform.assumed_clock_mhz * 1e6
+    for w in workloads:
+        eff = 1.0
+        inner = {
+            config.mapping.row: config.shape.rows,
+            config.mapping.col: config.shape.cols,
+            config.mapping.vector: config.shape.vector,
+        }
+        for it, t in inner.items():
+            n = w.nest.bounds[it]
+            eff *= n / (math.ceil(n / t) * t)
+        pt = eff * 2.0 * config.shape.lanes * freq  # ops/s on the nest basis
+        total_ops += w.effective_ops
+        total_time += w.multiplicity * w.nest.total_operations / pt
+    return total_ops / total_time / 1e9
+
+
+def _evaluate_config(
+    workloads: tuple[LayerWorkload, ...],
+    config: SystolicConfig,
+    platform: Platform,
+    dse: DseConfig,
+    frequency_mhz: float | None,
+) -> tuple[float, float, tuple[LayerPerformance, ...], int, float] | None:
+    """Tune every layer under one config; None if any layer has no
+    feasible tiling.  Returns (aggregate_gops, total_seconds, layers,
+    max_bram_blocks, total_ops)."""
+    freq = frequency_mhz or platform.assumed_clock_mhz
+    layers = []
+    total_seconds = 0.0
+    total_ops = 0.0
+    max_bram = 0
+    lanes = config.shape.lanes
+    peak_ops_per_s = 2.0 * lanes * freq * 1e6
+    for w in workloads:
+        tuner = MiddleTuner(
+            w.nest, config.mapping, config.shape, platform, include_cover=dse.include_cover
+        )
+        try:
+            tuned = tuner.tune(frequency_mhz=freq)
+        except RuntimeError:
+            return None
+        nest_seconds = w.nest.total_operations / (tuned.throughput_gops * 1e9)
+        layer_seconds = w.multiplicity * nest_seconds
+        layer_gops = w.effective_ops / layer_seconds / 1e9
+        evaluation = tuned.design.evaluate(platform, frequency_mhz=freq)
+        layers.append(
+            LayerPerformance(
+                name=w.name,
+                throughput_gops=layer_gops,
+                dsp_efficiency=(w.effective_ops / layer_seconds) / peak_ops_per_s,
+                seconds=layer_seconds,
+                bound=evaluation.performance.bound,
+                middle=tuned.design.middle_bounds,
+            )
+        )
+        total_seconds += layer_seconds
+        total_ops += w.effective_ops
+        max_bram = max(max_bram, tuned.bram_blocks)
+    aggregate = total_ops / total_seconds / 1e9
+    return aggregate, total_seconds, tuple(layers), max_bram, total_ops
+
+
+def select_unified_design(
+    workloads: tuple[LayerWorkload, ...] | Network,
+    platform: Platform,
+    config: DseConfig = DseConfig(),
+) -> MultiLayerResult:
+    """Two-phase DSE for one unified design across all conv layers.
+
+    Args:
+        workloads: prepared workloads, or a :class:`Network` (prepared
+            with folding enabled).
+        platform: evaluation platform.
+        config: DSE knobs (c_s, vectors, top_n, pruning).
+    """
+    start = time.perf_counter()
+    if isinstance(workloads, Network):
+        workloads = prepare_network_nests(workloads)
+    if not workloads:
+        raise ValueError("no conv layers to explore")
+
+    envelope = _envelope_nest(workloads)
+    candidates = [
+        SystolicConfig(mapping, shape)
+        for mapping in _common_mappings(workloads)
+        for shape in enumerate_shapes(
+            envelope,
+            mapping,
+            platform,
+            min_dsp_utilization=config.min_dsp_utilization,
+            vector_choices=config.vector_choices,
+        )
+    ]
+    if not candidates:
+        raise ValueError("design space is empty — lower min_dsp_utilization?")
+
+    ranked = sorted(
+        ((_aggregate_upper_bound(workloads, c, platform), c) for c in candidates),
+        key=lambda pair: pair[0],
+        reverse=True,
+    )
+
+    finalists: list[tuple[float, SystolicConfig]] = []
+    tuned_count = 0
+    for upper_bound, candidate in ranked:
+        if (
+            config.upper_bound_pruning
+            and len(finalists) >= config.top_n
+            and upper_bound <= finalists[-1][0]
+        ):
+            break
+        outcome = _evaluate_config(workloads, candidate, platform, config, None)
+        if outcome is None:
+            continue
+        tuned_count += 1
+        finalists.append((outcome[0], candidate))
+        finalists.sort(key=lambda pair: pair[0], reverse=True)
+        del finalists[config.top_n :]
+
+    if not finalists:
+        raise RuntimeError("no feasible unified design found")
+
+    # Phase 2: realize clocks, re-tune at the realized clock, pick winner.
+    best = None
+    for estimated, candidate in finalists:
+        probe = _evaluate_config(workloads, candidate, platform, config, None)
+        assert probe is not None
+        _, _, _, max_bram, _ = probe
+        dsp_blocks = candidate.shape.lanes * platform.dsp_per_mac
+        dsp_util = dsp_blocks / (platform.dsp_total * platform.dsp_per_mac)
+        bram_util = max_bram / platform.bram_total
+        freq = platform.frequency_model.realize(
+            rows=candidate.shape.rows,
+            cols=candidate.shape.cols,
+            vector=candidate.shape.vector,
+            dsp_utilization=dsp_util,
+            bram_utilization=bram_util,
+            signature=f"unified|{candidate}",
+        )
+        outcome = _evaluate_config(workloads, candidate, platform, config, freq)
+        if outcome is None:
+            continue
+        aggregate, total_seconds, layers, max_bram, _total_ops = outcome
+        record = (aggregate, candidate, freq, total_seconds, layers, max_bram, dsp_util)
+        if best is None or aggregate > best[0]:
+            best = record
+
+    assert best is not None
+    aggregate, candidate, freq, total_seconds, layers, max_bram, dsp_util = best
+    from repro.model.resources import logic_usage
+
+    logic = logic_usage(
+        candidate.shape.rows, candidate.shape.cols, candidate.shape.vector, platform
+    )
+    return MultiLayerResult(
+        config=candidate,
+        frequency_mhz=freq,
+        layers=layers,
+        total_seconds=total_seconds,
+        aggregate_gops=aggregate,
+        dsp_utilization=dsp_util,
+        bram_utilization=max_bram / platform.bram_total,
+        logic_utilization=logic / platform.device.logic_cells,
+        configs_enumerated=len(candidates),
+        configs_tuned=tuned_count,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+__all__ = [
+    "LayerPerformance",
+    "LayerWorkload",
+    "MultiLayerResult",
+    "prepare_network_nests",
+    "select_unified_design",
+]

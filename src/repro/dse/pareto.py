@@ -1,0 +1,97 @@
+"""Pareto analysis of the design space.
+
+Fig. 7(a)'s reading — "high throughput design options may cost moderate
+BRAM blocks and DSPs" — is a statement about the Pareto structure of the
+space: throughput is not monotone in resources, so the interesting
+designs live on the (throughput max / DSP min / BRAM min) frontier.
+This module extracts that frontier from any set of evaluated candidates,
+for reporting and for users who want resource-throughput trade-offs
+rather than the single throughput-optimal point (e.g. leaving BRAM for
+other kernels on the same die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate in (throughput, DSP, BRAM) space.
+
+    Attributes:
+        label: any identity string (shape, signature, ...).
+        throughput_gops: higher is better.
+        dsp_blocks: lower is better.
+        bram_blocks: lower is better.
+        payload: optional arbitrary object carried along (e.g. the
+            DesignPoint itself).
+    """
+
+    label: str
+    throughput_gops: float
+    dsp_blocks: float
+    bram_blocks: float
+    payload: object = None
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on every axis, strictly better on at least one."""
+        at_least_as_good = (
+            self.throughput_gops >= other.throughput_gops
+            and self.dsp_blocks <= other.dsp_blocks
+            and self.bram_blocks <= other.bram_blocks
+        )
+        strictly_better = (
+            self.throughput_gops > other.throughput_gops
+            or self.dsp_blocks < other.dsp_blocks
+            or self.bram_blocks < other.bram_blocks
+        )
+        return at_least_as_good and strictly_better
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> tuple[ParetoPoint, ...]:
+    """The non-dominated subset, sorted by descending throughput.
+
+    O(n^2) pairwise filtering — design spaces at this stage are hundreds
+    of points, not millions.
+    """
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    # Deduplicate identical coordinates (keep the first label).
+    seen: set[tuple[float, float, float]] = set()
+    unique = []
+    for p in sorted(frontier, key=lambda p: (-p.throughput_gops, p.dsp_blocks, p.bram_blocks)):
+        key = (p.throughput_gops, p.dsp_blocks, p.bram_blocks)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return tuple(unique)
+
+
+def knee_point(frontier: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The frontier point with the best throughput per resource.
+
+    A simple scalarization — throughput divided by the geometric mean of
+    normalized DSP and BRAM cost — that picks the "moderate resources,
+    high throughput" design Fig. 7(a) gestures at.
+
+    Raises:
+        ValueError: on an empty frontier.
+    """
+    if not frontier:
+        raise ValueError("empty frontier")
+    max_dsp = max(p.dsp_blocks for p in frontier) or 1.0
+    max_bram = max(p.bram_blocks for p in frontier) or 1.0
+
+    def score(p: ParetoPoint) -> float:
+        cost = ((p.dsp_blocks / max_dsp) * (p.bram_blocks / max_bram)) ** 0.5
+        return p.throughput_gops / max(cost, 1e-9)
+
+    return max(frontier, key=score)
+
+
+__all__ = ["ParetoPoint", "knee_point", "pareto_frontier"]

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — regenerate every paper exhibit."""
+
+import sys
+
+from repro.experiments.report_all import main
+
+sys.exit(main())

@@ -1,0 +1,224 @@
+"""Figure 7 — the design space and the analytical model's accuracy.
+
+(a) The pruned design space of AlexNet's conv layers at a fixed 280 MHz:
+    each point is one configuration's (DSP, BRAM, aggregate throughput)
+    after data-reuse tuning.  The paper's observation: "high throughput
+    design options may cost moderate BRAM blocks and DSPs".
+
+(b) The top-14 designs carried into phase 2: several share the best
+    estimated throughput (6 in the paper) and separate only through
+    their realized (post-P&R) clocks; with the real clock plugged in,
+    the analytical model matches the on-board measurement within 2% on
+    average.  Our performance simulator plays the board.
+"""
+
+from __future__ import annotations
+
+from repro.model.design_point import DesignPoint
+from repro.model.platform import Platform
+from repro.dse.multi_layer import LayerWorkload, _evaluate_config
+from repro.dse.space import SystolicConfig, enumerate_shapes
+from repro.sim.perf import simulate_performance
+from repro.experiments.common import ExperimentResult
+from repro.experiments.networks import paper_dse_config, unified_design
+
+
+def _aggregate_simulated(
+    workloads: tuple[LayerWorkload, ...],
+    config: SystolicConfig,
+    layers,
+    platform: Platform,
+    frequency_mhz: float,
+) -> float:
+    """'On-board' aggregate throughput: per-layer performance simulator."""
+    total_ops = 0.0
+    total_seconds = 0.0
+    middle_of = {l.name: l.middle for l in layers}
+    for w in workloads:
+        design = DesignPoint.create(
+            w.nest, config.mapping, config.shape, middle_of[w.name]
+        )
+        measurement = simulate_performance(design, platform, frequency_mhz=frequency_mhz, streaming=True)
+        total_seconds += w.multiplicity * measurement.seconds
+        total_ops += w.effective_ops
+    return total_ops / total_seconds / 1e9
+
+
+def run_fig7a_design_space(
+    platform: Platform | None = None, *, fast: bool = False, sample_points: int | None = None
+) -> ExperimentResult:
+    """Regenerate Fig. 7(a): the pruned design-space scatter for AlexNet."""
+    platform = platform or Platform()
+    result_ml, workloads = unified_design("alexnet", fast=fast)
+    dse = paper_dse_config(fast=fast)
+
+    from repro.dse.multi_layer import _common_mappings, _envelope_nest
+
+    envelope = _envelope_nest(workloads)
+    configs = [
+        SystolicConfig(mapping, shape)
+        for mapping in _common_mappings(workloads)
+        for shape in enumerate_shapes(
+            envelope, mapping, platform,
+            min_dsp_utilization=dse.min_dsp_utilization,
+            vector_choices=dse.vector_choices,
+        )
+    ]
+    want = sample_points or (12 if fast else 60)
+    step = max(1, len(configs) // want)
+    sampled = configs[::step]
+
+    result = ExperimentResult(
+        name="Figure 7(a)",
+        description=f"Pruned design space of AlexNet conv layers @ 280 MHz "
+        f"({len(sampled)} of {len(configs)} configs sampled)",
+        headers=["shape", "mapping", "DSP blocks", "BRAM blocks", "agg GFlops"],
+    )
+    best = None
+    raw_dsp: list[float] = []
+    raw_bram: list[float] = []
+    raw_gops: list[float] = []
+    for config in sampled:
+        outcome = _evaluate_config(workloads, config, platform, dse, None)
+        if outcome is None:
+            continue
+        aggregate, _seconds, _layers, max_bram, _ops = outcome
+        dsp = config.shape.lanes * platform.dsp_per_mac
+        result.add_row(
+            str(config.shape),
+            "/".join(config.mapping.inner_loops),
+            int(dsp),
+            max_bram,
+            f"{aggregate:.1f}",
+        )
+        raw_dsp.append(dsp)
+        raw_bram.append(float(max_bram))
+        raw_gops.append(aggregate)
+        record = (aggregate, dsp, max_bram)
+        if best is None or record > best:
+            best = record
+    result.raw = {"dsp": raw_dsp, "bram": raw_bram, "gflops": raw_gops}
+    assert best is not None
+    agg, dsp, bram = best
+    result.metrics["best_gflops"] = agg
+    result.metrics["best_dsp_utilization"] = dsp / (
+        platform.dsp_total * platform.dsp_per_mac
+    )
+    result.metrics["best_bram_utilization"] = bram / platform.bram_total
+    result.metrics["points"] = float(len(result.rows))
+
+    # Pareto structure: the paper's "moderate BRAM and DSPs" reading.
+    from repro.dse.pareto import ParetoPoint, knee_point, pareto_frontier
+
+    frontier = pareto_frontier(
+        [
+            ParetoPoint(f"p{i}", g, d, b)
+            for i, (g, d, b) in enumerate(zip(raw_gops, raw_dsp, raw_bram))
+        ]
+    )
+    knee = knee_point(frontier)
+    result.metrics["pareto_points"] = float(len(frontier))
+    result.metrics["knee_gflops"] = knee.throughput_gops
+    result.metrics["knee_bram_utilization"] = knee.bram_blocks / platform.bram_total
+    result.note(
+        "the paper's reading — high-throughput options cost moderate BRAM and "
+        f"DSPs — quantified: the Pareto knee delivers {knee.throughput_gops:.0f} "
+        f"GFlops at {knee.bram_blocks / platform.bram_total:.0%} BRAM, far from "
+        "the resource ceilings."
+    )
+    return result
+
+
+def run_fig7b_model_accuracy(
+    platform: Platform | None = None, *, fast: bool = False
+) -> ExperimentResult:
+    """Regenerate Fig. 7(b): estimated vs 'on-board' for the finalists."""
+    platform = platform or Platform()
+    result_ml, workloads = unified_design("alexnet", fast=fast)
+    dse = paper_dse_config(fast=fast)
+
+    from repro.dse.multi_layer import (
+        _aggregate_upper_bound,
+        _common_mappings,
+        _envelope_nest,
+    )
+
+    envelope = _envelope_nest(workloads)
+    configs = [
+        SystolicConfig(mapping, shape)
+        for mapping in _common_mappings(workloads)
+        for shape in enumerate_shapes(
+            envelope, mapping, platform,
+            min_dsp_utilization=dse.min_dsp_utilization,
+            vector_choices=dse.vector_choices,
+        )
+    ]
+    ranked = sorted(
+        configs,
+        key=lambda c: _aggregate_upper_bound(workloads, c, platform),
+        reverse=True,
+    )[: dse.top_n]
+
+    result = ExperimentResult(
+        name="Figure 7(b)",
+        description="Model accuracy for the finalist designs "
+        "(estimated @280 MHz | realized clock | model@realized | simulated)",
+        headers=["rank", "shape", "est GFlops", "clock MHz",
+                 "model GFlops", "sim GFlops", "error %"],
+    )
+    errors = []
+    estimates = []
+    raw_model: list[float] = []
+    raw_sim: list[float] = []
+    raw_labels: list[str] = []
+    for rank, config in enumerate(ranked, start=1):
+        at_assumed = _evaluate_config(workloads, config, platform, dse, None)
+        if at_assumed is None:
+            continue
+        estimated = at_assumed[0]
+        dsp_util = (
+            config.shape.lanes
+            * platform.dsp_per_mac
+            / (platform.dsp_total * platform.dsp_per_mac)
+        )
+        bram_util = at_assumed[3] / platform.bram_total
+        freq = platform.frequency_model.realize(
+            rows=config.shape.rows,
+            cols=config.shape.cols,
+            vector=config.shape.vector,
+            dsp_utilization=dsp_util,
+            bram_utilization=bram_util,
+            signature=f"unified|{config}",
+        )
+        at_real = _evaluate_config(workloads, config, platform, dse, freq)
+        assert at_real is not None
+        model_gops = at_real[0]
+        sim_gops = _aggregate_simulated(workloads, config, at_real[2], platform, freq)
+        error = abs(model_gops - sim_gops) / sim_gops
+        errors.append(error)
+        estimates.append(round(estimated, 3))
+        raw_model.append(model_gops)
+        raw_sim.append(sim_gops)
+        raw_labels.append(f"#{rank}")
+        result.add_row(
+            rank, str(config.shape), f"{estimated:.1f}", f"{freq:.1f}",
+            f"{model_gops:.1f}", f"{sim_gops:.1f}", f"{error * 100:.2f}",
+        )
+    result.raw = {"labels": raw_labels, "model": raw_model, "simulated": raw_sim}
+    mean_error = sum(errors) / len(errors)
+    top_ties = estimates.count(max(estimates))
+    result.metrics["mean_model_error"] = mean_error
+    result.metrics["max_model_error"] = max(errors)
+    result.metrics["top_estimate_ties"] = float(top_ties)
+    result.note(
+        f"paper: <2% average model error with the real clock; ours: "
+        f"{mean_error * 100:.2f}% mean over {len(errors)} finalists."
+    )
+    result.note(
+        f"paper: 6 designs share the top estimated throughput; ours: {top_ties} "
+        "(ties broken by realized frequency, which is phase 2's purpose)."
+    )
+    return result
+
+
+__all__ = ["run_fig7a_design_space", "run_fig7b_model_accuracy"]

@@ -1,0 +1,73 @@
+"""Shared (memoized) unified-design runs for the network-level exhibits.
+
+Tables 2–5 and Fig. 7 all consume the same two expensive computations —
+the unified AlexNet and VGG designs — so they are computed once per
+(network, datatype, settings) key and cached for the process lifetime.
+"""
+
+from __future__ import annotations
+
+from repro.hw.datatype import FIXED_8_16, FLOAT32
+from repro.model.platform import Platform
+from repro.nn.models import Network, alexnet, vgg16
+from repro.dse.explore import DseConfig
+from repro.dse.multi_layer import (
+    LayerWorkload,
+    MultiLayerResult,
+    prepare_network_nests,
+    select_unified_design,
+)
+
+_CACHE: dict[tuple, tuple[MultiLayerResult, tuple[LayerWorkload, ...]]] = {}
+
+
+def paper_dse_config(*, fast: bool = False) -> DseConfig:
+    """The exploration settings of the paper's evaluation: c_s = 80%,
+    SIMD vector 8 (both published designs use 8), top-14 finalists."""
+    return DseConfig(
+        min_dsp_utilization=0.8,
+        vector_choices=(8,),
+        top_n=4 if fast else 14,
+    )
+
+
+def network_by_name(name: str) -> Network:
+    if name == "alexnet":
+        return alexnet()
+    if name == "vgg16":
+        return vgg16()
+    raise KeyError(f"unknown evaluation network {name!r}")
+
+
+def unified_design(
+    name: str,
+    *,
+    fixed_point: bool = False,
+    fast: bool = False,
+    platform: Platform | None = None,
+) -> tuple[MultiLayerResult, tuple[LayerWorkload, ...]]:
+    """Memoized unified-design DSE for one evaluation network.
+
+    Args:
+        name: "alexnet" or "vgg16".
+        fixed_point: use the 8/16-bit datatype instead of float32.
+        fast: smaller finalist count (for tests).
+        platform: override platform (bypasses the cache).
+
+    Returns:
+        (DSE result, prepared workloads).
+    """
+    key = (name, fixed_point, fast, platform is None)
+    if platform is None and key in _CACHE:
+        return _CACHE[key]
+    datatype = FIXED_8_16 if fixed_point else FLOAT32
+    plat = platform or Platform(datatype=datatype)
+    network = network_by_name(name)
+    workloads = prepare_network_nests(network)
+    result = select_unified_design(workloads, plat, paper_dse_config(fast=fast))
+    if platform is None:
+        _CACHE[key] = (result, workloads)
+    return result, workloads
+
+
+__all__ = ["network_by_name", "paper_dse_config", "unified_design"]

@@ -1,0 +1,91 @@
+"""Regenerate every paper exhibit in one run.
+
+Usage::
+
+    python -m repro.experiments               # full scale (~10 min)
+    python -m repro.experiments --fast        # reduced scale (~1 min)
+    python -m repro.experiments -o report.txt
+
+Runs all table/figure drivers in paper order and emits one combined
+report.  The per-exhibit pytest-benchmark targets under ``benchmarks/``
+additionally *assert* each exhibit's reproduction targets; this module is
+the convenience front end for reading everything at once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3 import run_fig3_schedule
+from repro.experiments.fig7 import run_fig7a_design_space, run_fig7b_model_accuracy
+from repro.experiments.pruning import run_section4_pruning
+from repro.experiments.sec23 import run_section23_tiling_example
+from repro.experiments.table1 import run_table1_shape_impact
+from repro.experiments.table2 import run_table2_comparison
+from repro.experiments.table3 import run_table3_configs
+from repro.experiments.tables45 import run_table4_alexnet, run_table5_vgg
+
+
+def all_drivers(*, fast: bool) -> list[tuple[str, Callable[[], ExperimentResult]]]:
+    """(label, zero-arg driver) pairs in paper order."""
+    return [
+        ("Table 1", run_table1_shape_impact),
+        ("Section 2.3", run_section23_tiling_example),
+        ("Figure 3", run_fig3_schedule),
+        ("Section 4", lambda: run_section4_pruning(fast=fast)),
+        ("Figure 7(a)", lambda: run_fig7a_design_space(fast=fast)),
+        ("Figure 7(b)", lambda: run_fig7b_model_accuracy(fast=fast)),
+        ("Table 3", lambda: run_table3_configs(fast=fast)),
+        ("Table 4", lambda: run_table4_alexnet(fast=fast)),
+        ("Table 5", lambda: run_table5_vgg(fast=fast)),
+        ("Table 2", lambda: run_table2_comparison(fast=fast)),
+    ]
+
+
+def generate_report(*, fast: bool = False, echo: bool = True) -> str:
+    """Run every driver; return (and optionally stream) the combined text."""
+    sections = []
+    header = (
+        "Reproduction report — Wei et al., 'Automated Systolic Array "
+        "Architecture Synthesis for High Throughput CNN Inference on "
+        f"FPGAs' (DAC 2017){' — FAST MODE' if fast else ''}"
+    )
+    sections.append(header)
+    sections.append("=" * min(len(header), 78))
+    for label, driver in all_drivers(fast=fast):
+        start = time.perf_counter()
+        result = driver()
+        elapsed = time.perf_counter() - start
+        block = result.format() + f"\n  [{label} regenerated in {elapsed:.1f} s]"
+        sections.append(block)
+        if echo:
+            print(block, flush=True)
+            print()
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument("--fast", action="store_true", help="reduced search scale")
+    parser.add_argument("-o", "--output", help="also write the report to a file")
+    args = parser.parse_args(argv)
+    report = generate_report(fast=args.fast)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["all_drivers", "generate_report", "main"]

@@ -1,0 +1,25 @@
+"""End-to-end automation flow (paper Fig. 6).
+
+``C source -> front-end analysis -> two-phase DSE -> code generation ->
+simulation report`` as one call (:func:`repro.flow.compile.compile_c_source`)
+or one shell command (``systolic-synth``, :mod:`repro.flow.cli`).
+"""
+
+from repro.flow.compile import (
+    NetworkSynthesis,
+    SynthesisResult,
+    compile_c_source,
+    synthesize_nest,
+    synthesize_network,
+)
+from repro.flow.report import format_table, render_synthesis_report
+
+__all__ = [
+    "NetworkSynthesis",
+    "SynthesisResult",
+    "compile_c_source",
+    "format_table",
+    "render_synthesis_report",
+    "synthesize_nest",
+    "synthesize_network",
+]

@@ -1,0 +1,180 @@
+"""The push-button synthesis pipeline.
+
+"A user only needs to specify the nested loop that functions as a CNN
+layer using a pragma ... No hardware-related, low-level considerations
+are necessary for end users."  These functions chain the front end, the
+two-phase DSE, the code generators and the performance simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.extract import loop_nest_from_source
+from repro.ir.loop import LoopNest
+from repro.model.design_point import DesignEvaluation
+from repro.model.platform import Platform
+from repro.nn.models import Network
+from repro.codegen.host import generate_host
+from repro.codegen.opencl import generate_kernel, generate_kernel_driver
+from repro.codegen.testbench import generate_testbench
+from repro.dse.explore import DseConfig, phase1, phase2
+from repro.dse.multi_layer import MultiLayerResult, select_unified_design
+from repro.sim.perf import LayerMeasurement, simulate_performance
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Everything the flow produces for one layer.
+
+    Attributes:
+        evaluation: winning design at its realized clock.
+        frequency_mhz: realized clock.
+        measurement: performance-simulator run at the realized clock.
+        kernel_source / host_source / testbench_source / driver_source:
+            the generated artifacts.
+        configs_enumerated / configs_tuned: phase-1 statistics.
+        dse_seconds: phase-1 wall-clock time.
+    """
+
+    evaluation: DesignEvaluation
+    frequency_mhz: float
+    measurement: LayerMeasurement
+    kernel_source: str
+    host_source: str
+    testbench_source: str
+    driver_source: str
+    configs_enumerated: int
+    configs_tuned: int
+    dse_seconds: float
+
+    @property
+    def throughput_gops(self) -> float:
+        """Simulated ("measured") throughput."""
+        return self.measurement.throughput_gops
+
+
+def synthesize_nest(
+    nest: LoopNest,
+    platform: Platform | None = None,
+    config: DseConfig = DseConfig(),
+) -> SynthesisResult:
+    """Full flow for a single loop nest.
+
+    Args:
+        nest: the convolution loop nest (from the front end or a layer).
+        platform: target platform (Arria 10 float by default).
+        config: DSE knobs.
+    """
+    platform = platform or Platform()
+    p1 = phase1(nest, platform, config)
+    p2 = phase2(p1, platform)
+    best = p2.best
+    design = best.design
+    freq = best.performance.frequency_mhz
+    measurement = simulate_performance(design, platform, frequency_mhz=freq)
+    return SynthesisResult(
+        evaluation=best,
+        frequency_mhz=freq,
+        measurement=measurement,
+        kernel_source=generate_kernel(design, platform),
+        host_source=generate_host(design, platform),
+        testbench_source=generate_testbench(design, platform),
+        driver_source=generate_kernel_driver(design, platform),
+        configs_enumerated=p1.configs_enumerated,
+        configs_tuned=p1.configs_tuned,
+        dse_seconds=p1.elapsed_seconds,
+    )
+
+
+def compile_c_source(
+    source: str,
+    platform: Platform | None = None,
+    config: DseConfig = DseConfig(),
+    *,
+    name: str = "user_nest",
+    require_pragma: bool = True,
+) -> SynthesisResult:
+    """Full flow from C text (the paper's programming model).
+
+    Args:
+        source: restricted-C program with a ``#pragma systolic`` nest.
+        platform: target platform.
+        config: DSE knobs.
+        name: label for the nest.
+        require_pragma: reject unannotated programs (the paper's flow is
+            pragma-driven); set False to synthesize any conforming nest.
+
+    Raises:
+        ValueError: if the pragma is required and missing.
+    """
+    nest, pragma = loop_nest_from_source(source, name=name)
+    if require_pragma and (pragma is None or "systolic" not in pragma):
+        raise ValueError(
+            "no '#pragma systolic' found; annotate the nest or pass "
+            "require_pragma=False"
+        )
+    return synthesize_nest(nest, platform, config)
+
+
+@dataclass(frozen=True)
+class NetworkSynthesis:
+    """Flow output for a whole network (one unified design).
+
+    Attributes:
+        result: the unified-design DSE outcome (per-layer performance).
+        kernel_source / host_source: artifacts for the unified design,
+            generated against the envelope nest.
+        latency_ms: conv latency per image.
+        throughput_gops: aggregate conv throughput.
+    """
+
+    result: MultiLayerResult
+    kernel_source: str
+    host_source: str
+
+    @property
+    def latency_ms(self) -> float:
+        return self.result.total_seconds * 1e3
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.result.aggregate_gops
+
+
+def synthesize_network(
+    network: Network,
+    platform: Platform | None = None,
+    config: DseConfig = DseConfig(),
+) -> NetworkSynthesis:
+    """Full flow for a network: one unified design for all conv layers."""
+    platform = platform or Platform()
+    result = select_unified_design(network, platform, config)
+    # Generate the artifact against the largest layer (the envelope user);
+    # per-layer middle bounds are runtime parameters of the same kernel.
+    from repro.model.design_point import DesignPoint
+    from repro.dse.multi_layer import prepare_network_nests
+
+    workloads = prepare_network_nests(network)
+    largest = max(workloads, key=lambda w: w.nest.total_operations)
+    layer_perf = {l.name: l for l in result.layers}
+    design = DesignPoint.create(
+        largest.nest,
+        result.config.mapping,
+        result.config.shape,
+        layer_perf[largest.name].middle,
+    )
+    return NetworkSynthesis(
+        result=result,
+        kernel_source=generate_kernel(design, platform),
+        host_source=generate_host(design, platform),
+    )
+
+
+__all__ = [
+    "NetworkSynthesis",
+    "SynthesisResult",
+    "compile_c_source",
+    "synthesize_nest",
+    "synthesize_network",
+]

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers shared by the CLI, examples and benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: cell values (stringified).
+        title: optional heading printed above the table.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_synthesis_report(result) -> str:
+    """Human-readable summary of a :class:`~repro.flow.compile.SynthesisResult`."""
+    ev = result.evaluation
+    design = ev.design
+    perf = result.measurement
+    lines = [
+        "Systolic Array Synthesis Report",
+        "=" * 40,
+        f"nest:        {design.nest.name}",
+        f"mapping:     row={design.mapping.row}  col={design.mapping.col}  "
+        f"vec={design.mapping.vector}",
+        f"PE array:    {design.shape} = {design.shape.lanes} MAC lanes",
+        f"tiling (s):  {design.middle_bounds}",
+        f"clock:       {result.frequency_mhz:.1f} MHz (realized)",
+        "",
+        f"DSP:         {ev.dsp_blocks:.0f} blocks ({ev.dsp_utilization:.0%})",
+        f"BRAM:        {ev.bram.total} blocks ({ev.bram_utilization:.0%})",
+        f"logic:       ~{ev.logic_cells:.0f} cells",
+        "",
+        f"estimated:   {ev.throughput_gops:.1f} Gops (analytical model)",
+        f"simulated:   {perf.throughput_gops:.1f} Gops ({perf.bound}-bound, "
+        f"{perf.blocks} blocks)",
+        f"latency:     {perf.seconds * 1e3:.3f} ms / invocation",
+        "",
+        f"DSE: {result.configs_tuned}/{result.configs_enumerated} configs tuned "
+        f"in {result.dse_seconds:.2f} s",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "render_synthesis_report"]

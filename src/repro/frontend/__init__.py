@@ -1,0 +1,29 @@
+"""Restricted-C front end (the ROSE substitute).
+
+The paper's flow starts from "a user-written intuitive CNN program": a
+perfect loop nest annotated with a pragma (Fig. 6), analyzed by the ROSE
+compiler infrastructure for iteration domains and access functions.  This
+package parses the same programs directly:
+
+* :mod:`repro.frontend.lexer` — tokenizer for the C subset;
+* :mod:`repro.frontend.ast_nodes` — the tiny AST;
+* :mod:`repro.frontend.cparser` — recursive-descent parser for pragma +
+  perfect ``for`` nest + multiply-accumulate statement;
+* :mod:`repro.frontend.extract` — AST to :class:`repro.ir.LoopNest`.
+
+Everything the downstream flow needs — loop bounds and affine subscripts
+— is recovered exactly; anything outside the subset is rejected with a
+location-bearing error.
+"""
+
+from repro.frontend.cparser import ParseError, parse_program
+from repro.frontend.emit import nest_to_c
+from repro.frontend.extract import extract_loop_nest, loop_nest_from_source
+
+__all__ = [
+    "ParseError",
+    "nest_to_c",
+    "extract_loop_nest",
+    "loop_nest_from_source",
+    "parse_program",
+]

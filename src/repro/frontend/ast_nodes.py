@@ -1,0 +1,91 @@
+"""AST for the restricted C subset.
+
+The grammar covers exactly what the paper's programming model needs (the
+left side of Fig. 6): optional array declarations, a ``#pragma`` marking
+the nest, a perfect nest of normalized counted ``for`` loops, and one
+``+=`` multiply-accumulate statement over subscripted arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AffineTerm:
+    """``coefficient * iterator`` inside a subscript."""
+
+    coefficient: int
+    iterator: str
+
+
+@dataclass(frozen=True)
+class SubscriptExpr:
+    """An affine subscript: sum of terms plus a constant."""
+
+    terms: tuple[AffineTerm, ...]
+    constant: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``NAME[e0][e1]...`` reference."""
+
+    name: str
+    subscripts: tuple[SubscriptExpr, ...]
+
+
+@dataclass(frozen=True)
+class MacStatement:
+    """``target += a * b;`` — the convolution body."""
+
+    target: ArrayRef
+    lhs: ArrayRef
+    rhs: ArrayRef
+    line: int
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for (it = 0; it < bound; it++) body`` — normalized counted loop."""
+
+    iterator: str
+    bound: int
+    body: "ForLoop | MacStatement"
+    line: int
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """``float NAME[d0][d1]...;`` — recorded, used for shape checking."""
+
+    name: str
+    element_type: str
+    dims: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed source file.
+
+    Attributes:
+        declarations: array declarations, in order.
+        pragma: the pragma text attached to the nest (e.g. ``"systolic"``),
+            or None if the nest was unannotated.
+        nest: the outermost loop.
+    """
+
+    declarations: tuple[ArrayDecl, ...]
+    pragma: str | None
+    nest: ForLoop
+
+
+__all__ = [
+    "AffineTerm",
+    "ArrayDecl",
+    "ArrayRef",
+    "ForLoop",
+    "MacStatement",
+    "Program",
+    "SubscriptExpr",
+]

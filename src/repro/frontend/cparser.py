@@ -1,0 +1,207 @@
+"""Recursive-descent parser for the restricted C subset.
+
+Grammar (informal)::
+
+    program    := decl* pragma? for_loop
+    decl       := type IDENT ('[' NUMBER ']')+ ';'
+    pragma     := '#pragma' ...          (captured by the lexer)
+    for_loop   := 'for' '(' init ';' cond ';' incr ')' ('{'? body '}'?)
+    init       := ('int')? IDENT '=' NUMBER
+    cond       := IDENT '<' NUMBER  |  IDENT '<=' NUMBER
+    incr       := IDENT '++'  |  IDENT '+=' NUMBER(=1)
+    body       := for_loop | mac ';'
+    mac        := array_ref '+=' array_ref '*' array_ref
+    array_ref  := IDENT ('[' affine ']')+
+    affine     := term ('+' term)*
+    term       := NUMBER | IDENT | NUMBER '*' IDENT | IDENT '*' NUMBER
+
+Anything else raises :class:`ParseError` with a source location.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_nodes import (
+    AffineTerm,
+    ArrayDecl,
+    ArrayRef,
+    ForLoop,
+    MacStatement,
+    Program,
+    SubscriptExpr,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+_TYPE_KEYWORDS = {"float", "double", "int", "short", "char", "long"}
+
+
+class ParseError(ValueError):
+    """Syntax or subset violation, with source location in the message."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"line {tok.line}, column {tok.column}: {message} (got {tok})")
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        tok = self.current
+        if tok.kind is kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text if text is not None else kind.value
+            raise self.error(f"expected {want!r}")
+        return tok
+
+    # -------------------------------------------------------------- grammar
+
+    def parse_program(self) -> Program:
+        declarations: list[ArrayDecl] = []
+        pragma: str | None = None
+        while True:
+            tok = self.current
+            if tok.kind is TokenKind.PRAGMA:
+                pragma = self.advance().text.removeprefix("pragma").strip()
+                continue
+            if tok.kind is TokenKind.IDENT and tok.text in _TYPE_KEYWORDS:
+                declarations.append(self.parse_declaration())
+                continue
+            break
+        if not (self.current.kind is TokenKind.IDENT and self.current.text == "for"):
+            raise self.error("expected a for-loop nest")
+        nest = self.parse_for()
+        self.expect(TokenKind.EOF)
+        return Program(tuple(declarations), pragma, nest)
+
+    def parse_declaration(self) -> ArrayDecl:
+        element_type = self.expect(TokenKind.IDENT).text
+        name = self.expect(TokenKind.IDENT).text
+        dims: list[int] = []
+        while self.accept(TokenKind.PUNCT, "["):
+            dims.append(int(self.expect(TokenKind.NUMBER).text))
+            self.expect(TokenKind.PUNCT, "]")
+        if not dims:
+            raise self.error(f"declaration of {name!r} must be an array")
+        self.expect(TokenKind.PUNCT, ";")
+        return ArrayDecl(name, element_type, tuple(dims))
+
+    def parse_for(self) -> ForLoop:
+        line = self.current.line
+        self.expect(TokenKind.IDENT, "for")
+        self.expect(TokenKind.PUNCT, "(")
+        self.accept(TokenKind.IDENT, "int")
+        iterator = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, "=")
+        start = int(self.expect(TokenKind.NUMBER).text)
+        if start != 0:
+            raise self.error(f"loop {iterator!r} must start at 0 (normalized form)")
+        self.expect(TokenKind.PUNCT, ";")
+
+        cond_var = self.expect(TokenKind.IDENT).text
+        if cond_var != iterator:
+            raise self.error(f"condition variable {cond_var!r} != iterator {iterator!r}")
+        if self.accept(TokenKind.PUNCT, "<"):
+            bound = int(self.expect(TokenKind.NUMBER).text)
+        elif self.accept(TokenKind.PUNCT, "<="):
+            bound = int(self.expect(TokenKind.NUMBER).text) + 1
+        else:
+            raise self.error("expected '<' or '<=' in loop condition")
+        self.expect(TokenKind.PUNCT, ";")
+
+        incr_var = self.expect(TokenKind.IDENT).text
+        if incr_var != iterator:
+            raise self.error(f"increment variable {incr_var!r} != iterator {iterator!r}")
+        if self.accept(TokenKind.PUNCT, "++"):
+            pass
+        elif self.accept(TokenKind.PUNCT, "+="):
+            step = int(self.expect(TokenKind.NUMBER).text)
+            if step != 1:
+                raise self.error("only unit-stride loops are supported (tile in the flow)")
+        else:
+            raise self.error("expected '++' or '+= 1'")
+        self.expect(TokenKind.PUNCT, ")")
+
+        braced = self.accept(TokenKind.PUNCT, "{") is not None
+        if self.current.kind is TokenKind.IDENT and self.current.text == "for":
+            body: ForLoop | MacStatement = self.parse_for()
+        else:
+            body = self.parse_mac()
+        if braced:
+            self.expect(TokenKind.PUNCT, "}")
+        return ForLoop(iterator, bound, body, line)
+
+    def parse_mac(self) -> MacStatement:
+        line = self.current.line
+        target = self.parse_array_ref()
+        self.expect(TokenKind.PUNCT, "+=")
+        lhs = self.parse_array_ref()
+        self.expect(TokenKind.PUNCT, "*")
+        rhs = self.parse_array_ref()
+        self.expect(TokenKind.PUNCT, ";")
+        return MacStatement(target, lhs, rhs, line)
+
+    def parse_array_ref(self) -> ArrayRef:
+        name = self.expect(TokenKind.IDENT).text
+        subscripts: list[SubscriptExpr] = []
+        while self.accept(TokenKind.PUNCT, "["):
+            subscripts.append(self.parse_affine())
+            self.expect(TokenKind.PUNCT, "]")
+        if not subscripts:
+            raise self.error(f"{name!r} must be subscripted")
+        return ArrayRef(name, tuple(subscripts))
+
+    def parse_affine(self) -> SubscriptExpr:
+        terms: list[AffineTerm] = []
+        constant = 0
+        while True:
+            tok = self.current
+            if tok.kind is TokenKind.NUMBER:
+                value = int(self.advance().text)
+                if self.accept(TokenKind.PUNCT, "*"):
+                    ident = self.expect(TokenKind.IDENT).text
+                    terms.append(AffineTerm(value, ident))
+                else:
+                    constant += value
+            elif tok.kind is TokenKind.IDENT:
+                ident = self.advance().text
+                if self.accept(TokenKind.PUNCT, "*"):
+                    coeff = int(self.expect(TokenKind.NUMBER).text)
+                    terms.append(AffineTerm(coeff, ident))
+                else:
+                    terms.append(AffineTerm(1, ident))
+            else:
+                raise self.error("expected a subscript term")
+            if not self.accept(TokenKind.PUNCT, "+"):
+                break
+        return SubscriptExpr(tuple(terms), constant)
+
+
+def parse_program(source: str) -> Program:
+    """Parse source text into a :class:`Program`.
+
+    Raises:
+        ParseError / LexError: on anything outside the subset.
+    """
+    return _Parser(tokenize(source)).parse_program()
+
+
+__all__ = ["ParseError", "parse_program"]

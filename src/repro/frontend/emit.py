@@ -1,0 +1,78 @@
+"""LoopNest -> C emission (the front end's inverse).
+
+Renders a nest back into the pragma-annotated C subset the parser
+accepts, including array declarations sized from the access ranges.
+Used for reporting (showing a user the canonical form of their layer),
+for building testbench inputs, and by the round-trip property tests that
+pin the parser and the emitter against each other.
+"""
+
+from __future__ import annotations
+
+from repro.ir.access import AffineExpr, ArrayAccess
+from repro.ir.loop import LoopNest
+
+
+def _expr_to_c(expr: AffineExpr) -> str:
+    parts = []
+    for name, coeff in expr.terms:
+        parts.append(name if coeff == 1 else f"{coeff}*{name}")
+    if expr.const or not parts:
+        parts.append(str(expr.const))
+    return " + ".join(parts)
+
+
+def _ref_to_c(access: ArrayAccess) -> str:
+    return access.array + "".join(f"[{_expr_to_c(e)}]" for e in access.indices)
+
+
+def nest_to_c(
+    nest: LoopNest,
+    *,
+    pragma: str | None = "systolic",
+    declarations: bool = True,
+    element_type: str = "float",
+) -> str:
+    """Render a nest as compilable-subset C text.
+
+    Args:
+        nest: the loop nest (one MAC statement, per the subset).
+        pragma: pragma text to attach (None omits it).
+        declarations: emit array declarations sized from the access
+            ranges over the nest bounds.
+        element_type: C element type for the declarations.
+
+    Returns:
+        C source text that :func:`repro.frontend.parse_program` accepts
+        and that round-trips to an equal nest.
+    """
+    out = nest.output
+    reads = nest.reads
+    if len(reads) != 2:
+        raise ValueError("the C subset carries exactly one a*b accumulation")
+    lines: list[str] = []
+    if declarations:
+        bounds = nest.bounds
+        for access in nest.accesses:
+            dims = "".join(
+                f"[{access.indices[d].value_range(bounds)[1] + 1}]"
+                for d in range(access.rank)
+            )
+            lines.append(f"{element_type} {access.array}{dims};")
+        lines.append("")
+    if pragma:
+        lines.append(f"#pragma {pragma}")
+    indent = ""
+    for loop in nest.loops:
+        lines.append(
+            f"{indent}for ({loop.iterator} = 0; "
+            f"{loop.iterator} < {loop.trip_count}; {loop.iterator}++)"
+        )
+        indent += "  "
+    lines.append(
+        f"{indent}{_ref_to_c(out)} += {_ref_to_c(reads[0])} * {_ref_to_c(reads[1])};"
+    )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["nest_to_c"]

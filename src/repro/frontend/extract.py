@@ -1,0 +1,79 @@
+"""AST to IR extraction — the analysis ROSE performs in the paper's flow.
+
+Walks the parsed perfect nest, collects iteration domains (loop bounds)
+and access functions (affine subscripts), checks the perfect-nest and
+single-statement discipline, and verifies subscripts against the declared
+array shapes where declarations are present.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_nodes import ArrayRef, ForLoop, MacStatement, Program
+from repro.frontend.cparser import ParseError, parse_program
+from repro.ir.access import AffineExpr, ArrayAccess
+from repro.ir.loop import Loop, LoopNest
+
+
+def _to_affine(ref: ArrayRef) -> tuple[AffineExpr, ...]:
+    return tuple(
+        AffineExpr.of(
+            [(term.iterator, term.coefficient) for term in sub.terms], sub.constant
+        )
+        for sub in ref.subscripts
+    )
+
+
+def extract_loop_nest(program: Program, *, name: str = "user_nest") -> LoopNest:
+    """Build a :class:`LoopNest` from a parsed program.
+
+    Raises:
+        ParseError: if the nest breaks a structural rule (duplicate
+            iterators, subscripts using undeclared iterators, subscript
+            ranges exceeding a declared array shape).
+    """
+    loops: list[Loop] = []
+    node: ForLoop | MacStatement = program.nest
+    while isinstance(node, ForLoop):
+        loops.append(Loop(node.iterator, node.bound))
+        node = node.body
+    statement = node
+
+    accesses = (
+        ArrayAccess(statement.target.name, _to_affine(statement.target), is_write=True),
+        ArrayAccess(statement.lhs.name, _to_affine(statement.lhs)),
+        ArrayAccess(statement.rhs.name, _to_affine(statement.rhs)),
+    )
+    try:
+        nest = LoopNest(tuple(loops), accesses, name=name)
+    except ValueError as exc:
+        raise ParseError(f"line {statement.line}: {exc}") from exc
+
+    # Shape-check subscript ranges against declarations.
+    decls = {d.name: d for d in program.declarations}
+    bounds = nest.bounds
+    for access in accesses:
+        decl = decls.get(access.array)
+        if decl is None:
+            continue
+        if len(decl.dims) != access.rank:
+            raise ParseError(
+                f"array {access.array!r} declared with {len(decl.dims)} dims "
+                f"but accessed with {access.rank}"
+            )
+        for dim, (expr, extent) in enumerate(zip(access.indices, decl.dims)):
+            lo, hi = expr.value_range(bounds)
+            if lo < 0 or hi >= extent:
+                raise ParseError(
+                    f"subscript {dim} of {access.array!r} spans [{lo}, {hi}] "
+                    f"but the array dimension is {extent}"
+                )
+    return nest
+
+
+def loop_nest_from_source(source: str, *, name: str = "user_nest") -> tuple[LoopNest, str | None]:
+    """Parse C text and extract (nest, pragma)."""
+    program = parse_program(source)
+    return extract_loop_nest(program, name=name), program.pragma
+
+
+__all__ = ["extract_loop_nest", "loop_nest_from_source"]

@@ -1,0 +1,133 @@
+"""Tokenizer for the restricted C subset.
+
+Handles identifiers, integer literals, the punctuation the loop-nest
+grammar needs, ``//`` and ``/* */`` comments, and ``#pragma`` lines
+(returned as single tokens so the parser can attach them to the following
+loop).  Tracks line/column for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: token class.
+        text: exact source text (for PRAGMA, the full line without '#').
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+PUNCTUATION = (
+    "+=", "++", "<=", "==", "*", "+", "<", "=", ";", ",",
+    "(", ")", "[", "]", "{", "}",
+)
+
+
+class LexError(ValueError):
+    """Raised on characters outside the subset."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a program; returns tokens ending with one EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        # line comment
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            advance(source[i:end])
+            i = end
+            continue
+        # block comment
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            advance(source[i : end + 2])
+            i = end + 2
+            continue
+        # pragma: swallow the whole (possibly continued) line
+        if ch == "#":
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            text = source[i + 1 : end].strip()
+            tokens.append(Token(TokenKind.PRAGMA, text, line, col))
+            advance(source[i:end])
+            i = end
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, source[i:j], line, col))
+            advance(source[i:j])
+            i = j
+            continue
+        # number
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, source[i:j], line, col))
+            advance(source[i:j])
+            i = j
+            continue
+        # punctuation (longest match first)
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, col))
+                advance(punct)
+                i += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, column {col}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+__all__ = ["LexError", "Token", "TokenKind", "tokenize"]

@@ -1,0 +1,34 @@
+"""FPGA platform models.
+
+The paper targets Intel's Arria 10 GT 1150 through the Intel OpenCL SDK;
+comparison rows in Table 2 reference several other devices.  This package
+holds the device database (DSP / BRAM / logic capacities), arithmetic
+data-type cost models (DSPs per MAC, bytes per word), the external-memory
+bandwidth model, and the post-P&R clock-frequency surrogate used by
+phase 2 of the DSE (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.hw.datatype import FIXED_8_16, FIXED_16, FLOAT32, ArithmeticSpec
+from repro.hw.device import (
+    ARRIA10_GT1150,
+    ARRIA10_GX1150,
+    DEVICES,
+    FPGADevice,
+    device_by_name,
+)
+from repro.hw.frequency import FrequencyModel
+from repro.hw.memory import MemorySystem
+
+__all__ = [
+    "ARRIA10_GT1150",
+    "ARRIA10_GX1150",
+    "DEVICES",
+    "FIXED_16",
+    "FIXED_8_16",
+    "FLOAT32",
+    "ArithmeticSpec",
+    "FPGADevice",
+    "FrequencyModel",
+    "MemorySystem",
+    "device_by_name",
+]

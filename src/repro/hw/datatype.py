@@ -1,0 +1,113 @@
+"""Arithmetic data-type cost models.
+
+The paper evaluates two precisions:
+
+* 32-bit floating point — one hardened floating-point DSP per MAC on
+  Arria 10 (multiply + accumulate in a single DSP block, the feature the
+  whole systolic design banks on);
+* fixed point with 8-bit weights and 16-bit activations — one Arria 10
+  DSP block supports two independent 18x19 multipliers, so a MAC costs
+  half a DSP.  (That is how "ours VGG fixed" reaches 1500 DSPs = 49% in
+  Table 2: utilization is quoted against the 3036 fixed-point multiplier
+  capacity of the 1518 blocks.)
+
+Bytes-per-word per array role feed the bandwidth and BRAM models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArithmeticSpec:
+    """Cost model of one arithmetic configuration.
+
+    Attributes:
+        name: e.g. ``"float32"``.
+        weight_bytes: bytes per weight word in DRAM/BRAM.
+        activation_bytes: bytes per input-pixel word.
+        accumulator_bytes: bytes per output word as transferred.
+        dsp_per_mac: DSP blocks consumed by one PE SIMD lane.
+        unit: throughput unit label — "GFlops" for float, "Gops" fixed.
+    """
+
+    name: str
+    weight_bytes: int
+    activation_bytes: int
+    accumulator_bytes: int
+    dsp_per_mac: float
+    unit: str
+
+    def __post_init__(self) -> None:
+        if min(self.weight_bytes, self.activation_bytes, self.accumulator_bytes) < 1:
+            raise ValueError(f"{self.name}: word sizes must be >= 1 byte")
+        if self.dsp_per_mac <= 0:
+            raise ValueError(f"{self.name}: dsp_per_mac must be positive")
+
+    def bytes_for(self, array_role: str) -> int:
+        """Word size for an array role: 'weight' | 'input' | 'output'."""
+        if array_role == "weight":
+            return self.weight_bytes
+        if array_role == "input":
+            return self.activation_bytes
+        if array_role == "output":
+            return self.accumulator_bytes
+        raise ValueError(f"unknown array role {array_role!r}")
+
+    @property
+    def is_floating_point(self) -> bool:
+        return self.name.startswith("float")
+
+
+FLOAT32 = ArithmeticSpec(
+    name="float32",
+    weight_bytes=4,
+    activation_bytes=4,
+    accumulator_bytes=4,
+    dsp_per_mac=1.0,
+    unit="GFlops",
+)
+"""The paper's floating-point mode: 1 hardened FP DSP per MAC."""
+
+FIXED_8_16 = ArithmeticSpec(
+    name="fixed8_16",
+    weight_bytes=1,
+    activation_bytes=2,
+    accumulator_bytes=2,
+    dsp_per_mac=0.5,
+    unit="Gops",
+)
+"""The paper's fixed mode: 8-bit weights, 16-bit pixels, 2 MACs per DSP."""
+
+FIXED_16 = ArithmeticSpec(
+    name="fixed16",
+    weight_bytes=2,
+    activation_bytes=2,
+    accumulator_bytes=2,
+    dsp_per_mac=0.5,
+    unit="Gops",
+)
+"""16-bit fixed point (several Table 2 comparison designs)."""
+
+DATATYPES = {spec.name: spec for spec in (FLOAT32, FIXED_8_16, FIXED_16)}
+
+
+def datatype_by_name(name: str) -> ArithmeticSpec:
+    """Look up a datatype spec by name."""
+    try:
+        return DATATYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown datatype {name!r}; available: {sorted(DATATYPES)}"
+        ) from None
+
+
+__all__ = [
+    "ArithmeticSpec",
+    "DATATYPES",
+    "FIXED_16",
+    "FIXED_8_16",
+    "FLOAT32",
+    "datatype_by_name",
+]

@@ -1,0 +1,55 @@
+"""Loop-nest intermediate representation.
+
+This package is the "polyhedral-lite" substrate of the reproduction.  The
+paper analyzes a convolution loop nest with the polyhedral model (iteration
+domains, affine access functions, data-reuse conditions, integer-point
+counting of data footprints).  CNN loop nests only need a small, fully
+characterizable subset of that machinery — every array subscript is either
+a single loop iterator (``out[o][r][c]``) or a sum of two iterators
+(``in[i][r+p][c+q]``) — so this package implements that subset exactly and
+verifies its closed forms against brute-force enumeration in the tests.
+
+Main entry points:
+
+* :class:`~repro.ir.loop.Loop`, :class:`~repro.ir.loop.LoopNest` — the nest.
+* :class:`~repro.ir.access.ArrayAccess` — an affine array subscript.
+* :mod:`~repro.ir.domain` — iteration domains and footprint counting
+  (Eq. 5 of the paper).
+* :mod:`~repro.ir.reuse` — fine-grained data-reuse analysis (Eq. 3).
+* :mod:`~repro.ir.tiling` — the loop-tiling representation of Fig. 4 that
+  links the nest to the systolic architecture.
+"""
+
+from repro.ir.access import AffineExpr, ArrayAccess
+from repro.ir.dependence import (
+    ParallelismReport,
+    carries_dependence,
+    classify_parallelism,
+)
+from repro.ir.domain import (
+    IterationDomain,
+    count_footprint_enumerated,
+    count_footprint_rectangular,
+)
+from repro.ir.loop import Loop, LoopNest, conv_loop_nest
+from repro.ir.reuse import ReuseTable, analyze_reuse, carries_reuse
+from repro.ir.tiling import LoopTiling, TiledLoopNest
+
+__all__ = [
+    "AffineExpr",
+    "ArrayAccess",
+    "ParallelismReport",
+    "carries_dependence",
+    "classify_parallelism",
+    "IterationDomain",
+    "Loop",
+    "LoopNest",
+    "LoopTiling",
+    "ReuseTable",
+    "TiledLoopNest",
+    "analyze_reuse",
+    "carries_reuse",
+    "conv_loop_nest",
+    "count_footprint_enumerated",
+    "count_footprint_rectangular",
+]

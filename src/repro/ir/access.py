@@ -1,0 +1,169 @@
+"""Affine array-access functions.
+
+The paper (Section 3.3) observes that CNN programs contain exactly two
+subscript patterns: a single loop iterator (``w[o][i][p][q]``) and a sum of
+two iterators (``in[i][r+p][c+q]``).  :class:`AffineExpr` represents the
+general affine form ``sum(coeff_l * iter_l) + const`` so the analysis also
+covers strided and folded variants (e.g. ``in[i][4*r + p]`` after folding
+AlexNet conv1), while the closed-form footprint math in
+:mod:`repro.ir.domain` exploits the restricted structure when it applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An affine expression over loop iterators.
+
+    Attributes:
+        terms: mapping from iterator name to integer coefficient.  Zero
+            coefficients are dropped at construction.
+        const: additive integer constant.
+    """
+
+    terms: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(terms: Mapping[str, int] | Iterable[tuple[str, int]], const: int = 0) -> "AffineExpr":
+        """Build an expression, normalizing term order and dropping zeros."""
+        if isinstance(terms, Mapping):
+            items = terms.items()
+        else:
+            items = list(terms)
+        merged: dict[str, int] = {}
+        for name, coeff in items:
+            merged[name] = merged.get(name, 0) + int(coeff)
+        cleaned = tuple(sorted((n, c) for n, c in merged.items() if c != 0))
+        return AffineExpr(cleaned, int(const))
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        """The expression consisting of a single iterator."""
+        return AffineExpr(((name, 1),), 0)
+
+    @staticmethod
+    def parse(text: str) -> "AffineExpr":
+        """Parse a simple subscript like ``"r+p"``, ``"4*r + p"`` or ``"i"``.
+
+        Only ``+`` separated terms of the form ``[k*]name`` or integer
+        literals are supported; that covers every subscript in the paper's
+        programs and in the folded variants we generate.
+        """
+        terms: dict[str, int] = {}
+        const = 0
+        for raw in text.replace(" ", "").split("+"):
+            if not raw:
+                raise ValueError(f"empty term in subscript {text!r}")
+            if "*" in raw:
+                coeff_s, name = raw.split("*", 1)
+                coeff = int(coeff_s)
+            elif raw.lstrip("-").isdigit():
+                const += int(raw)
+                continue
+            else:
+                coeff, name = 1, raw
+            if not name.isidentifier():
+                raise ValueError(f"bad iterator name {name!r} in subscript {text!r}")
+            terms[name] = terms.get(name, 0) + coeff
+        return AffineExpr.of(terms, const)
+
+    @property
+    def iterators(self) -> frozenset[str]:
+        """The set of iterator names appearing with nonzero coefficient."""
+        return frozenset(name for name, _ in self.terms)
+
+    def coefficient(self, name: str) -> int:
+        """The coefficient of ``name`` (0 if absent)."""
+        for term_name, coeff in self.terms:
+            if term_name == name:
+                return coeff
+        return 0
+
+    def depends_on(self, name: str) -> bool:
+        """Whether the expression value changes when iterator ``name`` changes."""
+        return self.coefficient(name) != 0
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Evaluate at an iteration point (missing iterators default to 0)."""
+        return self.const + sum(coeff * point.get(name, 0) for name, coeff in self.terms)
+
+    def value_range(self, bounds: Mapping[str, int]) -> tuple[int, int]:
+        """Inclusive (min, max) over ``0 <= iter < bounds[iter]``.
+
+        Iterators absent from ``bounds`` are treated as fixed at 0.
+        """
+        lo = hi = self.const
+        for name, coeff in self.terms:
+            extent = bounds.get(name, 1)
+            if extent < 1:
+                raise ValueError(f"nonpositive bound {extent} for iterator {name!r}")
+            span = coeff * (extent - 1)
+            if span >= 0:
+                hi += span
+            else:
+                lo += span
+        return lo, hi
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coeff in self.terms:
+            parts.append(name if coeff == 1 else f"{coeff}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """A (possibly multi-dimensional) affine access to a named array.
+
+    This is the access function :math:`F_r` of the paper: it maps an
+    iteration vector to a tuple of array indexes.
+
+    Attributes:
+        array: array name (e.g. ``"IN"``).
+        indices: one :class:`AffineExpr` per array dimension.
+        is_write: True for the accumulated output array.
+    """
+
+    array: str
+    indices: tuple[AffineExpr, ...]
+    is_write: bool = False
+
+    @staticmethod
+    def parse(array: str, subscripts: Iterable[str], is_write: bool = False) -> "ArrayAccess":
+        """Build from textual subscripts, e.g. ``parse("IN", ["i", "r+p", "c+q"])``."""
+        return ArrayAccess(array, tuple(AffineExpr.parse(s) for s in subscripts), is_write)
+
+    @property
+    def rank(self) -> int:
+        """Number of array dimensions."""
+        return len(self.indices)
+
+    @property
+    def iterators(self) -> frozenset[str]:
+        """All iterators appearing anywhere in the subscripts."""
+        result: frozenset[str] = frozenset()
+        for expr in self.indices:
+            result |= expr.iterators
+        return result
+
+    def depends_on(self, name: str) -> bool:
+        """Whether any subscript involves iterator ``name``."""
+        return any(expr.depends_on(name) for expr in self.indices)
+
+    def evaluate(self, point: Mapping[str, int]) -> tuple[int, ...]:
+        """The array element touched at an iteration point."""
+        return tuple(expr.evaluate(point) for expr in self.indices)
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{expr}]" for expr in self.indices)
+        return f"{self.array}{subs}"
+
+
+__all__ = ["AffineExpr", "ArrayAccess"]

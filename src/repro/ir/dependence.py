@@ -1,0 +1,88 @@
+"""Loop parallelism classification (paper Section 2.1).
+
+"In the original six-level nested loop, three (L1, L4, L3) are
+parallelizable because they do not have data dependency; the remaining
+loops (L2, L5, L6) have dependency carried for the accumulation of array
+out.  However, these loops are still parallelizable by leveraging the
+associative law of the addition operations."
+
+For the single-statement multiply-accumulate nests this flow handles, a
+loop carries a dependence iff consecutive iterations touch the *same
+output element* (a read-modify-write collision); that is exactly the
+fine-grained-reuse condition (Eq. 3) applied to the written array.  The
+classification:
+
+* **parallel** — no dependence: output index varies with the loop;
+* **reduction** — dependence carried, but only through the commutative
+  ``+=`` accumulation, so the loop still parallelizes via an adder tree
+  / SIMD accumulation chain (how the vector dimension of the PE works).
+
+The semantic (enumerating) dependence test is also provided and
+cross-checked against the syntactic shortcut in the tests, mirroring the
+reuse analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.domain import IterationDomain
+from repro.ir.loop import LoopNest
+from repro.ir.reuse import carries_reuse, carries_reuse_semantic
+
+
+@dataclass(frozen=True)
+class ParallelismReport:
+    """Classification of every loop of a nest.
+
+    Attributes:
+        parallel: loops with no loop-carried dependence (DOALL).
+        reduction: loops whose only dependence is the commutative
+            accumulation (parallelizable as reductions).
+    """
+
+    parallel: tuple[str, ...]
+    reduction: tuple[str, ...]
+
+    def kind(self, iterator: str) -> str:
+        """'parallel' or 'reduction' for one loop."""
+        if iterator in self.parallel:
+            return "parallel"
+        if iterator in self.reduction:
+            return "reduction"
+        raise KeyError(f"unknown loop {iterator!r}")
+
+
+def carries_dependence(nest: LoopNest, iterator: str) -> bool:
+    """Whether the loop carries a dependence on the accumulated output.
+
+    True iff consecutive iterations write the same OUT element — i.e. the
+    output access is invariant to the iterator (the Eq. 3 condition on
+    the written array).
+    """
+    return carries_reuse(nest.output, iterator)
+
+
+def carries_dependence_semantic(
+    nest: LoopNest, iterator: str, domain: IterationDomain | None = None
+) -> bool:
+    """Enumerating version of :func:`carries_dependence` (small nests)."""
+    domain = domain or IterationDomain.of(nest.bounds)
+    return carries_reuse_semantic(nest.output, iterator, domain)
+
+
+def classify_parallelism(nest: LoopNest) -> ParallelismReport:
+    """Classify every loop of the nest as parallel or reduction."""
+    parallel = []
+    reduction = []
+    for it in nest.iterators:
+        (reduction if carries_dependence(nest, it) else parallel).append(it)
+    return ParallelismReport(tuple(parallel), tuple(reduction))
+
+
+__all__ = [
+    "ParallelismReport",
+    "carries_dependence",
+    "carries_dependence_semantic",
+    "classify_parallelism",
+]

@@ -1,0 +1,222 @@
+"""Loop and loop-nest containers.
+
+A :class:`LoopNest` is the program representation produced by the front-end
+(or built directly, e.g. from a CNN layer descriptor) and consumed by the
+analysis, modeling and DSE layers.  It corresponds to the paper's Code 1:
+a perfect nest of normalized counted loops around a single
+multiply-accumulate statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from repro.ir.access import ArrayAccess
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A normalized counted loop ``for (it = 0; it < trip_count; it++)``.
+
+    Attributes:
+        iterator: the loop iterator name.
+        trip_count: the (compile-time constant) trip count.  CNN layer
+            shapes are static, which is what makes exhaustive analytical
+            DSE possible in the first place.
+    """
+
+    iterator: str
+    trip_count: int
+
+    def __post_init__(self) -> None:
+        if not self.iterator.isidentifier():
+            raise ValueError(f"invalid iterator name {self.iterator!r}")
+        if self.trip_count < 1:
+            raise ValueError(
+                f"loop {self.iterator!r} must have a positive trip count, got {self.trip_count}"
+            )
+
+    def __str__(self) -> str:
+        return f"for {self.iterator} in [0, {self.trip_count})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfect loop nest around one multiply-accumulate statement.
+
+    Attributes:
+        loops: loops from outermost to innermost.
+        accesses: the array accesses of the statement.  Exactly one must be
+            a write (the accumulated output) for the systolic mapping
+            analysis to apply.
+        name: optional human-readable label (e.g. ``"alexnet_conv5"``).
+    """
+
+    loops: tuple[Loop, ...]
+    accesses: tuple[ArrayAccess, ...]
+    name: str = "loop_nest"
+
+    def __post_init__(self) -> None:
+        iterators = [loop.iterator for loop in self.loops]
+        if len(set(iterators)) != len(iterators):
+            raise ValueError(f"duplicate loop iterators in nest {self.name!r}: {iterators}")
+        known = set(iterators)
+        for access in self.accesses:
+            unknown = access.iterators - known
+            if unknown:
+                raise ValueError(
+                    f"access {access} uses iterators {sorted(unknown)} "
+                    f"not bound by any loop of nest {self.name!r}"
+                )
+
+    @property
+    def iterators(self) -> tuple[str, ...]:
+        """Iterator names from outermost to innermost."""
+        return tuple(loop.iterator for loop in self.loops)
+
+    @property
+    def bounds(self) -> dict[str, int]:
+        """Mapping iterator name -> trip count."""
+        return {loop.iterator: loop.trip_count for loop in self.loops}
+
+    @property
+    def depth(self) -> int:
+        """Number of loops in the nest."""
+        return len(self.loops)
+
+    @property
+    def total_iterations(self) -> int:
+        """Product of all trip counts — the statement's execution count."""
+        total = 1
+        for loop in self.loops:
+            total *= loop.trip_count
+        return total
+
+    @property
+    def total_operations(self) -> int:
+        """Total arithmetic operations (2 per MAC: multiply + accumulate)."""
+        return 2 * self.total_iterations
+
+    @property
+    def writes(self) -> tuple[ArrayAccess, ...]:
+        """The written (accumulated) accesses."""
+        return tuple(a for a in self.accesses if a.is_write)
+
+    @property
+    def reads(self) -> tuple[ArrayAccess, ...]:
+        """The read-only accesses."""
+        return tuple(a for a in self.accesses if not a.is_write)
+
+    @property
+    def output(self) -> ArrayAccess:
+        """The unique written access.
+
+        Raises:
+            ValueError: if the nest does not have exactly one write.
+        """
+        writes = self.writes
+        if len(writes) != 1:
+            raise ValueError(
+                f"nest {self.name!r} must have exactly one written array, found "
+                f"{[str(w) for w in writes]}"
+            )
+        return writes[0]
+
+    @property
+    def array_names(self) -> tuple[str, ...]:
+        """Names of all accessed arrays, in access order."""
+        return tuple(a.array for a in self.accesses)
+
+    def loop(self, iterator: str) -> Loop:
+        """Look up a loop by iterator name."""
+        for candidate in self.loops:
+            if candidate.iterator == iterator:
+                return candidate
+        raise KeyError(f"no loop {iterator!r} in nest {self.name!r}")
+
+    def access(self, array: str) -> ArrayAccess:
+        """Look up an access by array name."""
+        for candidate in self.accesses:
+            if candidate.array == array:
+                return candidate
+        raise KeyError(f"no access to array {array!r} in nest {self.name!r}")
+
+    def with_bounds(self, bounds: Mapping[str, int], name: str | None = None) -> "LoopNest":
+        """A copy of the nest with some trip counts replaced."""
+        loops = tuple(
+            Loop(loop.iterator, bounds.get(loop.iterator, loop.trip_count)) for loop in self.loops
+        )
+        return replace(self, loops=loops, name=name or self.name)
+
+    def __str__(self) -> str:
+        header = " / ".join(f"{loop.iterator}<{loop.trip_count}" for loop in self.loops)
+        body = ", ".join(str(a) for a in self.accesses)
+        return f"{self.name}: [{header}] {{{body}}}"
+
+
+def conv_loop_nest(
+    out_channels: int,
+    in_channels: int,
+    out_height: int,
+    out_width: int,
+    kernel_h: int,
+    kernel_w: int,
+    *,
+    stride: int = 1,
+    name: str = "conv",
+) -> LoopNest:
+    """The canonical convolution nest of the paper's Code 1.
+
+    Loop order (outermost first) follows the paper: ``o`` output channel,
+    ``i`` input channel, ``c`` output column, ``r`` output row, ``p``
+    kernel row, ``q`` kernel column::
+
+        OUT[o][r][c] += W[o][i][p][q] * IN[i][stride*r+p][stride*c+q]
+
+    Args:
+        out_channels: O, number of output feature maps.
+        in_channels: I, number of input feature maps.
+        out_height: R, output feature map rows.
+        out_width: C, output feature map columns.
+        kernel_h: K (P loop), kernel rows.
+        kernel_w: K (Q loop), kernel columns.
+        stride: convolution stride (1 in Code 1; >1 after folding).
+        name: label for the nest.
+
+    Returns:
+        The six-deep :class:`LoopNest`.
+    """
+    from repro.ir.access import AffineExpr
+
+    in_row = AffineExpr.of({"r": stride, "p": 1})
+    in_col = AffineExpr.of({"c": stride, "q": 1})
+    loops = (
+        Loop("o", out_channels),
+        Loop("i", in_channels),
+        Loop("c", out_width),
+        Loop("r", out_height),
+        Loop("p", kernel_h),
+        Loop("q", kernel_w),
+    )
+    accesses = (
+        ArrayAccess(
+            "OUT",
+            (AffineExpr.var("o"), AffineExpr.var("r"), AffineExpr.var("c")),
+            is_write=True,
+        ),
+        ArrayAccess(
+            "W",
+            (
+                AffineExpr.var("o"),
+                AffineExpr.var("i"),
+                AffineExpr.var("p"),
+                AffineExpr.var("q"),
+            ),
+        ),
+        ArrayAccess("IN", (AffineExpr.var("i"), in_row, in_col)),
+    )
+    return LoopNest(loops, accesses, name=name)
+
+
+__all__ = ["Loop", "LoopNest", "conv_loop_nest"]

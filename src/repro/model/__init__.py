@@ -1,0 +1,50 @@
+"""Analytical models (paper Section 3).
+
+Everything the DSE needs to evaluate a candidate design without touching
+hardware: the feasible-mapping condition (Eq. 2/3), DSP and BRAM resource
+models (Eq. 4–6), DSP efficiency (Eq. 1), and the throughput model
+(Eq. 7–10), bundled around two containers:
+
+* :class:`~repro.model.platform.Platform` — device + datatype + memory +
+  frequency surrogate + model calibration constants;
+* :class:`~repro.model.design_point.DesignPoint` — one fully specified
+  candidate design (nest, mapping, PE-array shape, tiling).
+"""
+
+from repro.model.design_point import ArrayShape, DesignEvaluation, DesignPoint
+from repro.model.mapping import Mapping, array_roles, feasible_mappings, is_feasible
+from repro.model.performance import PerformanceEstimate, estimate_performance
+from repro.model.platform import Platform
+from repro.model.serialize import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+from repro.model.resources import (
+    BramBreakdown,
+    bram_usage,
+    dsp_usage,
+    logic_usage,
+)
+
+__all__ = [
+    "ArrayShape",
+    "BramBreakdown",
+    "DesignEvaluation",
+    "DesignPoint",
+    "Mapping",
+    "PerformanceEstimate",
+    "Platform",
+    "array_roles",
+    "bram_usage",
+    "dsp_usage",
+    "estimate_performance",
+    "design_from_dict",
+    "design_to_dict",
+    "feasible_mappings",
+    "load_design",
+    "save_design",
+    "is_feasible",
+    "logic_usage",
+]

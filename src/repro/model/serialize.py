@@ -1,0 +1,119 @@
+"""Design persistence: JSON round-trips for design points.
+
+DSE runs are deterministic but not free; users want to pin a winning
+design in version control and regenerate artifacts from it without
+re-searching.  The format is plain JSON with a schema version:
+
+.. code-block:: json
+
+    {
+      "format": "repro-design/1",
+      "nest": {"name": "...", "loops": [["o", 128], ...],
+               "accesses": [{"array": "OUT", "write": true,
+                              "indices": [[["o", 1]], ...], "consts": [0, ...]}]},
+      "mapping": {"row": "o", "col": "c", "vector": "i",
+                   "vertical": "IN", "horizontal": "W"},
+      "shape": [11, 13, 8],
+      "middle": {"i": 4, "o": 4}
+    }
+
+Everything needed to rebuild the :class:`~repro.model.design_point.DesignPoint`
+is embedded (including the nest), so a saved design is self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.ir.access import AffineExpr, ArrayAccess
+from repro.ir.loop import Loop, LoopNest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping
+
+FORMAT = "repro-design/1"
+
+
+def design_to_dict(design: DesignPoint) -> dict[str, Any]:
+    """Serialize a design point to plain JSON-able data."""
+    nest = design.nest
+    accesses = []
+    for access in nest.accesses:
+        accesses.append(
+            {
+                "array": access.array,
+                "write": access.is_write,
+                "indices": [sorted(expr.terms) for expr in access.indices],
+                "consts": [expr.const for expr in access.indices],
+            }
+        )
+    return {
+        "format": FORMAT,
+        "nest": {
+            "name": nest.name,
+            "loops": [[loop.iterator, loop.trip_count] for loop in nest.loops],
+            "accesses": accesses,
+        },
+        "mapping": {
+            "row": design.mapping.row,
+            "col": design.mapping.col,
+            "vector": design.mapping.vector,
+            "vertical": design.mapping.vertical_array,
+            "horizontal": design.mapping.horizontal_array,
+        },
+        "shape": [design.shape.rows, design.shape.cols, design.shape.vector],
+        "middle": design.middle_bounds,
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> DesignPoint:
+    """Rebuild a design point from :func:`design_to_dict` data.
+
+    Raises:
+        ValueError: on unknown format versions or malformed payloads.
+    """
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported design format {data.get('format')!r} (expected {FORMAT!r})"
+        )
+    try:
+        nest_data = data["nest"]
+        loops = tuple(Loop(name, trip) for name, trip in nest_data["loops"])
+        accesses = []
+        for entry in nest_data["accesses"]:
+            indices = tuple(
+                AffineExpr.of({n: c for n, c in terms}, const)
+                for terms, const in zip(entry["indices"], entry["consts"])
+            )
+            accesses.append(ArrayAccess(entry["array"], indices, entry["write"]))
+        nest = LoopNest(loops, tuple(accesses), name=nest_data["name"])
+        mapping = Mapping(
+            data["mapping"]["row"],
+            data["mapping"]["col"],
+            data["mapping"]["vector"],
+            data["mapping"]["vertical"],
+            data["mapping"]["horizontal"],
+        )
+        rows, cols, vector = data["shape"]
+        return DesignPoint.create(
+            nest, mapping, ArrayShape(rows, cols, vector), data.get("middle") or {}
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed design payload: {exc}") from exc
+
+
+def save_design(design: DesignPoint, path) -> None:
+    """Write a design point to a JSON file."""
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(design_to_dict(design), indent=2) + "\n")
+
+
+def load_design(path) -> DesignPoint:
+    """Read a design point from a JSON file."""
+    from pathlib import Path
+
+    return design_from_dict(json.loads(Path(path).read_text()))
+
+
+__all__ = ["FORMAT", "design_from_dict", "design_to_dict", "load_design", "save_design"]

@@ -1,0 +1,65 @@
+"""CNN workload descriptors and reference implementations.
+
+The evaluation workloads of the paper: AlexNet and VGG-16 convolutional
+layers, a NumPy golden-model convolution used to verify every hardware
+artifact (simulator, generated code), 8/16-bit fixed-point quantization
+(the paper's fixed precision mode), FC-to-conv conversion, and the layer
+folding transform the paper applies to AlexNet conv1.
+"""
+
+from repro.nn.folding import (
+    fold_input_tensor,
+    fold_layer,
+    fold_weight_tensor,
+    folding_overhead,
+)
+from repro.nn.inference import (
+    NetworkParameters,
+    classification_agreement,
+    forward_fixed,
+    forward_float,
+)
+from repro.nn.golden import (
+    conv2d,
+    conv2d_layer,
+    conv2d_reference_loops,
+    random_layer_tensors,
+)
+from repro.nn.layers import ConvLayer, FCLayer, LayerShape, PoolLayer
+from repro.nn.models import Network, alexnet, googlenet, tiny_cnn, vgg16
+from repro.nn.quantize import (
+    QuantizationSpec,
+    dequantize,
+    quantization_error,
+    quantize_tensor,
+    quantized_conv2d,
+)
+
+__all__ = [
+    "ConvLayer",
+    "FCLayer",
+    "LayerShape",
+    "Network",
+    "NetworkParameters",
+    "classification_agreement",
+    "forward_fixed",
+    "forward_float",
+    "PoolLayer",
+    "QuantizationSpec",
+    "alexnet",
+    "googlenet",
+    "conv2d_layer",
+    "folding_overhead",
+    "quantization_error",
+    "conv2d",
+    "conv2d_reference_loops",
+    "dequantize",
+    "fold_input_tensor",
+    "fold_layer",
+    "fold_weight_tensor",
+    "quantize_tensor",
+    "quantized_conv2d",
+    "random_layer_tensors",
+    "tiny_cnn",
+    "vgg16",
+]

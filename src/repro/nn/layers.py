@@ -1,0 +1,269 @@
+"""CNN layer descriptors.
+
+These are *shape* descriptors — enough information to derive loop nests,
+operation counts, and data volumes.  Actual numerics live in
+:mod:`repro.nn.golden` (floating point) and :mod:`repro.nn.quantize`
+(fixed point).
+
+Convention: feature maps are ``(channels, height, width)``; weights are
+``(out_channels, in_channels_per_group, kH, kW)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.loop import LoopNest, conv_loop_nest
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Spatial shape of a feature map tensor: (channels, height, width)."""
+
+    channels: int
+    height: int
+    width: int
+
+    @property
+    def volume(self) -> int:
+        """Number of elements."""
+        return self.channels * self.height * self.width
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolutional layer.
+
+    Attributes:
+        name: layer label, e.g. ``"conv5"``.
+        in_channels: I (total, across groups).
+        out_channels: O (total, across groups).
+        in_height, in_width: input feature map size *before* padding.
+        kernel: K (square kernels, as in all paper workloads).
+        stride: convolution stride.
+        pad: symmetric zero padding.
+        groups: group count (AlexNet conv2/4/5 use 2).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel: int
+    stride: int = 1
+    pad: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"{self.name}: channels ({self.in_channels}->{self.out_channels}) "
+                f"not divisible by groups={self.groups}"
+            )
+        if min(self.in_channels, self.out_channels, self.kernel, self.stride) < 1:
+            raise ValueError(f"{self.name}: nonpositive layer parameter")
+        if self.pad < 0:
+            raise ValueError(f"{self.name}: negative padding")
+        if self.out_height < 1 or self.out_width < 1:
+            raise ValueError(f"{self.name}: kernel does not fit in padded input")
+
+    # -------------------------------------------------------------- geometry
+
+    @property
+    def out_height(self) -> int:
+        """Output rows R."""
+        return (self.in_height + 2 * self.pad - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        """Output columns C."""
+        return (self.in_width + 2 * self.pad - self.kernel) // self.stride + 1
+
+    @property
+    def input_shape(self) -> LayerShape:
+        """Unpadded input tensor shape."""
+        return LayerShape(self.in_channels, self.in_height, self.in_width)
+
+    @property
+    def padded_input_shape(self) -> LayerShape:
+        """Input tensor shape after zero padding."""
+        return LayerShape(
+            self.in_channels, self.in_height + 2 * self.pad, self.in_width + 2 * self.pad
+        )
+
+    @property
+    def output_shape(self) -> LayerShape:
+        """Output tensor shape."""
+        return LayerShape(self.out_channels, self.out_height, self.out_width)
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weight values."""
+        return (
+            self.out_channels * (self.in_channels // self.groups) * self.kernel * self.kernel
+        )
+
+    # ------------------------------------------------------------- workload
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return (
+            self.out_channels
+            * (self.in_channels // self.groups)
+            * self.out_height
+            * self.out_width
+            * self.kernel
+            * self.kernel
+        )
+
+    @property
+    def flops(self) -> int:
+        """Arithmetic operations (2 per MAC), the paper's op-count basis."""
+        return 2 * self.macs
+
+    # ------------------------------------------------------------- lowering
+
+    def group_view(self) -> "ConvLayer":
+        """The per-group layer (what one accelerator invocation computes).
+
+        Grouped layers run ``groups`` independent convolutions with
+        ``I/groups`` inputs and ``O/groups`` outputs; the paper quotes
+        AlexNet conv5 as (I, O) = (192, 128) — i.e. the per-group view of
+        the (384, 256, groups=2) layer.
+        """
+        if self.groups == 1:
+            return self
+        return replace(
+            self,
+            in_channels=self.in_channels // self.groups,
+            out_channels=self.out_channels // self.groups,
+            groups=1,
+            name=f"{self.name}/g",
+        )
+
+    def to_loop_nest(self) -> LoopNest:
+        """Lower (the per-group view of) the layer to the Code 1 nest.
+
+        Padding is resolved before the nest (the host pads the input), so
+        the nest itself is the paper's pure six-loop form; a unit-stride
+        layer yields exactly Code 1 and a strided layer yields the
+        ``stride*r + p`` subscripts the folding transform removes.
+        """
+        per_group = self.group_view()
+        return conv_loop_nest(
+            per_group.out_channels,
+            per_group.in_channels,
+            per_group.out_height,
+            per_group.out_width,
+            per_group.kernel,
+            per_group.kernel,
+            stride=per_group.stride,
+            name=self.name,
+        )
+
+    def __str__(self) -> str:
+        extra = []
+        if self.stride != 1:
+            extra.append(f"s{self.stride}")
+        if self.pad:
+            extra.append(f"p{self.pad}")
+        if self.groups != 1:
+            extra.append(f"g{self.groups}")
+        suffix = ",".join(extra)
+        return (
+            f"{self.name}: {self.input_shape} -> {self.output_shape} "
+            f"k{self.kernel}{(' ' + suffix) if suffix else ''}"
+        )
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A max/avg pooling layer (shape bookkeeping only — pooling is not
+    offloaded to the systolic array in the paper)."""
+
+    name: str
+    channels: int
+    in_height: int
+    in_width: int
+    kernel: int
+    stride: int
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"{self.name}: unknown pooling mode {self.mode!r}")
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width - self.kernel) // self.stride + 1
+
+    @property
+    def output_shape(self) -> LayerShape:
+        return LayerShape(self.channels, self.out_height, self.out_width)
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully connected layer.
+
+    The paper converts FC layers to convolutions (citing Caffeine) and
+    focuses the systolic synthesis on conv layers; :meth:`to_conv`
+    implements that conversion so FC layers can flow through the same
+    pipeline.
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def to_conv(self, spatial: tuple[int, int, int] | None = None) -> ConvLayer:
+        """Convert to an equivalent 1x1-output convolution.
+
+        Args:
+            spatial: optional ``(channels, height, width)`` interpretation
+                of the input features (e.g. AlexNet fc6 sees 256x6x6); the
+                kernel then covers the full spatial extent.  Without it the
+                input is treated as ``in_features`` channels of 1x1 maps.
+
+        Returns:
+            A :class:`ConvLayer` computing the same matrix-vector product.
+        """
+        if spatial is None:
+            channels, height, width = self.in_features, 1, 1
+        else:
+            channels, height, width = spatial
+            if channels * height * width != self.in_features:
+                raise ValueError(
+                    f"{self.name}: spatial view {spatial} does not match "
+                    f"in_features={self.in_features}"
+                )
+        if height != width:
+            raise ValueError(f"{self.name}: only square spatial views supported")
+        return ConvLayer(
+            name=f"{self.name}_as_conv",
+            in_channels=channels,
+            out_channels=self.out_features,
+            in_height=height,
+            in_width=width,
+            kernel=height,
+        )
+
+
+__all__ = ["ConvLayer", "FCLayer", "LayerShape", "PoolLayer"]

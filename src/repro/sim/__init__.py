@@ -1,0 +1,48 @@
+"""Systolic array simulation.
+
+This package is the stand-in for the paper's on-board measurements (see
+DESIGN.md §1):
+
+* :mod:`repro.sim.schedule` — the wave/skew schedule of Fig. 3 and the
+  block/middle/inner index decomposition shared by all simulators;
+* :mod:`repro.sim.engine` — a cycle-accurate register-transfer model of
+  the PE array (explicit shift registers, wave tags, per-PE accumulators)
+  used to prove functional correctness and the Fig. 3 timing facts on
+  small problems;
+* :mod:`repro.sim.perf` — the scalable performance simulator: per-block
+  compute and DRAM-transfer cycles with double-buffer overlap, producing
+  the "measured" layer latencies that Fig. 7(b) compares against the
+  analytical model;
+* :mod:`repro.sim.functional` — functional validation helpers (engine-
+  based simulation against the NumPy golden model, tiling-coverage
+  audits).
+"""
+
+from repro.sim.buffers import (
+    BufferChain,
+    BufferConflictError,
+    DoubleBuffer,
+    chain_fill_cycles,
+)
+from repro.sim.engine import EngineResult, SystolicArrayEngine
+from repro.sim.functional import audit_tiling_coverage, simulate_layer
+from repro.sim.perf import LayerMeasurement, simulate_performance
+from repro.sim.schedule import BlockSpec, enumerate_blocks, wave_schedule_cycles
+from repro.sim.system import SystemMeasurement, simulate_system
+from repro.sim.trace import schedule_waterfall, wave_at
+
+__all__ = [
+    "BlockSpec",
+    "BufferChain",
+    "BufferConflictError",
+    "DoubleBuffer",
+    "EngineResult",
+    "chain_fill_cycles",
+    "LayerMeasurement",
+    "SystolicArrayEngine",
+    "audit_tiling_coverage",
+    "enumerate_blocks",
+    "simulate_layer",
+    "simulate_performance",
+    "wave_schedule_cycles",
+]

@@ -1,0 +1,64 @@
+"""Schedule visualization: the Fig. 3 waterfall as text.
+
+Renders which wave each PE processes at each cycle under the skewed
+schedule (wave ``m`` at PE ``(x, y)`` on cycle ``m + x + y``) — the
+diagram the paper draws for its 3x3 example.  Used by the Fig. 3
+experiment and the quickstart-adjacent docs; also handy when debugging a
+new mapping.
+"""
+
+from __future__ import annotations
+
+from repro.sim.schedule import first_all_active_cycle, wave_schedule_cycles
+
+
+def wave_at(cycle: int, x: int, y: int, waves: int) -> int | None:
+    """The wave PE (x, y) processes at ``cycle`` (None if idle)."""
+    wave = cycle - x - y
+    return wave if 0 <= wave < waves else None
+
+
+def schedule_waterfall(rows: int, cols: int, waves: int, *, max_cycles: int | None = None) -> str:
+    """Render the schedule as one text block.
+
+    Each line is a cycle; each cell shows the wave index a PE computes
+    (``.`` = idle).  The line where no cell is idle is marked — the
+    paper's "all PEs are active after five cycles" moment.
+
+    Args:
+        rows, cols: PE array shape.
+        waves: middle iterations of the block.
+        max_cycles: truncate the rendering (full block by default).
+    """
+    if min(rows, cols, waves) < 1:
+        raise ValueError("rows, cols and waves must be positive")
+    total = wave_schedule_cycles(waves, rows, cols)
+    shown = min(total, max_cycles) if max_cycles else total
+    all_active = first_all_active_cycle(rows, cols)
+
+    width = max(2, len(str(waves - 1)))
+    lines = [
+        f"schedule: {rows}x{cols} PE array, {waves} waves, "
+        f"{total} cycles per block"
+    ]
+    header = "cycle | " + "  ".join(
+        f"PE{x},{y}".ljust(width + 3) for x in range(rows) for y in range(cols)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cycle in range(shown):
+        cells = []
+        for x in range(rows):
+            for y in range(cols):
+                wave = wave_at(cycle, x, y, waves)
+                cells.append(
+                    (f"w{wave}".ljust(width + 3)) if wave is not None else ".".ljust(width + 3)
+                )
+        marker = "  <- all PEs active" if cycle == all_active and waves > all_active else ""
+        lines.append(f"{cycle:5d} | " + "  ".join(cells) + marker)
+    if shown < total:
+        lines.append(f"  ... ({total - shown} more cycles)")
+    return "\n".join(lines)
+
+
+__all__ = ["schedule_waterfall", "wave_at"]

@@ -1,0 +1,24 @@
+"""Dependency-free SVG figures for the paper's graphical exhibits.
+
+Matplotlib is unavailable in the reproduction environment, so this
+package hand-writes the SVG: a small writer (:mod:`repro.viz.svg`),
+chart builders following fixed mark/color specs (:mod:`repro.viz.charts`
+— thin bars with rounded data-ends, 2px lines, >=8px ring-backed markers,
+hairline gridlines, a validated palette with color assigned by job), and
+adapters that turn experiment results into figures
+(:mod:`repro.viz.figures`).  The benchmark harness archives the figures
+next to the text tables under ``benchmarks/results/``; the text tables
+double as the accessibility table-view for every figure.
+"""
+
+from repro.viz.charts import grouped_bar_chart, line_chart, scatter_chart
+from repro.viz.figures import render_experiment_charts
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "SvgCanvas",
+    "grouped_bar_chart",
+    "line_chart",
+    "render_experiment_charts",
+    "scatter_chart",
+]

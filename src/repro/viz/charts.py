@@ -1,0 +1,250 @@
+"""Chart builders with fixed mark and color specs.
+
+Color is assigned by job (never decoratively):
+
+* **sequential** (magnitude — the Fig. 7a throughput shading): one blue
+  ramp, light to dark;
+* **categorical** (identity — estimated vs simulated, systolic vs
+  direct): the validated palette's fixed slot order (blue, aqua, …,
+  red), never cycled or re-ranked;
+* text always wears text tokens, never a series color.
+
+Mark specs: bars <= 24px wide with a 4px rounded data-end and square
+baseline, separated by >= 2px of surface; lines 2px with round joins;
+markers >= 8px diameter with a 2px surface ring; gridlines hairline and
+recessive.  Every figure is paired with its archived text table (the
+table view), and values are directly labeled where the story needs them.
+The palette below is the validated reference instance (worst adjacent
+CVD dE 24.2; the aqua slot's <3:1 surface contrast is relieved by direct
+labels + the table view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.viz.svg import SvgCanvas, nice_ticks
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e7e6e2"
+
+CATEGORICAL = ("#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948")
+"""Fixed categorical slot order (validated; never cycled)."""
+
+SEQUENTIAL = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+)
+"""One-hue blue ramp, light -> dark, for magnitude."""
+
+MARGIN = dict(left=64, right=24, top=48, bottom=46)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series."""
+
+    name: str
+    values: Sequence[float]
+
+
+def _frame(width: int, height: int, title: str) -> tuple[SvgCanvas, dict]:
+    canvas = SvgCanvas(width, height, background=SURFACE)
+    canvas.text(MARGIN["left"], 24, title, fill=TEXT_PRIMARY, size=14, weight="600")
+    plot = {
+        "x0": MARGIN["left"],
+        "y0": MARGIN["top"],
+        "x1": width - MARGIN["right"],
+        "y1": height - MARGIN["bottom"],
+    }
+    return canvas, plot
+
+
+def _y_axis(canvas: SvgCanvas, plot: dict, low: float, high: float, label: str):
+    ticks = nice_ticks(low, high)
+    lo, hi = ticks[0], ticks[-1]
+    span = hi - lo or 1.0
+
+    def to_y(value: float) -> float:
+        return plot["y1"] - (value - lo) / span * (plot["y1"] - plot["y0"])
+
+    for tick in ticks:
+        y = to_y(tick)
+        canvas.line(plot["x0"], y, plot["x1"], y, stroke=GRID, width=1)
+        canvas.text(
+            plot["x0"] - 8, y + 4, f"{tick:,.0f}", fill=TEXT_SECONDARY, size=11,
+            anchor="end",
+        )
+    canvas.text(plot["x0"], plot["y0"] - 10, label, fill=TEXT_SECONDARY, size=11)
+    return to_y, lo, hi
+
+
+def _legend(canvas: SvgCanvas, plot: dict, names: Sequence[str]) -> None:
+    """Right-aligned legend row above the plot (measured so it never
+    overflows the canvas)."""
+    char_w = 6.5  # close enough for 11px system sans
+    widths = [14 + char_w * len(name) + 18 for name in names]
+    x = plot["x1"] - sum(widths)
+    y = plot["y0"] - 28
+    for idx, (name, item_w) in enumerate(zip(names, widths)):
+        canvas.circle(x + 5, y - 4, 5, fill=CATEGORICAL[idx], ring=SURFACE)
+        canvas.text(x + 14, y, name, fill=TEXT_SECONDARY, size=11)
+        x += item_w
+
+
+def scatter_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    shade: Sequence[float],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    shade_label: str,
+    highlight: int | None = None,
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Scatter with sequential (magnitude) shading — the Fig. 7a form.
+
+    Args:
+        xs, ys: point coordinates.
+        shade: magnitude mapped onto the blue ramp (light = low).
+        highlight: index of the point to direct-label (the winner).
+    """
+    if not (len(xs) == len(ys) == len(shade)) or not xs:
+        raise ValueError("xs, ys and shade must be equal-length and non-empty")
+    canvas, plot = _frame(width, height, title)
+    to_y, y_lo, y_hi = _y_axis(canvas, plot, min(ys), max(ys), y_label)
+
+    x_ticks = nice_ticks(min(xs), max(xs))
+    x_lo, x_hi = x_ticks[0], x_ticks[-1]
+    x_span = x_hi - x_lo or 1.0
+
+    def to_x(value: float) -> float:
+        return plot["x0"] + (value - x_lo) / x_span * (plot["x1"] - plot["x0"])
+
+    for tick in x_ticks:
+        canvas.text(
+            to_x(tick), plot["y1"] + 18, f"{tick:,.0f}", fill=TEXT_SECONDARY,
+            size=11, anchor="middle",
+        )
+    canvas.text(plot["x1"], plot["y1"] + 34, x_label, fill=TEXT_SECONDARY, size=11, anchor="end")
+
+    lo_s, hi_s = min(shade), max(shade)
+    span_s = (hi_s - lo_s) or 1.0
+    order = sorted(range(len(xs)), key=lambda i: shade[i])  # dark (high) on top
+    for i in order:
+        level = (shade[i] - lo_s) / span_s
+        color = SEQUENTIAL[round(level * (len(SEQUENTIAL) - 1))]
+        canvas.circle(to_x(xs[i]), to_y(ys[i]), 4.5, fill=color, ring=SURFACE)
+    if highlight is not None:
+        hx, hy = to_x(xs[highlight]), to_y(ys[highlight])
+        canvas.circle(hx, hy, 6, fill=SEQUENTIAL[-1], ring=SURFACE)
+        canvas.text(hx + 10, hy + 4, f"best: {shade[highlight]:,.0f} {shade_label}",
+                    fill=TEXT_PRIMARY, size=11)
+    # sequential key (low -> high)
+    key_x = plot["x1"] - 150
+    for idx, color in enumerate(SEQUENTIAL[::2]):
+        canvas.rect(key_x + idx * 14, plot["y0"] - 32, 14, 8, fill=color)
+    canvas.text(key_x, plot["y0"] - 38, f"{shade_label} (low)", fill=TEXT_SECONDARY, size=10)
+    canvas.text(key_x + 7 * 14, plot["y0"] - 38, "(high)", fill=TEXT_SECONDARY, size=10)
+    return canvas.render()
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Sequence[Series],
+    *,
+    title: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 420,
+) -> str:
+    """Grouped columns (two series side by side) — the Fig. 7b form."""
+    if not categories or not series:
+        raise ValueError("categories and series required")
+    for s in series:
+        if len(s.values) != len(categories):
+            raise ValueError(f"series {s.name!r} length mismatch")
+    canvas, plot = _frame(width, height, title)
+    high = max(max(s.values) for s in series)
+    to_y, y_lo, _ = _y_axis(canvas, plot, 0.0, high, y_label)
+    _legend(canvas, plot, [s.name for s in series])
+
+    slot = (plot["x1"] - plot["x0"]) / len(categories)
+    gap = 2.0  # surface gap between touching bars
+    bar_w = min(24.0, (slot * 0.7 - gap * (len(series) - 1)) / len(series))
+    group_w = bar_w * len(series) + gap * (len(series) - 1)
+    baseline = to_y(0.0)
+    for c_idx, category in enumerate(categories):
+        group_x = plot["x0"] + slot * c_idx + (slot - group_w) / 2
+        for s_idx, s in enumerate(series):
+            x = group_x + s_idx * (bar_w + gap)
+            top = to_y(s.values[c_idx])
+            canvas.bar(x, top, bar_w, baseline - top, fill=CATEGORICAL[s_idx])
+        canvas.text(
+            plot["x0"] + slot * (c_idx + 0.5), plot["y1"] + 18, category,
+            fill=TEXT_SECONDARY, size=11, anchor="middle",
+        )
+    return canvas.render()
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Sequence[Series],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 680,
+    height: int = 420,
+    log_x: bool = False,
+) -> str:
+    """Multi-series line chart — the baseline-comparison form."""
+    import math
+
+    if not xs or not series:
+        raise ValueError("xs and series required")
+    canvas, plot = _frame(width, height, title)
+    high = max(max(s.values) for s in series)
+    low = min(min(s.values) for s in series)
+    to_y, _, _ = _y_axis(canvas, plot, min(0.0, low), high, y_label)
+    _legend(canvas, plot, [s.name for s in series])
+
+    xf = (lambda v: math.log10(v)) if log_x else (lambda v: v)
+    x_lo, x_hi = xf(xs[0]), xf(xs[-1])
+    x_span = (x_hi - x_lo) or 1.0
+
+    def to_x(value: float) -> float:
+        return plot["x0"] + (xf(value) - x_lo) / x_span * (plot["x1"] - plot["x0"])
+
+    for x in xs:
+        canvas.text(to_x(x), plot["y1"] + 18, f"{x:,.0f}", fill=TEXT_SECONDARY,
+                    size=11, anchor="middle")
+    canvas.text(plot["x1"], plot["y1"] + 34, x_label, fill=TEXT_SECONDARY, size=11, anchor="end")
+
+    for s_idx, s in enumerate(series):
+        color = CATEGORICAL[s_idx]
+        points = [(to_x(x), to_y(v)) for x, v in zip(xs, s.values)]
+        canvas.polyline(points, stroke=color, width=2)
+        for px, py in points:
+            canvas.circle(px, py, 4, fill=color, ring=SURFACE)
+        # direct end label (identity supplement; legend carries the rest)
+        end_x, end_y = points[-1]
+        canvas.text(end_x - 6, end_y - 10, f"{s.values[-1]:,.0f}",
+                    fill=TEXT_PRIMARY, size=11, anchor="end")
+    return canvas.render()
+
+
+__all__ = [
+    "CATEGORICAL",
+    "SEQUENTIAL",
+    "Series",
+    "grouped_bar_chart",
+    "line_chart",
+    "scatter_chart",
+]

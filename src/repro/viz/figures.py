@@ -1,0 +1,79 @@
+"""Experiment-result -> SVG adapters.
+
+``render_experiment_charts(result)`` inspects an
+:class:`~repro.experiments.common.ExperimentResult`'s ``raw`` payload and
+returns ``{file_stem: svg_text}`` for every figure the exhibit defines.
+The benchmark harness writes them next to the archived text tables
+(which serve as each figure's table view).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.viz.charts import Series, grouped_bar_chart, line_chart, scatter_chart
+
+
+def _fig7a(result: ExperimentResult) -> str:
+    raw = result.raw
+    best = max(range(len(raw["gflops"])), key=lambda i: raw["gflops"][i])
+    return scatter_chart(
+        raw["dsp"],
+        raw["bram"],
+        raw["gflops"],
+        title="Fig. 7(a) — pruned design space (AlexNet conv layers, 280 MHz)",
+        x_label="DSP blocks",
+        y_label="BRAM blocks",
+        shade_label="GFlops",
+        highlight=best,
+    )
+
+
+def _fig7b(result: ExperimentResult) -> str:
+    raw = result.raw
+    return grouped_bar_chart(
+        raw["labels"],
+        [
+            Series("model @ realized clock", raw["model"]),
+            Series("simulated (board stand-in)", raw["simulated"]),
+        ],
+        title="Fig. 7(b) — analytical model vs measurement, top designs",
+        y_label="GFlops",
+    )
+
+
+def _budget_sweep(result: ExperimentResult) -> str:
+    raw = result.raw
+    return line_chart(
+        raw["budgets"],
+        [
+            Series("systolic", raw["systolic"]),
+            Series("direct (roofline)", raw["direct"]),
+        ],
+        title="Systolic vs direct-interconnect design across DSP budgets",
+        x_label="DSP budget",
+        y_label="GFlops",
+        log_x=True,
+    )
+
+
+_RENDERERS = {
+    ("dsp", "bram", "gflops"): ("fig7a", _fig7a),
+    ("labels", "model", "simulated"): ("fig7b", _fig7b),
+    ("budgets", "systolic", "direct"): ("budget_sweep", _budget_sweep),
+}
+
+
+def render_experiment_charts(result: ExperimentResult) -> dict[str, str]:
+    """SVG figures for one exhibit ({} when it has no raw payload)."""
+    if not result.raw:
+        return {}
+    for fields, (stem, renderer) in _RENDERERS.items():
+        if set(fields) <= set(result.raw):
+            try:
+                return {stem: renderer(result)}
+            except (ValueError, KeyError):
+                return {}
+    return {}
+
+
+__all__ = ["render_experiment_charts"]

@@ -1,0 +1,136 @@
+"""A minimal SVG writer (no third-party dependencies).
+
+Only the elements the chart builders need: rects with selectively
+rounded corners (bars have a 4px rounded data-end and a square
+baseline), circles with surface rings, lines/polylines, and text with
+anchor control.  Coordinates are finished pixels — layout happens in the
+chart builders.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and renders the document."""
+
+    def __init__(self, width: int, height: int, *, background: str | None = None) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("canvas must have positive size")
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    # ------------------------------------------------------------- elements
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        fill: str,
+        rx: float = 0.0,
+    ) -> None:
+        """Axis-aligned rectangle (uniform corner radius only)."""
+        radius = f' rx="{rx:g}"' if rx else ""
+        self._parts.append(
+            f'<rect x="{x:g}" y="{y:g}" width="{width:g}" height="{height:g}"'
+            f'{radius} fill="{fill}"/>'
+        )
+
+    def bar(
+        self, x: float, y: float, width: float, height: float, *, fill: str, radius: float = 4.0
+    ) -> None:
+        """A column: rounded top corners (the data end), square baseline."""
+        if height <= 0:
+            return
+        r = min(radius, width / 2, height)
+        bottom = y + height
+        self._parts.append(
+            f'<path d="M {x:g} {bottom:g} L {x:g} {y + r:g} '
+            f"Q {x:g} {y:g} {x + r:g} {y:g} "
+            f"L {x + width - r:g} {y:g} "
+            f"Q {x + width:g} {y:g} {x + width:g} {y + r:g} "
+            f'L {x + width:g} {bottom:g} Z" fill="{fill}"/>'
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float, *, fill: str, ring: str | None = None,
+        ring_width: float = 2.0,
+    ) -> None:
+        """Marker dot; optional surface-colored ring for legibility."""
+        stroke = f' stroke="{ring}" stroke-width="{ring_width:g}"' if ring else ""
+        self._parts.append(f'<circle cx="{cx:g}" cy="{cy:g}" r="{r:g}" fill="{fill}"{stroke}/>')
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float, *, stroke: str, width: float = 1.0
+    ) -> None:
+        self._parts.append(
+            f'<line x1="{x1:g}" y1="{y1:g}" x2="{x2:g}" y2="{y2:g}" '
+            f'stroke="{stroke}" stroke-width="{width:g}"/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], *, stroke: str, width: float = 2.0) -> None:
+        """Data line: 2px, round joins and caps."""
+        coords = " ".join(f"{x:g},{y:g}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:g}" stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        fill: str,
+        size: int = 12,
+        anchor: str = "start",
+        weight: str = "normal",
+    ) -> None:
+        self._parts.append(
+            f'<text x="{x:g}" y="{y:g}" font-family="system-ui, sans-serif" '
+            f'font-size="{size}" font-weight="{weight}" fill="{fill}" '
+            f'text-anchor="{anchor}">{escape(content)}</text>'
+        )
+
+    # -------------------------------------------------------------- output
+
+    def render(self) -> str:
+        body = "\n  ".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Round tick values covering [low, high] (clean 1/2/5 steps)."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw = span / max(1, count - 1)
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    start = int(low / step) * step
+    if start > low:
+        start -= step
+    ticks = [round(start, 10)]
+    value = start
+    while value < high:  # the last tick must cover the data maximum
+        value += step
+        ticks.append(round(value, 10))
+    return ticks
+
+
+__all__ = ["SvgCanvas", "nice_ticks"]

@@ -1,0 +1,173 @@
+"""Code-generation tests.
+
+The heavyweight checks compile generated C with the system compiler and
+execute it against a naive reference — true end-to-end validation of the
+emitted designs.  They are skipped cleanly where no C compiler exists.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.hw.datatype import FIXED_8_16
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping, feasible_mappings
+from repro.model.platform import Platform
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.host import generate_host
+from repro.codegen.opencl import OPENCL_SHIM, generate_kernel, generate_kernel_driver
+from repro.codegen.testbench import compile_and_run_testbench, generate_testbench
+
+HAVE_CC = shutil.which("gcc") is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+
+
+def small_design(middle=None, shape=ArrayShape(3, 4, 2)):
+    nest = conv_loop_nest(16, 8, 7, 7, 3, 3, name="small")
+    return DesignPoint.create(
+        nest, Mapping("o", "c", "i", "IN", "W"), shape,
+        middle or {"i": 2, "r": 3, "p": 3, "q": 3},
+    )
+
+
+class TestCodeWriter:
+    def test_indentation(self):
+        w = CodeWriter()
+        w.line("a;")
+        with w.indented():
+            w.line("b;")
+        w.line("c;")
+        assert w.render() == "a;\n    b;\nc;\n"
+
+    def test_block(self):
+        w = CodeWriter()
+        with w.block("if (x)"):
+            w.line("y;")
+        assert w.render() == "if (x) {\n    y;\n}\n"
+
+    def test_blank_lines_unindented(self):
+        w = CodeWriter()
+        with w.indented():
+            w.line()
+        assert w.render() == "\n"
+
+
+class TestGeneratedText:
+    def test_testbench_mentions_design_parameters(self):
+        src = generate_testbench(small_design(), Platform())
+        assert "#define T_o 3" in src
+        assert "#define S_i 2" in src
+        assert "systolic_blocked" in src
+        assert "reference" in src
+
+    def test_kernel_structure(self):
+        src = generate_kernel(small_design(), Platform())
+        assert "__kernel void systolic_conv" in src
+        assert "#pragma unroll" in src
+        assert "w_reg" in src and "in_reg" in src
+        assert "buf_OUT[2]" in src  # double-buffered output
+
+    def test_kernel_fixed_point_types(self):
+        src = generate_kernel(small_design(), Platform().with_datatype(FIXED_8_16))
+        assert "signed char" in src  # 8-bit weights
+        assert "short" in src  # 16-bit pixels
+
+    def test_host_structure(self):
+        src = generate_host(small_design(), Platform())
+        assert "clCreateProgramWithBinary" in src
+        assert "clEnqueueTask" in src  # single work-item launch
+        assert "systolic_conv" in src
+        assert "CL_CHECK" in src
+
+    def test_rejects_non_identifier_array(self):
+        from repro.ir.access import ArrayAccess
+        from repro.ir.loop import Loop, LoopNest
+
+        nest = LoopNest(
+            (Loop("a", 2), Loop("b", 2), Loop("k", 2)),
+            (
+                ArrayAccess.parse("out-array", ["a", "b"], is_write=True),
+                ArrayAccess.parse("A", ["a", "k"]),
+                ArrayAccess.parse("B", ["k", "b"]),
+            ),
+        )
+        design = DesignPoint.create(
+            nest, Mapping("b", "a", "k", "A", "B"), ArrayShape(2, 2, 2)
+        )
+        with pytest.raises(ValueError):
+            generate_testbench(design, Platform())
+
+
+@needs_cc
+class TestCompiledTestbench:
+    def test_float_testbench_passes(self):
+        ok, out = compile_and_run_testbench(generate_testbench(small_design(), Platform()))
+        assert ok, out
+
+    def test_fixed_testbench_passes_exactly(self):
+        platform = Platform().with_datatype(FIXED_8_16)
+        ok, out = compile_and_run_testbench(generate_testbench(small_design(), platform))
+        assert ok, out
+        assert "exact" in out
+
+    def test_awkward_shape_testbench(self):
+        """Shape dividing nothing: guards and padding must still hold."""
+        design = small_design(shape=ArrayShape(5, 3, 4), middle={"r": 2, "p": 2})
+        ok, out = compile_and_run_testbench(generate_testbench(design, Platform()))
+        assert ok, out
+
+    def test_strided_design_testbench(self):
+        """Unfolded strided conv: subscripts 2*r + p flow through codegen."""
+        nest = conv_loop_nest(8, 4, 5, 5, 3, 3, stride=2, name="strided")
+        design = DesignPoint.create(
+            nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(2, 5, 2), {"r": 5, "p": 3, "q": 3}
+        )
+        ok, out = compile_and_run_testbench(generate_testbench(design, Platform()))
+        assert ok, out
+
+    @pytest.mark.parametrize("mapping_index", [0, 5, 11])
+    def test_alternative_mappings_generate_correct_code(self, mapping_index):
+        nest = conv_loop_nest(6, 4, 5, 5, 2, 2, name="alt")
+        mapping = feasible_mappings(nest)[mapping_index]
+        design = DesignPoint.create(nest, mapping, ArrayShape(2, 3, 2), {"p": 2, "q": 2})
+        ok, out = compile_and_run_testbench(generate_testbench(design, Platform()))
+        assert ok, out
+
+
+@needs_cc
+class TestCompiledKernel:
+    def run_kernel(self, design, platform, tmp_path):
+        (tmp_path / "opencl_shim.h").write_text(OPENCL_SHIM)
+        (tmp_path / "kernel.cl").write_text(generate_kernel(design, platform))
+        (tmp_path / "driver.c").write_text(generate_kernel_driver(design, platform))
+        build = subprocess.run(
+            ["gcc", "-O2", "-std=c99", "-o", str(tmp_path / "drv"),
+             str(tmp_path / "driver.c"), "-lm"],
+            capture_output=True, text=True,
+        )
+        assert build.returncode == 0, build.stderr
+        run = subprocess.run([str(tmp_path / "drv")], capture_output=True, text=True)
+        return run.returncode == 0 and "KERNEL PASS" in run.stdout, run.stdout
+
+    def test_float_kernel_runs_correctly(self, tmp_path):
+        ok, out = self.run_kernel(small_design(), Platform(), tmp_path)
+        assert ok, out
+
+    def test_fixed_kernel_runs_exactly(self, tmp_path):
+        platform = Platform().with_datatype(FIXED_8_16)
+        ok, out = self.run_kernel(small_design(), platform, tmp_path)
+        assert ok, out
+
+    def test_kernel_is_valid_without_execution(self, tmp_path):
+        """Syntax-only check via -fsyntax-only and the shim."""
+        (tmp_path / "opencl_shim.h").write_text(OPENCL_SHIM)
+        src = '#include "opencl_shim.h"\n' + generate_kernel(small_design(), Platform())
+        (tmp_path / "k.c").write_text(src)
+        result = subprocess.run(
+            ["gcc", "-std=c99", "-fsyntax-only", "-I", str(tmp_path), str(tmp_path / "k.c")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr

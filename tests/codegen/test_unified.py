@@ -1,0 +1,128 @@
+"""Tests for the runtime-parameterized unified kernel.
+
+This is the artifact behind the multi-layer deployment model: one frozen
+PE array, loop and reuse bounds as runtime arguments, buffers sized for
+the network envelope.  The compiled tests run several layer shapes —
+including degenerate 1x1 kernels — through a single kernel instance.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.hw.datatype import FIXED_8_16
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.codegen.opencl import OPENCL_SHIM
+from repro.codegen.unified import (
+    UnifiedLayerSpec,
+    generate_unified_kernel,
+    generate_unified_testbench,
+)
+
+needs_cc = pytest.mark.skipif(shutil.which("gcc") is None, reason="no C compiler")
+
+TEMPLATE = conv_loop_nest(8, 8, 7, 7, 3, 3, name="template")
+MAPPING = Mapping("o", "c", "i", "IN", "W")
+SHAPE = ArrayShape(3, 4, 2)
+SPECS = (
+    UnifiedLayerSpec(
+        "small",
+        {"o": 8, "i": 8, "c": 7, "r": 7, "p": 3, "q": 3},
+        {"o": 2, "i": 2, "r": 7, "p": 3, "q": 3},
+    ),
+    UnifiedLayerSpec(
+        "wide",
+        {"o": 16, "i": 4, "c": 9, "r": 9, "p": 3, "q": 3},
+        {"o": 2, "i": 2, "r": 9, "p": 3, "q": 3},
+    ),
+    UnifiedLayerSpec(
+        "one_by_one",
+        {"o": 12, "i": 8, "c": 5, "r": 5, "p": 1, "q": 1},
+        {"o": 4, "i": 4, "r": 5},
+    ),
+)
+
+
+class TestGeneratedText:
+    def test_bounds_are_runtime_parameters(self):
+        src = generate_unified_kernel(TEMPLATE, MAPPING, SHAPE, SPECS, Platform())
+        assert "int N_o" in src and "int S_o" in src
+        assert "#define BMAX_r 9" in src  # envelope over the specs
+        assert "buffers too small" in src  # the capacity guard
+
+    def test_strides_computed_at_runtime(self):
+        src = generate_unified_kernel(TEMPLATE, MAPPING, SHAPE, SPECS, Platform())
+        assert "str_IN_0" in src
+        assert "dim_W_0" in src
+
+    def test_testbench_runs_all_specs(self):
+        src = generate_unified_testbench(TEMPLATE, MAPPING, SHAPE, SPECS, Platform())
+        for spec in SPECS:
+            assert spec.name in src
+
+
+def _build_and_run(tmp_path: Path, platform: Platform) -> tuple[bool, str]:
+    (tmp_path / "opencl_shim.h").write_text(OPENCL_SHIM)
+    (tmp_path / "unified_kernel.cl").write_text(
+        generate_unified_kernel(TEMPLATE, MAPPING, SHAPE, SPECS, platform)
+    )
+    (tmp_path / "driver.c").write_text(
+        generate_unified_testbench(TEMPLATE, MAPPING, SHAPE, SPECS, platform)
+    )
+    build = subprocess.run(
+        ["gcc", "-O2", "-std=c99", "-o", str(tmp_path / "drv"),
+         str(tmp_path / "driver.c"), "-lm"],
+        capture_output=True, text=True,
+    )
+    if build.returncode != 0:
+        return False, build.stderr
+    run = subprocess.run([str(tmp_path / "drv")], capture_output=True, text=True)
+    return run.returncode == 0 and "UNIFIED PASS" in run.stdout, run.stdout
+
+
+@needs_cc
+class TestCompiledUnifiedKernel:
+    def test_one_kernel_serves_all_layer_shapes(self, tmp_path):
+        ok, out = _build_and_run(tmp_path, Platform())
+        assert ok, out
+        for spec in SPECS:
+            assert f"UNIFIED OK {spec.name}" in out
+
+    def test_fixed_point_unified_kernel(self, tmp_path):
+        ok, out = _build_and_run(tmp_path, Platform().with_datatype(FIXED_8_16))
+        assert ok, out
+        assert "exact" in out
+
+    def test_buffer_guard_rejects_oversized_block(self, tmp_path):
+        """A middle bound beyond the envelope must be rejected by the
+        runtime guard rather than corrupting memory."""
+        oversized = (
+            UnifiedLayerSpec(
+                "huge",
+                {"o": 8, "i": 8, "c": 7, "r": 7, "p": 3, "q": 3},
+                {"o": 100, "i": 2, "r": 7, "p": 3, "q": 3},
+            ),
+        )
+        (tmp_path / "opencl_shim.h").write_text(OPENCL_SHIM)
+        # buffers sized only for the small specs...
+        (tmp_path / "unified_kernel.cl").write_text(
+            generate_unified_kernel(TEMPLATE, MAPPING, SHAPE, SPECS, Platform())
+        )
+        # ...but the driver asks for a giant block
+        (tmp_path / "driver.c").write_text(
+            generate_unified_testbench(TEMPLATE, MAPPING, SHAPE, oversized, Platform())
+        )
+        build = subprocess.run(
+            ["gcc", "-O2", "-std=c99", "-o", str(tmp_path / "drv"),
+             str(tmp_path / "driver.c"), "-lm"],
+            capture_output=True, text=True,
+        )
+        assert build.returncode == 0, build.stderr
+        run = subprocess.run([str(tmp_path / "drv")], capture_output=True, text=True)
+        assert run.returncode == 1
+        assert "buffer overflow" in run.stdout

@@ -1,0 +1,121 @@
+"""Tests for the Pareto-frontier analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import ParetoPoint, knee_point, pareto_frontier
+
+
+def P(label, t, d, b):
+    return ParetoPoint(label, t, d, b)
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        assert P("a", 100, 10, 10).dominates(P("b", 90, 12, 12))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = P("a", 100, 10, 10), P("b", 100, 10, 10)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast_big = P("a", 100, 20, 20)
+        slow_small = P("b", 50, 5, 5)
+        assert not fast_big.dominates(slow_small)
+        assert not slow_small.dominates(fast_big)
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            P("best", 100, 10, 10),
+            P("dominated", 90, 12, 12),
+            P("tradeoff", 60, 5, 5),
+        ]
+        frontier = pareto_frontier(points)
+        labels = {p.label for p in frontier}
+        assert labels == {"best", "tradeoff"}
+
+    def test_sorted_by_throughput(self):
+        frontier = pareto_frontier(
+            [P("a", 50, 5, 5), P("b", 100, 10, 10), P("c", 75, 7, 7)]
+        )
+        values = [p.throughput_gops for p in frontier]
+        assert values == sorted(values, reverse=True)
+
+    def test_duplicates_collapse(self):
+        frontier = pareto_frontier([P("a", 100, 10, 10), P("b", 100, 10, 10)])
+        assert len(frontier) == 1
+
+    def test_single_point(self):
+        assert len(pareto_frontier([P("only", 1, 1, 1)])) == 1
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.floats(1, 1000), st.floats(1, 2000), st.floats(1, 3000)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_frontier_is_mutually_nondominated(self, raw):
+        points = [P(str(i), t, d, b) for i, (t, d, b) in enumerate(raw)]
+        frontier = pareto_frontier(points)
+        assert frontier  # never empty for nonempty input
+        for p in frontier:
+            for q in frontier:
+                if p is not q:
+                    assert not p.dominates(q)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.floats(1, 1000), st.floats(1, 2000), st.floats(1, 3000)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_every_point_dominated_by_or_on_frontier(self, raw):
+        points = [P(str(i), t, d, b) for i, (t, d, b) in enumerate(raw)]
+        frontier = pareto_frontier(points)
+        keys = {(p.throughput_gops, p.dsp_blocks, p.bram_blocks) for p in frontier}
+        for p in points:
+            on_frontier = (p.throughput_gops, p.dsp_blocks, p.bram_blocks) in keys
+            dominated = any(q.dominates(p) for q in frontier)
+            assert on_frontier or dominated
+
+
+class TestKnee:
+    def test_prefers_moderate_resources(self):
+        """Fig. 7(a)'s observation: near-equal throughput at half the
+        resources is the better design."""
+        frontier = pareto_frontier(
+            [P("hungry", 100, 2000, 2000), P("moderate", 97, 1000, 900)]
+        )
+        assert knee_point(frontier).label == "moderate"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point(())
+
+    def test_on_real_design_space(self):
+        """Wire the frontier to actual DSE output."""
+        from repro.ir.loop import conv_loop_nest
+        from repro.model.platform import Platform
+        from repro.dse.explore import DseConfig, phase1
+
+        nest = conv_loop_nest(128, 192, 13, 13, 3, 3, name="conv5")
+        result = phase1(nest, Platform(), DseConfig(min_dsp_utilization=0.8, top_n=14))
+        points = [
+            ParetoPoint(
+                str(ev.design.shape), ev.throughput_gops, ev.dsp_blocks,
+                ev.bram.total, payload=ev,
+            )
+            for ev in result.finalists
+        ]
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)
+        knee = knee_point(frontier)
+        assert knee.payload is not None

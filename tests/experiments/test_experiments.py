@@ -1,0 +1,191 @@
+"""Integration tests for the experiment drivers.
+
+Each test asserts the *reproduction targets* of one exhibit — the
+quantitative anchors where the paper gives exact numbers, and the
+structural relationships where it gives measured ones.  All drivers run
+in fast mode; the full-scale versions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3_schedule
+from repro.experiments.fig7 import run_fig7a_design_space, run_fig7b_model_accuracy
+from repro.experiments.pruning import run_section4_pruning
+from repro.experiments.sec23 import run_section23_tiling_example
+from repro.experiments.table1 import run_table1_shape_impact
+from repro.experiments.table2 import fc_latency_seconds, run_table2_comparison
+from repro.experiments.table3 import run_table3_configs
+from repro.experiments.tables45 import run_table4_alexnet, run_table5_vgg
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1_shape_impact()
+
+    def test_sys1_anchors(self, result):
+        assert result.metrics["sys1_eff"] == pytest.approx(0.9697, abs=1e-4)
+        assert result.metrics["sys1_peak_gflops"] == pytest.approx(621, rel=0.01)
+        assert result.metrics["sys1_dsp_util"] == pytest.approx(0.715, abs=1e-3)
+
+    def test_sys2_anchors(self, result):
+        # 65% (throughput-consistent), not the printed 60%
+        assert result.metrics["sys2_eff"] == pytest.approx(0.65, abs=1e-9)
+        assert result.metrics["sys2_peak_gflops"] == pytest.approx(466, rel=0.01)
+
+    def test_formats(self, result):
+        text = result.format()
+        assert "sys1" in text and "typo" in text
+
+
+class TestSection23:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_section23_tiling_example()
+
+    def test_good_tiling_hits_peak_within_bandwidth(self, result):
+        assert result.metrics["good_throughput_gflops"] == pytest.approx(621, rel=0.01)
+        assert result.metrics["good_bw_demand_gbs"] < 19.2
+
+    def test_bad_tiling_anchors(self, result):
+        assert result.metrics["bad_pt_gflops"] == pytest.approx(162, rel=0.01)
+        assert result.metrics["bad_bw_demand_gbs"] == pytest.approx(67, rel=0.05)
+        assert result.metrics["bad_throughput_gflops"] < 162
+
+
+class TestFig3:
+    def test_schedule_facts(self):
+        result = run_fig3_schedule()
+        assert result.metrics["all_active_cycle"] == 5
+        assert result.metrics["max_error"] < 1e-9
+
+
+class TestSection4Pruning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_section4_pruning(fast=True)
+
+    def test_eq12_reduces_configs(self, result):
+        assert result.metrics["config_reduction"] > 2.0
+
+    def test_tiling_pruning_substantial(self, result):
+        """The paper reports 17.5x average search-time saving."""
+        assert result.metrics["tiling_reduction"] > 10
+
+    def test_phase1_under_30s(self, result):
+        assert result.metrics["phase1_seconds"] < 30
+
+    def test_brute_force_would_take_hours(self, result):
+        assert result.metrics["brute_force_hours"] > 1
+        assert result.metrics["speedup"] > 1000
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3_configs(fast=True)
+
+    def test_clocks_in_paper_band(self, result):
+        for name in ("alexnet", "vgg16"):
+            assert 220 <= result.metrics[f"{name}_freq_mhz"] <= 285
+
+    def test_high_dsp_utilization(self, result):
+        for name in ("alexnet", "vgg16"):
+            assert result.metrics[f"{name}_dsp_utilization"] >= 0.8
+
+    def test_bram_within_device(self, result):
+        for name in ("alexnet", "vgg16"):
+            assert result.metrics[f"{name}_bram_utilization"] <= 1.0
+
+
+class TestTables45:
+    @pytest.fixture(scope="class")
+    def t4(self):
+        return run_table4_alexnet(fast=True)
+
+    @pytest.fixture(scope="class")
+    def t5(self):
+        return run_table5_vgg(fast=True)
+
+    def test_alexnet_conv1_is_weakest(self, t4):
+        conv1 = t4.metrics["conv1_eff"]
+        for layer in ("conv2", "conv3", "conv4", "conv5"):
+            assert conv1 < t4.metrics[f"{layer}_eff"] + 0.25  # clearly not the best
+
+    def test_alexnet_deep_layers_near_peak(self, t4):
+        for layer in ("conv3", "conv4", "conv5"):
+            assert t4.metrics[f"{layer}_eff"] > 0.75
+
+    def test_vgg_conv1_far_below_rest(self, t5):
+        """Paper: conv1 at 36% vs ~97% elsewhere (3 input channels)."""
+        assert t5.metrics["conv1_eff"] < 0.45
+        for idx in range(3, 14):
+            assert t5.metrics[f"conv{idx}_eff"] > 0.9
+
+    def test_vgg_deep_layers_uniform(self, t5):
+        values = [t5.metrics[f"conv{idx}_eff"] for idx in range(3, 14)]
+        assert max(values) - min(values) < 0.05
+
+    def test_vgg_aggregate_beats_alexnet(self, t4, t5):
+        """'VGG16 still has a better overall performance than AlexNet'."""
+        assert t5.metrics["aggregate_gops"] > t4.metrics["aggregate_gops"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2_comparison(fast=True)
+
+    def test_ours_in_papers_band(self, result):
+        """Within ~40% of the paper's reported numbers (our clock oracle
+        differs; the ratios below are the strict targets)."""
+        assert result.metrics["ours_alexnet_float_latency_ms"] == pytest.approx(4.05, rel=0.4)
+        assert result.metrics["ours_vgg_float_latency_ms"] == pytest.approx(54.12, rel=0.4)
+        assert result.metrics["ours_vgg_fixed_latency_ms"] == pytest.approx(26.85, rel=0.4)
+
+    def test_fixed_beats_float_by_about_2x(self, result):
+        ratio = result.metrics["ours_vgg_fixed_gops"] / result.metrics["ours_vgg_float_gops"]
+        assert 1.6 <= ratio <= 3.0
+
+    def test_ours_float_beats_non_winograd_prior_art(self, result):
+        from repro.baselines.literature import LITERATURE_ROWS
+
+        ours_vgg = result.metrics["ours_vgg_float_gops"]
+        for row in LITERATURE_ROWS:
+            if row.cnn == "VGG" and not row.is_float and "[26]" not in row.label:
+                assert ours_vgg * 2.5 > row.throughput_gops  # fixed rows, scaled
+        qiu = next(r for r in LITERATURE_ROWS if "[9]" in r.label)
+        assert ours_vgg > qiu.throughput_gops
+
+    def test_alexnet_latency_order_of_magnitude_below_vgg(self, result):
+        assert (
+            result.metrics["ours_alexnet_float_latency_ms"] * 5
+            < result.metrics["ours_vgg_float_latency_ms"]
+        )
+
+    def test_fc_latency_model(self):
+        from repro.model.platform import Platform
+
+        seconds = fc_latency_seconds("alexnet", Platform())
+        # 58.6M float weights / 19.2 GB/s / batch 8 ~ 1.5 ms
+        assert seconds == pytest.approx(1.5e-3, rel=0.15)
+
+
+class TestFig7:
+    def test_fig7a_points(self):
+        result = run_fig7a_design_space(fast=True, sample_points=8)
+        assert result.metrics["points"] >= 5
+        assert result.metrics["best_dsp_utilization"] <= 1.0
+        assert result.metrics["best_bram_utilization"] <= 1.0
+        # the Pareto knee sits at moderate resources (the Fig. 7a reading)
+        assert 1 <= result.metrics["pareto_points"] <= result.metrics["points"]
+        assert result.metrics["knee_bram_utilization"] < 0.9
+        # SVG payload present for the figure renderer
+        assert set(result.raw) == {"dsp", "bram", "gflops"}
+
+    def test_fig7b_model_accuracy(self):
+        result = run_fig7b_model_accuracy(fast=True)
+        # the paper's claim: <2% average error with the real clock
+        assert result.metrics["mean_model_error"] < 0.025
+        # the tie structure phase 2 exists to resolve
+        assert result.metrics["top_estimate_ties"] >= 2

@@ -1,0 +1,68 @@
+"""Round-trip tests: nest_to_c output must parse back to an equal nest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.emit import nest_to_c
+from repro.frontend.extract import loop_nest_from_source
+from repro.ir.loop import conv_loop_nest
+
+
+class TestNestToC:
+    def test_emits_parseable_code1(self):
+        nest = conv_loop_nest(128, 192, 13, 13, 3, 3, name="conv5")
+        text = nest_to_c(nest)
+        assert "#pragma systolic" in text
+        assert "float OUT[128][13][13];" in text
+        parsed, pragma = loop_nest_from_source(text, name="conv5")
+        assert pragma == "systolic"
+        assert parsed.bounds == nest.bounds
+        for access in nest.accesses:
+            assert parsed.access(access.array) == access
+
+    def test_strided_nest_round_trips(self):
+        nest = conv_loop_nest(8, 3, 5, 5, 3, 3, stride=2, name="strided")
+        parsed, _ = loop_nest_from_source(nest_to_c(nest), name="strided")
+        assert parsed.access("IN") == nest.access("IN")
+
+    def test_without_pragma_and_declarations(self):
+        nest = conv_loop_nest(4, 2, 3, 3, 2, 2)
+        text = nest_to_c(nest, pragma=None, declarations=False)
+        assert "#pragma" not in text
+        assert "float" not in text
+        parsed, pragma = loop_nest_from_source(text)
+        assert pragma is None
+        assert parsed.bounds == nest.bounds
+
+    def test_declared_shapes_match_access_ranges(self):
+        nest = conv_loop_nest(4, 2, 5, 5, 3, 3)
+        text = nest_to_c(nest)
+        # IN spans (r+p) in [0, 5+3-2] -> dim 7
+        assert "IN[2][7][7];" in text
+
+    def test_rejects_malformed_nest(self):
+        from repro.ir.access import ArrayAccess
+        from repro.ir.loop import Loop, LoopNest
+
+        nest = LoopNest(
+            (Loop("a", 2),),
+            (ArrayAccess.parse("O", ["a"], is_write=True), ArrayAccess.parse("X", ["a"])),
+        )
+        with pytest.raises(ValueError):
+            nest_to_c(nest)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 64),
+        st.integers(1, 20),
+        st.integers(1, 5),
+        st.integers(1, 3),
+    )
+    def test_property_round_trip(self, o, i, rc, k, stride):
+        nest = conv_loop_nest(o, i, rc, rc, k, k, stride=stride)
+        parsed, _ = loop_nest_from_source(nest_to_c(nest))
+        assert parsed.bounds == nest.bounds
+        for access in nest.accesses:
+            assert parsed.access(access.array) == access

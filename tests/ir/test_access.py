@@ -1,0 +1,118 @@
+"""Unit tests for affine access expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.access import AffineExpr, ArrayAccess
+
+
+class TestAffineExprConstruction:
+    def test_var(self):
+        expr = AffineExpr.var("o")
+        assert expr.iterators == frozenset({"o"})
+        assert expr.coefficient("o") == 1
+        assert expr.const == 0
+
+    def test_of_merges_duplicate_terms(self):
+        expr = AffineExpr.of([("r", 1), ("r", 2)])
+        assert expr.coefficient("r") == 3
+
+    def test_of_drops_zero_coefficients(self):
+        expr = AffineExpr.of({"r": 0, "p": 1})
+        assert expr.iterators == frozenset({"p"})
+
+    def test_equality_is_order_independent(self):
+        a = AffineExpr.of([("r", 1), ("p", 1)])
+        b = AffineExpr.of([("p", 1), ("r", 1)])
+        assert a == b
+
+    def test_hashable(self):
+        assert len({AffineExpr.var("a"), AffineExpr.var("a"), AffineExpr.var("b")}) == 2
+
+
+class TestAffineExprParse:
+    def test_single_iterator(self):
+        assert AffineExpr.parse("i") == AffineExpr.var("i")
+
+    def test_sum_of_iterators(self):
+        expr = AffineExpr.parse("r+p")
+        assert expr.coefficient("r") == 1
+        assert expr.coefficient("p") == 1
+
+    def test_scaled_term(self):
+        expr = AffineExpr.parse("4*r + p")
+        assert expr.coefficient("r") == 4
+        assert expr.coefficient("p") == 1
+
+    def test_constant_term(self):
+        expr = AffineExpr.parse("r + 3")
+        assert expr.const == 3
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AffineExpr.parse("r + + p")
+        with pytest.raises(ValueError):
+            AffineExpr.parse("2r")
+
+    def test_roundtrip_str(self):
+        for text in ["i", "r+p", "2*c+q"]:
+            expr = AffineExpr.parse(text)
+            assert AffineExpr.parse(str(expr)) == expr
+
+
+class TestAffineExprEvaluate:
+    def test_evaluate_simple(self):
+        expr = AffineExpr.parse("4*r + p + 1")
+        assert expr.evaluate({"r": 2, "p": 3}) == 12
+
+    def test_evaluate_missing_iterator_defaults_zero(self):
+        assert AffineExpr.parse("r+p").evaluate({"r": 5}) == 5
+
+    def test_depends_on(self):
+        expr = AffineExpr.parse("r+p")
+        assert expr.depends_on("r")
+        assert expr.depends_on("p")
+        assert not expr.depends_on("q")
+
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 20),
+        st.integers(1, 4),
+    )
+    def test_value_range_matches_enumeration(self, br, bp, stride):
+        expr = AffineExpr.of({"r": stride, "p": 1})
+        lo, hi = expr.value_range({"r": br, "p": bp})
+        values = {expr.evaluate({"r": r, "p": p}) for r in range(br) for p in range(bp)}
+        assert lo == min(values)
+        assert hi == max(values)
+
+    def test_value_range_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            AffineExpr.var("r").value_range({"r": 0})
+
+
+class TestArrayAccess:
+    def test_parse(self):
+        access = ArrayAccess.parse("IN", ["i", "r+p", "c+q"])
+        assert access.array == "IN"
+        assert access.rank == 3
+        assert access.iterators == frozenset({"i", "r", "p", "c", "q"})
+
+    def test_depends_on(self):
+        access = ArrayAccess.parse("IN", ["i", "r+p", "c+q"])
+        assert access.depends_on("i")
+        assert access.depends_on("p")
+        assert not access.depends_on("o")
+
+    def test_evaluate(self):
+        access = ArrayAccess.parse("IN", ["i", "r+p", "c+q"])
+        assert access.evaluate({"i": 1, "r": 2, "p": 1, "c": 0, "q": 2}) == (1, 3, 2)
+
+    def test_str(self):
+        access = ArrayAccess.parse("OUT", ["o", "r", "c"], is_write=True)
+        assert str(access) == "OUT[o][r][c]"
+
+    def test_write_flag(self):
+        assert ArrayAccess.parse("OUT", ["o"], is_write=True).is_write
+        assert not ArrayAccess.parse("W", ["o"]).is_write

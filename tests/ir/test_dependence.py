@@ -1,0 +1,70 @@
+"""Tests for loop parallelism classification (paper Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import (
+    carries_dependence,
+    carries_dependence_semantic,
+    classify_parallelism,
+)
+from repro.ir.loop import conv_loop_nest
+
+
+class TestSection21Claims:
+    """'three (L1, L4, L3) are parallelizable ... the remaining loops
+    (L2, L5, L6) have dependency carried for the accumulation'."""
+
+    def setup_method(self):
+        self.nest = conv_loop_nest(128, 192, 13, 13, 3, 3)
+        self.report = classify_parallelism(self.nest)
+
+    def test_parallel_loops_are_o_c_r(self):
+        # L1 = o, L3 = c, L4 = r
+        assert set(self.report.parallel) == {"o", "c", "r"}
+
+    def test_reduction_loops_are_i_p_q(self):
+        # L2 = i, L5 = p, L6 = q
+        assert set(self.report.reduction) == {"i", "p", "q"}
+
+    def test_kind_lookup(self):
+        assert self.report.kind("o") == "parallel"
+        assert self.report.kind("i") == "reduction"
+        with pytest.raises(KeyError):
+            self.report.kind("z")
+
+    def test_every_loop_classified_exactly_once(self):
+        classified = set(self.report.parallel) | set(self.report.reduction)
+        assert classified == set(self.nest.iterators)
+        assert not set(self.report.parallel) & set(self.report.reduction)
+
+
+class TestDependenceAnalysis:
+    def test_vector_loop_must_be_a_reduction(self):
+        """The architectural constraint behind the mapping rule: the SIMD
+        accumulation dimension is exactly a reduction loop."""
+        from repro.model.mapping import feasible_mappings
+
+        nest = conv_loop_nest(16, 8, 7, 7, 3, 3)
+        report = classify_parallelism(nest)
+        for mapping in feasible_mappings(nest):
+            assert mapping.vector in report.reduction
+
+    def test_syntactic_matches_semantic(self):
+        nest = conv_loop_nest(3, 2, 4, 4, 2, 2)
+        for it in nest.iterators:
+            assert carries_dependence(nest, it) == carries_dependence_semantic(nest, it)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(2, 3))
+    def test_property_agreement(self, o, i, k):
+        nest = conv_loop_nest(o, i, 3, 3, k, k)
+        for it in nest.iterators:
+            assert carries_dependence(nest, it) == carries_dependence_semantic(nest, it)
+
+    def test_strided_nest_unchanged(self):
+        """Stride changes reuse of IN but not the output dependence."""
+        nest = conv_loop_nest(8, 3, 5, 5, 3, 3, stride=2)
+        report = classify_parallelism(nest)
+        assert set(report.reduction) == {"i", "p", "q"}

@@ -1,0 +1,119 @@
+"""Tests for iteration domains and footprint counting (paper Eq. 5).
+
+The key property: the closed-form rectangular count equals brute-force
+enumeration for every CNN access pattern, including the strided subscripts
+produced by conv1 folding.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.access import AffineExpr, ArrayAccess
+from repro.ir.domain import (
+    IterationDomain,
+    count_footprint,
+    count_footprint_enumerated,
+    count_footprint_rectangular,
+    rectangular_is_exact,
+)
+
+
+class TestIterationDomain:
+    def test_size(self):
+        dom = IterationDomain.of({"o": 4, "i": 3})
+        assert dom.size == 12
+
+    def test_points_enumerates_all(self):
+        dom = IterationDomain.of({"a": 2, "b": 3})
+        pts = list(dom.points())
+        assert len(pts) == 6
+        assert {"a": 1, "b": 2} in pts
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            IterationDomain.of({"a": 0})
+
+    def test_bounds_roundtrip(self):
+        dom = IterationDomain.of({"a": 2, "b": 3})
+        assert dom.bounds == {"a": 2, "b": 3}
+        assert dom.iterators == ("a", "b")
+
+
+class TestFootprintClosedFormVsEnumeration:
+    """Eq. 5's simplification must be exact on CNN patterns."""
+
+    def test_single_iterator_pattern(self):
+        # w[o][i][p][q] on a block domain
+        access = ArrayAccess.parse("W", ["o", "i", "p", "q"])
+        dom = IterationDomain.of({"o": 4, "i": 5, "p": 3, "q": 3, "r": 7})
+        assert count_footprint_rectangular(access, dom) == 4 * 5 * 3 * 3
+        assert count_footprint_enumerated(access, dom) == 4 * 5 * 3 * 3
+        assert rectangular_is_exact(access, dom)
+
+    def test_sum_pattern(self):
+        # in[i][r+p][c+q]: range of r+p is (b_r + b_p - 1)
+        access = ArrayAccess.parse("IN", ["i", "r+p", "c+q"])
+        dom = IterationDomain.of({"i": 2, "r": 4, "p": 3, "c": 5, "q": 3})
+        expected = 2 * (4 + 3 - 1) * (5 + 3 - 1)
+        assert count_footprint_rectangular(access, dom) == expected
+        assert count_footprint_enumerated(access, dom) == expected
+
+    def test_strided_dense_pattern(self):
+        # folded conv1: in[i][4r+p] with p spanning >= 4 values is dense
+        access = ArrayAccess.parse("IN", ["i", "4*r+p"])
+        dom = IterationDomain.of({"i": 2, "r": 3, "p": 5})
+        assert rectangular_is_exact(access, dom)
+        assert count_footprint_rectangular(access, dom) == count_footprint_enumerated(
+            access, dom
+        )
+
+    def test_strided_sparse_pattern_not_exact(self):
+        # in[4r+p] with p spanning only 2 values leaves holes
+        access = ArrayAccess.parse("IN", ["4*r+p"])
+        dom = IterationDomain.of({"r": 3, "p": 2})
+        assert not rectangular_is_exact(access, dom)
+        assert count_footprint_enumerated(access, dom) == 6  # {0,1,4,5,8,9}
+        assert count_footprint_rectangular(access, dom) == 10  # bounding box
+        # automatic strategy must pick the exact answer on a small domain
+        assert count_footprint(access, dom) == 6
+
+    def test_repeated_iterator_across_dims_not_exact_flag(self):
+        # A[r][r+p]: dimensions are correlated, product overcounts
+        access = ArrayAccess.parse("A", ["r", "r+p"])
+        dom = IterationDomain.of({"r": 3, "p": 2})
+        assert not rectangular_is_exact(access, dom)
+        assert count_footprint(access, dom) == count_footprint_enumerated(access, dom)
+
+    def test_unused_iterators_do_not_blow_up_enumeration(self):
+        access = ArrayAccess.parse("W", ["o"])
+        dom = IterationDomain.of({"o": 4, "i": 10**9})
+        # enumeration projects onto used iterators, so this must be instant
+        assert count_footprint(access, dom) == 4
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 6),
+    )
+    def test_property_conv_in_footprint(self, bi, br, bp, bc):
+        """IN footprint closed form == enumeration for random block shapes."""
+        access = ArrayAccess.parse("IN", ["i", "r+p", "c+q"])
+        dom = IterationDomain.of({"i": bi, "r": br, "p": bp, "c": bc, "q": 2})
+        assert count_footprint_rectangular(access, dom) == count_footprint_enumerated(
+            access, dom
+        )
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 4), st.integers(1, 6))
+    def test_property_enumeration_never_exceeds_rectangular(self, br, bp, stride, extra):
+        """The rectangular count is always an upper bound."""
+        access = ArrayAccess(
+            "X", (AffineExpr.of({"r": stride, "p": 1}), AffineExpr.var("q"))
+        )
+        dom = IterationDomain.of({"r": br, "p": bp, "q": extra})
+        assert count_footprint_enumerated(access, dom) <= count_footprint_rectangular(
+            access, dom
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for loops and loop nests."""
+
+import pytest
+
+from repro.ir.access import ArrayAccess
+from repro.ir.loop import Loop, LoopNest, conv_loop_nest
+
+
+class TestLoop:
+    def test_valid_loop(self):
+        loop = Loop("o", 128)
+        assert loop.iterator == "o"
+        assert loop.trip_count == 128
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Loop("2x", 4)
+
+    def test_rejects_nonpositive_trip(self):
+        with pytest.raises(ValueError):
+            Loop("o", 0)
+
+    def test_str(self):
+        assert str(Loop("r", 13)) == "for r in [0, 13)"
+
+
+class TestConvLoopNest:
+    """The canonical Code 1 nest, on AlexNet conv5: (I,O,R,C,K)=(192,128,13,13,3)."""
+
+    @pytest.fixture
+    def nest(self):
+        return conv_loop_nest(128, 192, 13, 13, 3, 3, name="alexnet_conv5")
+
+    def test_loop_order_matches_code1(self, nest):
+        assert nest.iterators == ("o", "i", "c", "r", "p", "q")
+
+    def test_bounds(self, nest):
+        assert nest.bounds == {"o": 128, "i": 192, "c": 13, "r": 13, "p": 3, "q": 3}
+
+    def test_total_iterations(self, nest):
+        assert nest.total_iterations == 128 * 192 * 13 * 13 * 9
+
+    def test_total_operations_counts_mac_as_two(self, nest):
+        assert nest.total_operations == 2 * nest.total_iterations
+
+    def test_single_output(self, nest):
+        assert nest.output.array == "OUT"
+        assert [a.array for a in nest.reads] == ["W", "IN"]
+
+    def test_access_lookup(self, nest):
+        # terms print in canonical (sorted) order
+        assert str(nest.access("IN")) == "IN[i][p+r][c+q]"
+        with pytest.raises(KeyError):
+            nest.access("NOPE")
+
+    def test_loop_lookup(self, nest):
+        assert nest.loop("p").trip_count == 3
+        with pytest.raises(KeyError):
+            nest.loop("z")
+
+    def test_strided_variant(self):
+        nest = conv_loop_nest(48, 3, 55, 55, 11, 11, stride=4, name="alexnet_conv1")
+        in_access = nest.access("IN")
+        # IN[i][4r+p][4c+q]
+        assert in_access.indices[1].coefficient("r") == 4
+        assert in_access.indices[1].coefficient("p") == 1
+
+    def test_with_bounds(self, nest):
+        smaller = nest.with_bounds({"o": 8, "i": 4}, name="toy")
+        assert smaller.bounds["o"] == 8
+        assert smaller.bounds["r"] == 13
+        assert smaller.name == "toy"
+        # original untouched (immutability)
+        assert nest.bounds["o"] == 128
+
+
+class TestLoopNestValidation:
+    def test_rejects_duplicate_iterators(self):
+        with pytest.raises(ValueError):
+            LoopNest(
+                (Loop("o", 2), Loop("o", 3)),
+                (ArrayAccess.parse("A", ["o"], is_write=True),),
+            )
+
+    def test_rejects_unbound_iterator_in_access(self):
+        with pytest.raises(ValueError):
+            LoopNest((Loop("o", 2),), (ArrayAccess.parse("A", ["z"], is_write=True),))
+
+    def test_output_requires_exactly_one_write(self):
+        nest = LoopNest(
+            (Loop("o", 2),),
+            (ArrayAccess.parse("A", ["o"]), ArrayAccess.parse("B", ["o"])),
+        )
+        with pytest.raises(ValueError):
+            _ = nest.output
+
+    def test_str_contains_name_and_loops(self):
+        nest = conv_loop_nest(4, 2, 3, 3, 2, 2, name="tiny")
+        text = str(nest)
+        assert "tiny" in text
+        assert "o<4" in text

@@ -1,0 +1,137 @@
+"""Tests for loop-to-architecture mapping and the feasibility condition."""
+
+import pytest
+
+from repro.ir.loop import conv_loop_nest
+from repro.model.mapping import Mapping, array_roles, feasible_mappings, is_feasible
+
+
+def conv5():
+    return conv_loop_nest(128, 192, 13, 13, 3, 3, name="conv5")
+
+
+class TestArrayRoles:
+    def test_canonical_names(self):
+        roles = array_roles(conv5())
+        assert roles == {"OUT": "output", "W": "weight", "IN": "input"}
+
+    def test_unrecognized_names_fall_back_to_rank(self):
+        from repro.ir.access import ArrayAccess
+        from repro.ir.loop import Loop, LoopNest
+
+        nest = LoopNest(
+            (Loop("a", 4), Loop("b", 4), Loop("k", 3)),
+            (
+                ArrayAccess.parse("ACC", ["a", "b"], is_write=True),
+                ArrayAccess.parse("KERNEL", ["a", "b", "k", "k"]),
+                ArrayAccess.parse("DATA", ["b", "k"]),
+            ),
+        )
+        roles = array_roles(nest)
+        assert roles["ACC"] == "output"
+        assert roles["KERNEL"] == "weight"  # higher rank
+        assert roles["DATA"] == "input"
+
+
+class TestMappingValidation:
+    def test_distinct_loops_required(self):
+        with pytest.raises(ValueError):
+            Mapping("o", "o", "i", "IN", "W")
+
+    def test_selection_vector(self):
+        nest = conv5()
+        mapping = Mapping("o", "c", "i", "IN", "W")
+        k = mapping.selection_vector(nest)
+        assert sum(k.values()) == 3
+        assert k["o"] == k["c"] == k["i"] == 1
+        assert k["r"] == 0
+
+
+class TestFeasibility:
+    """Section 3.2's structure: IN reuse forces o inner; W reuse needs r or
+    c; OUT reuse (the vector/accumulation dim) needs i, p or q."""
+
+    def test_papers_mapping_is_feasible(self):
+        # Table 1: (L1, L3, L2) -> (row, col, vector) = (o, c, i)
+        nest = conv5()
+        assert is_feasible(nest, Mapping("o", "c", "i", "IN", "W"))
+
+    def test_papers_infeasible_example(self):
+        """'mapping loop L3 and L4 into a PE row and column is not
+        feasible' — r and c both carry only W's reuse."""
+        nest = conv5()
+        for vec in ("o", "i", "p", "q"):
+            for vert, horiz in (("IN", "W"), ("W", "IN")):
+                assert not is_feasible(nest, Mapping("c", "r", vec, vert, horiz))
+
+    def test_wrong_orientation_is_infeasible(self):
+        # o carries IN reuse, not W's: W cannot be the vertical array on o
+        nest = conv5()
+        assert not is_feasible(nest, Mapping("o", "c", "i", "W", "IN"))
+
+    def test_vector_must_carry_output_reuse(self):
+        nest = conv5()
+        # r as the vector loop: OUT[o][r][c] depends on r -> infeasible
+        assert not is_feasible(nest, Mapping("o", "c", "r", "IN", "W"))
+
+
+class TestEnumeration:
+    def test_twelve_feasible_mappings_for_conv(self):
+        """row must be o (IN reuse); col in {r, c} x orientations... the
+        generic enumeration finds 2 spatial-loop choices x 3 reduction
+        loops x 2 orientations; only the orientation with IN vertical on o
+        survives the role check, but the mirrored orientation is feasible
+        with W vertical when row carries W reuse (row in {r, c}) and col=o.
+        Net: 12 ordered mappings."""
+        mappings = feasible_mappings(conv5())
+        assert len(mappings) == 12
+        for m in mappings:
+            assert {m.row, m.col} & {"o"}, f"o must be a spatial loop in {m}"
+            assert m.vector in ("i", "p", "q")
+
+    def test_enumerated_mappings_all_feasible(self):
+        nest = conv5()
+        for m in feasible_mappings(nest):
+            assert is_feasible(nest, m)
+
+    def test_strided_nest_has_no_spatial_reuse_for_in(self):
+        """With stride subscripts (unfolded conv1), IN reuse is still only
+        on o; the mapping count is unchanged (12) but the footprints
+        differ.  Folding exists for efficiency, not feasibility."""
+        nest = conv_loop_nest(96, 3, 55, 55, 11, 11, stride=4, name="conv1")
+        assert len(feasible_mappings(nest)) == 12
+
+    def test_rejects_nest_without_two_reads(self):
+        from repro.ir.access import ArrayAccess
+        from repro.ir.loop import Loop, LoopNest
+
+        nest = LoopNest(
+            (Loop("a", 4), Loop("b", 4), Loop("k", 4)),
+            (
+                ArrayAccess.parse("ACC", ["a"], is_write=True),
+                ArrayAccess.parse("X", ["a", "b"]),
+            ),
+        )
+        with pytest.raises(ValueError):
+            feasible_mappings(nest)
+
+    def test_matmul_style_nest(self):
+        """C[i][j] += A[i][k] * B[k][j]: the classic systolic matmul has
+        exactly 2 feasible mappings (i/j spatial in both orders, k vector)."""
+        from repro.ir.access import ArrayAccess
+        from repro.ir.loop import Loop, LoopNest
+
+        nest = LoopNest(
+            (Loop("i", 16), Loop("j", 16), Loop("k", 16)),
+            (
+                ArrayAccess.parse("C", ["i", "j"], is_write=True),
+                ArrayAccess.parse("A", ["i", "k"]),
+                ArrayAccess.parse("B", ["k", "j"]),
+            ),
+            name="matmul",
+        )
+        mappings = feasible_mappings(nest)
+        assert len(mappings) == 2
+        for m in mappings:
+            assert m.vector == "k"
+            assert {m.row, m.col} == {"i", "j"}

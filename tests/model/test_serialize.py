@@ -1,0 +1,97 @@
+"""Tests for design persistence (JSON round-trips)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.model.serialize import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+
+
+def sample_design(stride=1):
+    nest = conv_loop_nest(16, 8, 7, 7, 3, 3, stride=stride, name="sample")
+    return DesignPoint.create(
+        nest,
+        Mapping("o", "c", "i", "IN", "W"),
+        ArrayShape(4, 7, 2),
+        {"i": 2, "r": 7, "p": 3, "q": 3},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_equal(self):
+        design = sample_design()
+        rebuilt = design_from_dict(design_to_dict(design))
+        assert rebuilt == design
+
+    def test_strided_access_functions_survive(self):
+        design = sample_design(stride=2)
+        rebuilt = design_from_dict(design_to_dict(design))
+        assert rebuilt.nest.access("IN") == design.nest.access("IN")
+
+    def test_file_round_trip(self, tmp_path):
+        design = sample_design()
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        assert load_design(path) == design
+
+    def test_payload_is_plain_json(self, tmp_path):
+        design = sample_design()
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-design/1"
+        assert data["shape"] == [4, 7, 2]
+
+    def test_rebuilt_design_evaluates_identically(self):
+        design = sample_design()
+        rebuilt = design_from_dict(design_to_dict(design))
+        platform = Platform()
+        a = design.evaluate(platform)
+        b = rebuilt.evaluate(platform)
+        assert a.throughput_gops == pytest.approx(b.throughput_gops, rel=1e-12)
+        assert a.bram.total == b.bram.total
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(1, 32),
+        st.integers(1, 16),
+        st.integers(1, 10),
+        st.integers(1, 3),
+        st.integers(1, 2),
+    )
+    def test_property_round_trip(self, o, i, rc, k, stride):
+        nest = conv_loop_nest(o, i, rc, rc, k, k, stride=stride)
+        design = DesignPoint.create(
+            nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(2, 2, 2), {"p": k}
+        )
+        assert design_from_dict(design_to_dict(design)) == design
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            design_from_dict({"format": "repro-design/999"})
+
+    def test_malformed_payload_rejected(self):
+        data = design_to_dict(sample_design())
+        del data["mapping"]["row"]
+        with pytest.raises(ValueError, match="malformed"):
+            design_from_dict(data)
+
+    def test_infeasible_shape_still_loads(self):
+        """Persistence is mechanical; feasibility is the DSE's concern."""
+        data = design_to_dict(sample_design())
+        data["shape"] = [1000, 1000, 8]
+        rebuilt = design_from_dict(data)
+        assert rebuilt.shape.lanes == 8_000_000

@@ -1,0 +1,125 @@
+"""Tests proving the conv1 folding transform is functionally exact."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.folding import (
+    fold_input_tensor,
+    fold_layer,
+    fold_weight_tensor,
+    folded_kernel,
+    folding_overhead,
+)
+from repro.nn.golden import conv2d, conv2d_layer, random_layer_tensors
+from repro.nn.layers import ConvLayer
+
+
+def alexnet_conv1():
+    return ConvLayer("conv1", 3, 96, 227, 227, kernel=11, stride=4)
+
+
+class TestFoldLayerDescriptor:
+    def test_alexnet_conv1_folds_to_48ch_3x3(self):
+        """The paper folds conv1 'to have more small feature maps'; with
+        stride 4 / kernel 11 this is 3 -> 48 channels, kernel 3."""
+        folded = fold_layer(alexnet_conv1())
+        assert folded.in_channels == 48
+        assert folded.kernel == 3
+        assert folded.stride == 1
+        assert folded.pad == 0
+        assert folded.out_height == 55
+        assert folded.in_height == 57  # 55 + 3 - 1
+
+    def test_rejects_unit_stride(self):
+        with pytest.raises(ValueError):
+            fold_layer(ConvLayer("c", 4, 8, 13, 13, kernel=3))
+
+    def test_rejects_grouped(self):
+        with pytest.raises(ValueError):
+            fold_layer(ConvLayer("c", 4, 8, 13, 13, kernel=3, stride=2, groups=2))
+
+    def test_folded_kernel(self):
+        assert folded_kernel(alexnet_conv1()) == 3
+
+    def test_overhead_for_conv1(self):
+        # (48 * 9) / (3 * 121) = 432 / 363
+        assert folding_overhead(alexnet_conv1()) == pytest.approx(432 / 363)
+
+
+class TestFoldingFunctionalEquivalence:
+    @pytest.mark.parametrize(
+        "in_ch,out_ch,size,kernel,stride,pad",
+        [
+            (2, 3, 11, 3, 2, 0),
+            (2, 3, 12, 3, 2, 1),
+            (1, 2, 23, 11, 4, 0),  # conv1 shape, miniature
+            (3, 4, 9, 4, 2, 0),  # kernel divisible by stride
+            (2, 2, 13, 5, 3, 2),
+            (1, 1, 7, 2, 2, 0),  # K == stride
+        ],
+    )
+    def test_folded_conv_equals_original(self, in_ch, out_ch, size, kernel, stride, pad):
+        layer = ConvLayer("t", in_ch, out_ch, size, size, kernel=kernel, stride=stride, pad=pad)
+        x, w = random_layer_tensors(layer, seed=11, dtype=np.float64)
+        expected = conv2d_layer(layer, x, w)
+
+        folded = fold_layer(layer)
+        fx = fold_input_tensor(layer, x)
+        fw = fold_weight_tensor(layer, w)
+        assert fx.shape == (folded.in_channels, folded.in_height, folded.in_width)
+        assert fw.shape == (folded.out_channels, folded.in_channels, folded.kernel, folded.kernel)
+        actual = conv2d_layer(folded, fx, fw)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+    def test_alexnet_conv1_full_size(self):
+        layer = alexnet_conv1()
+        x, w = random_layer_tensors(layer, seed=1, dtype=np.float64)
+        expected = conv2d_layer(layer, x, w)
+        actual = conv2d_layer(
+            fold_layer(layer), fold_input_tensor(layer, x), fold_weight_tensor(layer, w)
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-9, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 2),
+        st.integers(1, 2),
+        st.integers(2, 5),
+        st.integers(2, 3),
+        st.integers(0, 1),
+        st.integers(0, 50),
+    )
+    def test_property_folding_exact(self, in_ch, out_ch, kernel, stride, pad, seed):
+        if stride == 1:
+            stride = 2
+        size = kernel + 2 * stride + 1
+        layer = ConvLayer("t", in_ch, out_ch, size, size, kernel=kernel, stride=stride, pad=pad)
+        x, w = random_layer_tensors(layer, seed=seed, dtype=np.float64)
+        expected = conv2d_layer(layer, x, w)
+        actual = conv2d_layer(
+            fold_layer(layer), fold_input_tensor(layer, x), fold_weight_tensor(layer, w)
+        )
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+
+class TestFoldTensorValidation:
+    def test_input_shape_checked(self):
+        layer = alexnet_conv1()
+        with pytest.raises(ValueError):
+            fold_input_tensor(layer, np.zeros((3, 10, 10)))
+
+    def test_weight_shape_checked(self):
+        layer = alexnet_conv1()
+        with pytest.raises(ValueError):
+            fold_weight_tensor(layer, np.zeros((96, 3, 5, 5)))
+
+    def test_folded_nest_is_unit_stride(self):
+        """After folding, the loop nest has pure Code 1 subscripts, which is
+        what makes the layer mappable by the generic analyzer."""
+        folded = fold_layer(alexnet_conv1())
+        nest = folded.to_loop_nest()
+        in_access = nest.access("IN")
+        assert in_access.indices[1].coefficient("r") == 1
+        assert in_access.indices[1].coefficient("p") == 1

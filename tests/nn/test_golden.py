@@ -1,0 +1,115 @@
+"""Cross-validation of the two independent golden convolutions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.golden import (
+    conv2d,
+    conv2d_layer,
+    conv2d_reference_loops,
+    pad_input,
+    random_layer_tensors,
+)
+from repro.nn.layers import ConvLayer
+
+
+def rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float64)
+
+
+class TestPadInput:
+    def test_zero_pad_identity(self):
+        x = rand((2, 4, 4), 0)
+        assert pad_input(x, 0) is x
+
+    def test_pad_shape_and_border(self):
+        x = rand((2, 4, 4), 0)
+        padded = pad_input(x, 2)
+        assert padded.shape == (2, 8, 8)
+        assert np.all(padded[:, :2, :] == 0)
+        np.testing.assert_array_equal(padded[:, 2:6, 2:6], x)
+
+
+class TestConv2dAgainstLoops:
+    @pytest.mark.parametrize(
+        "in_ch,out_ch,size,kernel,stride,pad",
+        [
+            (2, 3, 6, 3, 1, 0),
+            (2, 3, 6, 3, 1, 1),
+            (3, 4, 9, 3, 2, 0),
+            (1, 1, 11, 11, 4, 0),  # conv1-like
+            (4, 2, 5, 1, 1, 0),  # 1x1 kernel
+            (2, 2, 5, 5, 1, 2),  # kernel == padded extent chunk
+        ],
+    )
+    def test_matches_code1_loops(self, in_ch, out_ch, size, kernel, stride, pad):
+        x = rand((in_ch, size, size), 1)
+        w = rand((out_ch, in_ch, kernel, kernel), 2)
+        fast = conv2d(x, w, stride=stride, pad=pad)
+        slow = conv2d_reference_loops(x, w, stride=stride, pad=pad)
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 2),
+        st.integers(0, 2),
+        st.integers(0, 10),
+    )
+    def test_property_matches_loops(self, in_ch, out_ch, kernel, stride, pad, seed):
+        size = kernel + 3
+        x = rand((in_ch, size, size), seed)
+        w = rand((out_ch, in_ch, kernel, kernel), seed + 1)
+        np.testing.assert_allclose(
+            conv2d(x, w, stride=stride, pad=pad),
+            conv2d_reference_loops(x, w, stride=stride, pad=pad),
+            rtol=1e-10,
+        )
+
+
+class TestGroupedConv:
+    def test_groups_partition_channels(self):
+        x = rand((4, 6, 6), 3)
+        w = rand((6, 2, 3, 3), 4)
+        grouped = conv2d(x, w, groups=2)
+        # manual: group 0 -> outputs 0..2 from inputs 0..1
+        g0 = conv2d(x[:2], w[:3])
+        g1 = conv2d(x[2:], w[3:])
+        np.testing.assert_allclose(grouped, np.concatenate([g0, g1]), rtol=1e-12)
+
+    def test_bad_group_shapes_rejected(self):
+        x = rand((4, 6, 6), 0)
+        with pytest.raises(ValueError):
+            conv2d(x, rand((6, 3, 3, 3), 1), groups=2)
+        with pytest.raises(ValueError):
+            conv2d(x, rand((5, 2, 3, 3), 1), groups=2)
+
+
+class TestConv2dLayer:
+    def test_layer_wrapper_checks_shapes(self):
+        layer = ConvLayer("c", 2, 3, 6, 6, kernel=3, pad=1)
+        x, w = random_layer_tensors(layer, seed=5)
+        out = conv2d_layer(layer, x, w)
+        assert out.shape == (3, 6, 6)
+        with pytest.raises(ValueError):
+            conv2d_layer(layer, x[:, :5, :], w)
+        with pytest.raises(ValueError):
+            conv2d_layer(layer, x, w[:, :, :2, :2])
+
+    def test_kernel_too_large_raises(self):
+        x = rand((1, 3, 3), 0)
+        w = rand((1, 1, 5, 5), 1)
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_random_layer_tensors_deterministic(self):
+        layer = ConvLayer("c", 2, 3, 6, 6, kernel=3)
+        x1, w1 = random_layer_tensors(layer, seed=7)
+        x2, w2 = random_layer_tensors(layer, seed=7)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(w1, w2)
+        assert x1.dtype == np.float32

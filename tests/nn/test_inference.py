@@ -1,0 +1,94 @@
+"""End-to-end inference tests: the network-level accuracy claim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.inference import (
+    NetworkParameters,
+    classification_agreement,
+    forward_fixed,
+    forward_float,
+    max_pool,
+    relu,
+)
+from repro.nn.models import alexnet, tiny_cnn
+
+
+class TestPrimitives:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_max_pool_shape_and_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        pooled = max_pool(x, kernel=2, stride=2)
+        np.testing.assert_array_equal(pooled[0], [[5, 7], [13, 15]])
+
+    def test_max_pool_overlapping(self):
+        x = np.arange(25, dtype=float).reshape(1, 5, 5)
+        pooled = max_pool(x, kernel=3, stride=2)
+        assert pooled.shape == (1, 2, 2)
+        assert pooled[0, 1, 1] == 24
+
+
+class TestForwardPasses:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        net = tiny_cnn()
+        return net, NetworkParameters.random(net, seed=0)
+
+    def test_float_logits_shape(self, setup):
+        net, params = setup
+        image = np.random.default_rng(1).standard_normal((3, 19, 19))
+        logits = forward_float(net, params, image)
+        assert logits.shape == (10,)
+
+    def test_fixed_close_to_float(self, setup):
+        net, params = setup
+        image = np.random.default_rng(2).standard_normal((3, 19, 19))
+        a = forward_float(net, params, image)
+        b = forward_fixed(net, params, image)
+        assert np.linalg.norm(a - b) / np.linalg.norm(a) < 0.05
+
+    def test_lower_precision_is_worse(self, setup):
+        net, params = setup
+        image = np.random.default_rng(3).standard_normal((3, 19, 19))
+        a = forward_float(net, params, image)
+        fine = forward_fixed(net, params, image, weight_bits=8, activation_bits=16)
+        coarse = forward_fixed(net, params, image, weight_bits=3, activation_bits=6)
+        err_fine = np.linalg.norm(a - fine)
+        err_coarse = np.linalg.norm(a - coarse)
+        assert err_fine < err_coarse
+
+    def test_deterministic(self, setup):
+        net, params = setup
+        image = np.random.default_rng(4).standard_normal((3, 19, 19))
+        np.testing.assert_array_equal(
+            forward_fixed(net, params, image), forward_fixed(net, params, image)
+        )
+
+
+class TestAccuracyClaim:
+    def test_8_16_agreement_near_perfect(self):
+        """The paper: <2% top-1/top-5 degradation at 8/16 bit.  On the
+        synthetic network the argmax virtually never flips."""
+        agreement = classification_agreement(tiny_cnn(), samples=25, seed=7)
+        assert agreement >= 0.96
+
+    def test_very_low_precision_degrades(self):
+        """Sanity: the metric can detect damage (3-bit weights flip many)."""
+        coarse = classification_agreement(
+            tiny_cnn(), samples=25, seed=7, weight_bits=2, activation_bits=4
+        )
+        fine = classification_agreement(tiny_cnn(), samples=25, seed=7)
+        assert coarse <= fine
+
+    @pytest.mark.slow
+    def test_alexnet_single_image(self):
+        """Full-size AlexNet: one image through both paths (seconds)."""
+        net = alexnet()
+        params = NetworkParameters.random(net, seed=1)
+        image = np.random.default_rng(5).standard_normal((3, 227, 227))
+        a = forward_float(net, params, image)
+        b = forward_fixed(net, params, image)
+        assert a.shape == (1000,)
+        assert np.argmax(a) == np.argmax(b)

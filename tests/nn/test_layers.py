@@ -1,0 +1,117 @@
+"""Unit tests for CNN layer descriptors."""
+
+import pytest
+
+from repro.nn.layers import ConvLayer, FCLayer, LayerShape, PoolLayer
+
+
+class TestLayerShape:
+    def test_volume(self):
+        assert LayerShape(96, 55, 55).volume == 96 * 55 * 55
+
+    def test_str(self):
+        assert str(LayerShape(3, 227, 227)) == "3x227x227"
+
+
+class TestConvLayerGeometry:
+    def test_alexnet_conv1_output(self):
+        layer = ConvLayer("conv1", 3, 96, 227, 227, kernel=11, stride=4)
+        assert layer.out_height == 55
+        assert layer.out_width == 55
+        assert layer.output_shape == LayerShape(96, 55, 55)
+
+    def test_padded_conv_keeps_size(self):
+        layer = ConvLayer("conv3", 256, 384, 13, 13, kernel=3, pad=1)
+        assert layer.out_height == 13
+        assert layer.padded_input_shape == LayerShape(256, 15, 15)
+
+    def test_rejects_kernel_too_big(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 3, 8, 4, 4, kernel=7)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 3, 8, 13, 13, kernel=3, groups=2)
+
+    def test_rejects_negative_pad(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 4, 8, 13, 13, kernel=3, pad=-1)
+
+
+class TestConvLayerWorkload:
+    def test_macs_grouped(self):
+        # AlexNet conv5: 384->256 g2 on 13x13 k3: per group 192*128
+        layer = ConvLayer("conv5", 384, 256, 13, 13, kernel=3, pad=1, groups=2)
+        assert layer.macs == 256 * 192 * 13 * 13 * 9
+        assert layer.flops == 2 * layer.macs
+
+    def test_weight_count_grouped(self):
+        layer = ConvLayer("conv5", 384, 256, 13, 13, kernel=3, pad=1, groups=2)
+        assert layer.weight_count == 256 * 192 * 9
+
+
+class TestConvLayerLowering:
+    def test_group_view_of_conv5_matches_paper(self):
+        """The paper quotes conv5 as (I,O,R,C,P,Q) = (192,128,13,13,3,3)."""
+        layer = ConvLayer("conv5", 384, 256, 13, 13, kernel=3, pad=1, groups=2)
+        view = layer.group_view()
+        assert (view.in_channels, view.out_channels) == (192, 128)
+        assert view.groups == 1
+
+    def test_group_view_identity_when_ungrouped(self):
+        layer = ConvLayer("conv3", 256, 384, 13, 13, kernel=3, pad=1)
+        assert layer.group_view() is layer
+
+    def test_to_loop_nest_bounds(self):
+        layer = ConvLayer("conv5", 384, 256, 13, 13, kernel=3, pad=1, groups=2)
+        nest = layer.to_loop_nest()
+        assert nest.bounds == {"o": 128, "i": 192, "c": 13, "r": 13, "p": 3, "q": 3}
+
+    def test_to_loop_nest_strided_subscripts(self):
+        layer = ConvLayer("conv1", 3, 96, 227, 227, kernel=11, stride=4)
+        nest = layer.to_loop_nest()
+        assert nest.access("IN").indices[1].coefficient("r") == 4
+
+    def test_str_mentions_modifiers(self):
+        layer = ConvLayer("c", 4, 8, 16, 16, kernel=3, stride=2, pad=1, groups=2)
+        text = str(layer)
+        assert "s2" in text and "p1" in text and "g2" in text
+
+
+class TestPoolLayer:
+    def test_alexnet_pool1(self):
+        pool = PoolLayer("pool1", 96, 55, 55, kernel=3, stride=2)
+        assert pool.output_shape == LayerShape(96, 27, 27)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PoolLayer("p", 4, 8, 8, kernel=2, stride=2, mode="median")
+
+
+class TestFCLayer:
+    def test_flops(self):
+        fc = FCLayer("fc7", 4096, 4096)
+        assert fc.flops == 2 * 4096 * 4096
+
+    def test_to_conv_flat(self):
+        conv = FCLayer("fc7", 4096, 1000).to_conv()
+        assert conv.in_channels == 4096
+        assert conv.out_channels == 1000
+        assert conv.kernel == 1
+        assert conv.out_height == 1
+        assert conv.macs == 4096 * 1000
+
+    def test_to_conv_spatial(self):
+        conv = FCLayer("fc6", 256 * 6 * 6, 4096).to_conv(spatial=(256, 6, 6))
+        assert conv.in_channels == 256
+        assert conv.kernel == 6
+        assert conv.out_height == 1
+        assert conv.macs == FCLayer("fc6", 256 * 6 * 6, 4096).macs
+
+    def test_to_conv_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            FCLayer("fc", 100, 10).to_conv(spatial=(4, 5, 6))
+
+    def test_to_conv_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            FCLayer("fc", 24, 10).to_conv(spatial=(4, 2, 3))

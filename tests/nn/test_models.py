@@ -1,0 +1,126 @@
+"""Tests pinning the evaluation-network shapes to their published values."""
+
+import pytest
+
+from repro.nn.models import alexnet, googlenet, tiny_cnn, vgg16
+
+
+class TestAlexNet:
+    def setup_method(self):
+        self.net = alexnet()
+
+    def test_five_conv_layers(self):
+        assert len(self.net.conv_layers) == 5
+
+    def test_conv5_per_group_shape_matches_paper(self):
+        """(I, O, R, C, P, Q) = (192, 128, 13, 13, 3, 3) in Section 2.3."""
+        conv5 = self.net.layer("conv5").group_view()
+        assert conv5.in_channels == 192
+        assert conv5.out_channels == 128
+        assert conv5.out_height == 13
+        assert conv5.out_width == 13
+        assert conv5.kernel == 3
+
+    def test_layer_chain_shapes(self):
+        convs = self.net.conv_layers
+        assert convs[0].output_shape.height == 55  # conv1 -> 55x55
+        assert convs[1].output_shape.height == 27  # conv2 (after pool1)
+        assert convs[2].output_shape.height == 13
+
+    def test_total_conv_flops(self):
+        """AlexNet conv workload is ~1.33 GFlop (2x 666M MACs) single-column."""
+        assert self.net.conv_flops == pytest.approx(1.33e9, rel=0.03)
+
+    def test_fc_layers_present(self):
+        assert [fc.name for fc in self.net.fc_layers] == ["fc6", "fc7", "fc8"]
+
+    def test_unknown_layer_lookup(self):
+        with pytest.raises(KeyError):
+            self.net.layer("conv99")
+
+
+class TestVGG16:
+    def setup_method(self):
+        self.net = vgg16()
+
+    def test_thirteen_conv_layers(self):
+        assert len(self.net.conv_layers) == 13
+
+    def test_all_layers_are_3x3_stride1_pad1(self):
+        for layer in self.net.conv_layers:
+            assert layer.kernel == 3
+            assert layer.stride == 1
+            assert layer.pad == 1
+            assert layer.groups == 1
+
+    def test_feature_map_pyramid(self):
+        sizes = [layer.out_height for layer in self.net.conv_layers]
+        assert sizes == [224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]
+
+    def test_channel_progression(self):
+        outs = [layer.out_channels for layer in self.net.conv_layers]
+        assert outs == [64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512]
+
+    def test_total_conv_flops(self):
+        """VGG-16 conv workload is ~30.7 GFlop per image."""
+        assert self.net.conv_flops == pytest.approx(30.7e9, rel=0.02)
+
+    def test_conv_flops_dominate(self):
+        """The paper's premise: conv+fc dominate; conv dominates VGG."""
+        assert self.net.conv_flops / self.net.total_flops > 0.9
+
+
+class TestGoogLeNet:
+    def setup_method(self):
+        self.net = googlenet()
+
+    def test_layer_count(self):
+        # 3 stem convs + 9 inception modules x 6 branches
+        assert len(self.net.conv_layers) == 3 + 9 * 6
+
+    def test_total_conv_flops(self):
+        """GoogLeNet's published conv workload is ~3 GFlop (1.5 GMAC)."""
+        assert self.net.conv_flops == pytest.approx(3.2e9, rel=0.05)
+
+    def test_inception_branch_shapes_chain(self):
+        # 3x3 branch: reduce output feeds the 3x3 conv
+        reduce = self.net.layer("inc4a_3x3r")
+        conv = self.net.layer("inc4a_3x3")
+        assert reduce.out_channels == conv.in_channels
+        assert reduce.output_shape.height == conv.in_height
+
+    def test_one_by_one_layers_have_trivial_kernel_loops(self):
+        nest = self.net.layer("inc3a_1x1").to_loop_nest()
+        assert nest.bounds["p"] == 1
+        assert nest.bounds["q"] == 1
+
+    def test_one_by_one_layers_still_map(self):
+        """Degenerate reduction loops (trip 1) must not break feasibility
+        analysis — 1x1 convs are exactly matrix multiplies."""
+        from repro.model.mapping import feasible_mappings
+
+        nest = self.net.layer("inc5b_1x1").to_loop_nest()
+        assert len(feasible_mappings(nest)) == 12
+
+    def test_stem_conv_is_strided_and_foldable(self):
+        from repro.nn.folding import fold_layer
+
+        conv1 = self.net.layer("conv1")
+        assert conv1.stride == 2
+        folded = fold_layer(conv1)
+        assert folded.stride == 1
+        assert folded.in_channels == 3 * 4  # s^2 = 4 phases
+
+
+class TestTinyCNN:
+    def test_structural_features_for_tests(self):
+        net = tiny_cnn()
+        assert net.conv_layers[0].stride > 1  # exercises folding
+        assert any(layer.groups > 1 for layer in net.conv_layers)
+        assert net.conv_flops < 10**7  # fast enough for cycle-accurate sim
+
+    def test_shapes_chain(self):
+        net = tiny_cnn()
+        conv1, conv2, conv3 = net.conv_layers
+        assert conv1.output_shape.height == conv2.in_height
+        assert conv2.output_shape.height == conv3.in_height

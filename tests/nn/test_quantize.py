@@ -1,0 +1,99 @@
+"""Tests for the 8/16-bit fixed-point path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    QuantizationSpec,
+    dequantize,
+    quantization_error,
+    quantize_tensor,
+    quantized_conv2d,
+)
+
+
+class TestQuantizationSpec:
+    def test_qmax(self):
+        assert QuantizationSpec(8, 1.0).qmax == 127
+        assert QuantizationSpec(16, 1.0).qmax == 32767
+
+    def test_calibrate_covers_peak(self):
+        t = np.array([-3.0, 0.5, 2.0])
+        spec = QuantizationSpec.calibrate(t, 8)
+        assert spec.scale == pytest.approx(3.0 / 127)
+
+    def test_calibrate_zero_tensor(self):
+        spec = QuantizationSpec.calibrate(np.zeros(4), 8)
+        assert spec.scale > 0
+
+    def test_storage_dtype(self):
+        assert QuantizationSpec(8, 1.0).storage_dtype() == np.int8
+        assert QuantizationSpec(16, 1.0).storage_dtype() == np.int16
+        assert QuantizationSpec(24, 1.0).storage_dtype() == np.int32
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(1, 1.0)
+        with pytest.raises(ValueError):
+            QuantizationSpec(8, 0.0)
+
+
+class TestQuantizeRoundtrip:
+    def test_saturation(self):
+        spec = QuantizationSpec(8, 0.1)
+        q = quantize_tensor(np.array([100.0, -100.0]), spec)
+        assert q.tolist() == [127, -127]
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(-1, 1, 100)
+        spec = QuantizationSpec.calibrate(t, 16)
+        err = np.max(np.abs(dequantize(quantize_tensor(t, spec), spec) - t))
+        assert err <= spec.scale / 2 + 1e-12
+
+    @settings(max_examples=50)
+    @given(st.integers(2, 16), st.integers(0, 100))
+    def test_property_quantized_values_in_range(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(32) * rng.uniform(0.1, 10)
+        spec = QuantizationSpec.calibrate(t, bits)
+        q = quantize_tensor(t, spec)
+        assert int(np.max(np.abs(q.astype(np.int64)))) <= spec.qmax
+
+
+class TestQuantizedConv:
+    def test_integer_accumulation_is_exact(self):
+        """The int path must equal a float conv over the quantized values."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        in_spec = QuantizationSpec.calibrate(x, 16)
+        w_spec = QuantizationSpec.calibrate(w, 8)
+        acc, scale = quantized_conv2d(x, w, input_spec=in_spec, weight_spec=w_spec)
+        assert acc.dtype == np.int64
+        assert scale == pytest.approx(in_spec.scale * w_spec.scale)
+
+    def test_error_8_16_is_small(self):
+        """The paper's 8/16-bit config: tensor-level error in low percent."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 13, 13))
+        w = rng.standard_normal((16, 8, 3, 3))
+        err = quantization_error(x, w, weight_bits=8, input_bits=16)
+        assert err < 0.02
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 9, 9))
+        w = rng.standard_normal((4, 4, 3, 3))
+        e4 = quantization_error(x, w, weight_bits=4, input_bits=8)
+        e8 = quantization_error(x, w, weight_bits=8, input_bits=16)
+        assert e8 < e4
+
+    def test_error_grouped_path(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((4, 9, 9))
+        w = rng.standard_normal((4, 2, 3, 3))
+        err = quantization_error(x, w, groups=2, pad=1)
+        assert err < 0.05

@@ -1,0 +1,46 @@
+"""Tests for the schedule waterfall renderer."""
+
+import pytest
+
+from repro.sim.trace import schedule_waterfall, wave_at
+
+
+class TestWaveAt:
+    def test_skewed_assignment(self):
+        # PE(x, y) runs wave m at cycle m + x + y
+        assert wave_at(0, 0, 0, 5) == 0
+        assert wave_at(3, 1, 1, 5) == 1
+        assert wave_at(1, 1, 1, 5) is None  # not started yet
+        assert wave_at(10, 0, 0, 5) is None  # drained
+
+    def test_activity_window_length(self):
+        # every PE is active for exactly `waves` cycles
+        waves = 7
+        active = sum(1 for c in range(100) if wave_at(c, 2, 1, waves) is not None)
+        assert active == waves
+
+
+class TestWaterfall:
+    def test_fig3_facts_visible(self):
+        text = schedule_waterfall(3, 3, 7)
+        assert "3x3 PE array, 7 waves, 11 cycles" in text
+        assert "<- all PEs active" in text
+        # the marker is on cycle 4 (the fifth cycle)
+        marked = [line for line in text.splitlines() if "all PEs active" in line]
+        assert marked[0].strip().startswith("4 |")
+
+    def test_first_cycle_only_pe00(self):
+        text = schedule_waterfall(2, 2, 3)
+        first = [l for l in text.splitlines() if l.strip().startswith("0 |")][0]
+        assert first.count("w0") == 1
+        assert first.count(".") == 3
+
+    def test_truncation(self):
+        text = schedule_waterfall(2, 2, 100, max_cycles=5)
+        assert "more cycles" in text
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            schedule_waterfall(0, 3, 3)
+        with pytest.raises(ValueError):
+            schedule_waterfall(3, 3, 0)

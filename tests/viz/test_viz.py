@@ -1,0 +1,145 @@
+"""Tests for the SVG chart layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import ExperimentResult
+from repro.viz.charts import (
+    CATEGORICAL,
+    SEQUENTIAL,
+    Series,
+    grouped_bar_chart,
+    line_chart,
+    scatter_chart,
+)
+from repro.viz.figures import render_experiment_charts
+from repro.viz.svg import SvgCanvas, nice_ticks
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgCanvas:
+    def test_renders_valid_xml(self):
+        canvas = SvgCanvas(100, 50, background="#fcfcfb")
+        canvas.text(10, 10, "hi <&>", fill="#0b0b0b")
+        canvas.circle(20, 20, 4, fill="#2a78d6", ring="#fcfcfb")
+        canvas.line(0, 0, 10, 10, stroke="#e7e6e2")
+        root = parse(canvas.render())
+        assert root.tag.endswith("svg")
+
+    def test_bar_has_square_baseline_and_rounded_top(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.bar(10, 20, 20, 60, fill="#2a78d6")
+        svg = canvas.render()
+        assert "Q" in svg  # rounded data-end arcs
+        assert "Z" in svg  # closed at the baseline
+
+    def test_zero_height_bar_is_skipped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.bar(10, 20, 20, 0, fill="#2a78d6")
+        assert "<path" not in canvas.render()
+
+    def test_rejects_bad_canvas(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    @settings(max_examples=40)
+    @given(st.floats(0, 1e6), st.floats(1, 1e6))
+    def test_property_nice_ticks_cover_range(self, low, span):
+        high = low + span
+        ticks = nice_ticks(low, high)
+        assert ticks[0] <= low + 1e-9 or ticks[0] == pytest.approx(low, rel=0.5)
+        assert ticks[-1] >= high - (ticks[1] - ticks[0]) if len(ticks) > 1 else True
+        assert ticks == sorted(ticks)
+
+
+class TestCharts:
+    def test_scatter_renders_all_points(self):
+        svg = scatter_chart(
+            [1, 2, 3], [10, 20, 30], [5.0, 7.0, 9.0],
+            title="t", x_label="x", y_label="y", shade_label="G", highlight=2,
+        )
+        root = parse(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) >= 3
+
+    def test_scatter_shade_uses_sequential_ramp(self):
+        svg = scatter_chart(
+            [1, 2], [1, 2], [0.0, 1.0],
+            title="t", x_label="x", y_label="y", shade_label="G",
+        )
+        assert SEQUENTIAL[0] in svg  # low end
+        assert SEQUENTIAL[-1] in svg  # high end
+
+    def test_scatter_validates_inputs(self):
+        with pytest.raises(ValueError):
+            scatter_chart([1], [1, 2], [1], title="t", x_label="x",
+                          y_label="y", shade_label="G")
+
+    def test_grouped_bars_fixed_slot_order(self):
+        svg = grouped_bar_chart(
+            ["a", "b"],
+            [Series("first", [1, 2]), Series("second", [2, 1])],
+            title="t", y_label="G",
+        )
+        assert CATEGORICAL[0] in svg and CATEGORICAL[1] in svg
+
+    def test_grouped_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], [Series("s", [1, 2])], title="t", y_label="y")
+
+    def test_line_chart_direct_end_labels(self):
+        svg = line_chart(
+            [128, 1518],
+            [Series("systolic", [100, 700]), Series("direct", [30, 120])],
+            title="t", x_label="DSP", y_label="G", log_x=True,
+        )
+        assert "700" in svg  # end label
+        root = parse(svg)
+        lines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(lines) == 2
+
+    def test_text_never_wears_series_color(self):
+        """Labels use text tokens; series hues appear only on marks."""
+        svg = grouped_bar_chart(
+            ["a"], [Series("s1", [1]), Series("s2", [2])], title="t", y_label="y"
+        )
+        root = parse(svg)
+        for text in root.findall(".//{http://www.w3.org/2000/svg}text"):
+            assert text.get("fill") not in CATEGORICAL
+
+
+class TestFigureAdapters:
+    def test_fig7a_payload_renders(self):
+        result = ExperimentResult("Figure 7(a)", "d", ["x"])
+        result.raw = {"dsp": [1200.0, 1300.0], "bram": [800.0, 900.0],
+                      "gflops": [400.0, 500.0]}
+        charts = render_experiment_charts(result)
+        assert set(charts) == {"fig7a"}
+        parse(charts["fig7a"])
+
+    def test_fig7b_payload_renders(self):
+        result = ExperimentResult("Figure 7(b)", "d", ["x"])
+        result.raw = {"labels": ["#1", "#2"], "model": [700.0, 690.0],
+                      "simulated": [688.0, 680.0]}
+        charts = render_experiment_charts(result)
+        assert set(charts) == {"fig7b"}
+
+    def test_budget_sweep_payload_renders(self):
+        result = ExperimentResult("ablation", "d", ["x"])
+        result.raw = {"budgets": [128, 1518], "systolic": [60.0, 750.0],
+                      "direct": [25.0, 120.0]}
+        assert set(render_experiment_charts(result)) == {"budget_sweep"}
+
+    def test_no_payload_no_charts(self):
+        assert render_experiment_charts(ExperimentResult("x", "d", ["c"])) == {}
+
+    def test_malformed_payload_is_safe(self):
+        result = ExperimentResult("x", "d", ["c"])
+        result.raw = {"dsp": [], "bram": [], "gflops": []}
+        assert render_experiment_charts(result) == {}
