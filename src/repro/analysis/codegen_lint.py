@@ -1,0 +1,409 @@
+"""Pass 3 — linting the generated C / OpenCL text, without a compiler.
+
+The emitters in :mod:`repro.codegen` produce a restricted, regular C
+shape: ``#define`` parameter headers, literal-dimension array
+declarations, counted ``for`` loops, and straight-line subscripted
+statements.  That regularity makes a *static* correctness check
+tractable where one for arbitrary C would not be:
+
+* every loop variable gets a value interval from its ``for`` header,
+  every ``int v = expr;`` from interval arithmetic over the header's
+  ``#define`` table and the live intervals;
+* every subscript ``NAME[e0][e1]..`` of a declared array is then checked
+  against the declared extents (SA301 overflow / SA302 negative /
+  SA303 rank);
+* the ``#define`` header is cross-checked against the design point that
+  supposedly produced the file (SA310 / SA311);
+* OpenCL kernels are checked for the double-buffer protocol: ``pp``
+  initialised, flipped once per block, and used on every ping-pong
+  buffer access (SA320–SA322).
+
+The analysis is deliberately conservative about guards: text after a
+ternary ``?`` and lines carrying an ``if (`` are exactly where the
+emitters put their boundary guards, so upper-bound checks are skipped
+there; everything unguarded is checked exactly.  On the shipped
+templates the intervals are tight (the hottest access peaks at
+``dimension - 1``), so a buffer sized even one element short is caught.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.diagnostics import (
+    LINT_DEFINE_MISMATCH,
+    LINT_DEFINE_MISSING,
+    LINT_INDEX_NEGATIVE,
+    LINT_INDEX_OVERFLOW,
+    LINT_PINGPONG_FLIP_MISSING,
+    LINT_PINGPONG_INIT_MISSING,
+    LINT_PINGPONG_NOT_USED,
+    LINT_RANK_MISMATCH,
+    AnalysisReport,
+    Severity,
+    SourceSpan,
+)
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)\s+(.+?)\s*$")
+_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|__local\s+|__constant\s+)*"
+    r"(?:unsigned\s+|signed\s+)?[A-Za-z_]\w*(?:\s+[A-Za-z_]\w*)*\s+"
+    r"(\w+)\s*((?:\[[^\[\]]+\])+)\s*;"
+)
+_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:int|long|unsigned|size_t)\s+(\w+)\s*=\s*([^;]+?)\s*;"
+    r"\s*\1\s*<=?\s*([^;]+?)\s*;"
+)
+_ASSIGN_RE = re.compile(r"^\s*(?:int|long)?\s*(\w+)\s*=\s*([^;=<>!]+?)\s*;\s*$")
+_ACCESS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*((?:\[[^\[\]]+\])+)")
+_DIM_RE = re.compile(r"\[([^\[\]]+)\]")
+_NUMBER_RE = re.compile(r"^(\d+)[uUlL]*$")
+
+
+class _Unknown(Exception):
+    """An expression mentions a symbol the analysis has no interval for."""
+
+
+class _IntervalEvaluator:
+    """Interval arithmetic over ``+ - * ( )``, integers, and symbols."""
+
+    def __init__(self, defines: dict[str, int], env: dict[str, tuple[int, int]]):
+        self.defines = defines
+        self.env = env
+
+    def eval(self, text: str) -> tuple[int, int]:
+        self._tokens = re.findall(r"\d+[uUlL]*|[A-Za-z_]\w*|[+\-*()]", text)
+        if "".join(self._tokens).replace(" ", "") != re.sub(r"\s+", "", text):
+            raise _Unknown(text)  # unsupported operator (/, %, ?:, comparisons)
+        self._pos = 0
+        result = self._sum()
+        if self._pos != len(self._tokens):
+            raise _Unknown(text)
+        return result
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _sum(self) -> tuple[int, int]:
+        lo, hi = self._product()
+        while self._peek() in ("+", "-"):
+            op = self._tokens[self._pos]
+            self._pos += 1
+            rlo, rhi = self._product()
+            if op == "+":
+                lo, hi = lo + rlo, hi + rhi
+            else:
+                lo, hi = lo - rhi, hi - rlo
+        return lo, hi
+
+    def _product(self) -> tuple[int, int]:
+        lo, hi = self._atom()
+        while self._peek() == "*":
+            self._pos += 1
+            rlo, rhi = self._atom()
+            corners = (lo * rlo, lo * rhi, hi * rlo, hi * rhi)
+            lo, hi = min(corners), max(corners)
+        return lo, hi
+
+    def _atom(self) -> tuple[int, int]:
+        token = self._peek()
+        if token is None:
+            raise _Unknown("truncated expression")
+        self._pos += 1
+        if token == "(":
+            inner = self._sum()
+            if self._peek() != ")":
+                raise _Unknown("unbalanced parenthesis")
+            self._pos += 1
+            return inner
+        if token == "-":
+            lo, hi = self._atom()
+            return -hi, -lo
+        match = _NUMBER_RE.match(token)
+        if match:
+            value = int(match.group(1))
+            return value, value
+        if token in self.defines:
+            value = self.defines[token]
+            return value, value
+        if token in self.env:
+            return self.env[token]
+        raise _Unknown(token)
+
+
+def _strip_comments(source: str) -> list[str]:
+    """Source lines with ``//`` and ``/* */`` comments blanked out."""
+    lines = []
+    in_block = False
+    for raw in source.splitlines():
+        out = []
+        i = 0
+        while i < len(raw):
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = len(raw)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif raw.startswith("//", i):
+                break
+            elif raw.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                out.append(raw[i])
+                i += 1
+        lines.append("".join(out))
+    return lines
+
+
+def _resolve_defines(lines: list[str]) -> dict[str, int]:
+    """The ``#define`` table with name-to-name chains resolved to ints."""
+    raw: dict[str, str] = {}
+    for line in lines:
+        match = _DEFINE_RE.match(line)
+        if match:
+            raw[match.group(1)] = match.group(2).strip()
+    resolved: dict[str, int] = {}
+    for _ in range(len(raw) + 1):
+        progressed = False
+        for name, value in raw.items():
+            if name in resolved:
+                continue
+            number = _NUMBER_RE.match(value)
+            if number:
+                resolved[name] = int(number.group(1))
+                progressed = True
+            elif value in resolved:
+                resolved[name] = resolved[value]
+                progressed = True
+        if not progressed:
+            break
+    return resolved
+
+
+def _span(line_no: int, column: int, filename: str | None) -> SourceSpan:
+    return SourceSpan(line_no, max(1, column), filename=filename)
+
+
+def lint_generated_code(
+    source: str,
+    *,
+    filename: str | None = None,
+    kind: str | None = None,
+) -> AnalysisReport:
+    """Lint one generated C/OpenCL file; returns the report.
+
+    Args:
+        source: the generated text (testbench, kernel, or driver).
+        filename: attached to diagnostic spans.
+        kind: ``"kernel"`` forces the double-buffer protocol checks;
+            auto-detected from a ``__kernel`` marker when None.
+    """
+    report = AnalysisReport()
+    lines = _strip_comments(source)
+    defines = _resolve_defines(lines)
+    is_kernel = kind == "kernel" or (kind is None and "__kernel" in source)
+
+    # --- collect literal-dimension array declarations
+    arrays: dict[str, tuple[int, ...]] = {}
+    decl_line: dict[str, int] = {}
+    env: dict[str, tuple[int, int]] = {"pp": (0, 1)}
+    evaluator = _IntervalEvaluator(defines, env)
+    for line_no, line in enumerate(lines, start=1):
+        match = _DECL_RE.match(line)
+        if not match or "(" in line.split("[", 1)[0]:
+            continue
+        name, dim_text = match.group(1), match.group(2)
+        dims = []
+        try:
+            for dim_expr in _DIM_RE.findall(dim_text):
+                lo, hi = evaluator.eval(dim_expr)
+                if lo != hi:
+                    raise _Unknown(dim_expr)
+                dims.append(lo)
+        except _Unknown:
+            continue
+        arrays[name] = tuple(dims)
+        decl_line[name] = line_no
+
+    # --- walk the code: track intervals, check every unguarded subscript
+    for line_no, line in enumerate(lines, start=1):
+        if _DEFINE_RE.match(line):
+            continue
+        for match in _FOR_RE.finditer(line):
+            var, start_text, limit_text = match.groups()
+            inclusive = "<=" in match.group(0)
+            try:
+                start_lo, _ = evaluator.eval(start_text)
+                _, limit_hi = evaluator.eval(limit_text)
+            except _Unknown:
+                env.pop(var, None)
+                continue
+            env[var] = (start_lo, limit_hi if inclusive else limit_hi - 1)
+        if _DECL_RE.match(line):
+            # The bracket chain on a declaration line states extents,
+            # not an access.
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            var, expr = assign.groups()
+            try:
+                env[var] = evaluator.eval(expr)
+            except _Unknown:
+                env.pop(var, None)
+
+        # Guard handling: everything after `?` sits under the emitted
+        # boundary condition; `if (`-guarded lines only get the
+        # negativity check.
+        guarded = "if (" in line or "if(" in line
+        checkable = line.split("?", 1)[0]
+        for match in _ACCESS_RE.finditer(checkable):
+            name = match.group(1)
+            dims = arrays.get(name)
+            if dims is None:
+                continue
+            subscripts = _DIM_RE.findall(match.group(2))
+            if len(subscripts) > len(dims):
+                report.add(
+                    LINT_RANK_MISMATCH,
+                    Severity.ERROR,
+                    f"{name!r} is declared with {len(dims)} dimension(s) "
+                    f"(line {decl_line[name]}) but indexed with "
+                    f"{len(subscripts)}",
+                    _span(line_no, match.start() + 1, filename),
+                )
+                continue
+            for dim, sub in enumerate(subscripts):
+                try:
+                    lo, hi = evaluator.eval(sub)
+                except _Unknown:
+                    continue
+                if lo < 0:
+                    report.add(
+                        LINT_INDEX_NEGATIVE,
+                        Severity.ERROR,
+                        f"subscript {dim} of {name!r} ({sub.strip()}) can "
+                        f"reach {lo} < 0",
+                        _span(line_no, match.start() + 1, filename),
+                    )
+                if hi >= dims[dim] and not guarded:
+                    report.add(
+                        LINT_INDEX_OVERFLOW,
+                        Severity.ERROR,
+                        f"subscript {dim} of {name!r} ({sub.strip()}) can "
+                        f"reach {hi}, but the dimension declared on line "
+                        f"{decl_line[name]} is {dims[dim]}",
+                        _span(line_no, match.start() + 1, filename),
+                        hint=f"the buffer needs extent >= {hi + 1} here",
+                    )
+
+    if is_kernel:
+        _check_double_buffering(report, lines, filename)
+    return report
+
+
+def _check_double_buffering(
+    report: AnalysisReport, lines: list[str], filename: str | None
+) -> None:
+    """SA320–SA322: the ping-pong protocol on ``buf_*[2][..]`` buffers."""
+    pingpong: list[str] = []
+    for line in lines:
+        match = _DECL_RE.match(line)
+        if match and match.group(2).startswith("[2]"):
+            pingpong.append(match.group(1))
+    if not pingpong:
+        return
+    text = "\n".join(lines)
+    if not re.search(r"\bint\s+pp\s*=\s*0\s*;", text):
+        report.add(
+            LINT_PINGPONG_INIT_MISSING,
+            Severity.ERROR,
+            f"double-buffered arrays {pingpong} are declared but the "
+            f"ping-pong selector is never initialised (`int pp = 0;`)",
+        )
+    if not re.search(r"\bpp\s*=\s*1\s*-\s*pp\s*;", text):
+        report.add(
+            LINT_PINGPONG_FLIP_MISSING,
+            Severity.ERROR,
+            "the ping-pong selector is never flipped (`pp = 1 - pp;`), so "
+            "the load phase of block k+1 would overwrite the buffer the "
+            "compute phase of block k is reading",
+        )
+    for line_no, line in enumerate(lines, start=1):
+        if _DECL_RE.match(line):
+            continue
+        for match in _ACCESS_RE.finditer(line):
+            if match.group(1) not in pingpong:
+                continue
+            first = _DIM_RE.findall(match.group(2))[0]
+            if "pp" not in first:
+                report.add(
+                    LINT_PINGPONG_NOT_USED,
+                    Severity.WARNING,
+                    f"access to double-buffered {match.group(1)!r} selects "
+                    f"plane [{first.strip()}] instead of the ping-pong "
+                    f"selector [pp]",
+                    _span(line_no, match.start() + 1, filename),
+                )
+
+
+def lint_against_design(
+    source: str,
+    design,
+    *,
+    filename: str | None = None,
+) -> AnalysisReport:
+    """SA310/SA311: the ``#define`` header must restate the design point.
+
+    Every generated file carries ``N_/T_/S_/B_`` definitions per loop
+    plus ``ROWS/COLS/VEC``; this cross-checks them against the
+    :class:`DesignPoint` the file claims to implement, catching stale or
+    hand-edited headers before anything consumes the file.
+    """
+    report = AnalysisReport()
+    lines = _strip_comments(source)
+    defines = _resolve_defines(lines)
+    nest = design.nest
+    tiling = design.tiling
+    expected: dict[str, int] = {}
+    for it in nest.iterators:
+        expected[f"N_{it}"] = nest.bounds[it]
+        expected[f"T_{it}"] = tiling.t(it)
+        expected[f"S_{it}"] = tiling.s(it)
+        expected[f"B_{it}"] = tiling.block_extent(it)
+    expected["ROWS"] = design.shape.rows
+    expected["COLS"] = design.shape.cols
+    expected["VEC"] = design.shape.vector
+    for name, want in expected.items():
+        have = defines.get(name)
+        if have is None:
+            report.add(
+                LINT_DEFINE_MISSING,
+                Severity.ERROR,
+                f"generated header does not define {name} "
+                f"(design {design.signature} requires {name}={want})",
+            )
+        elif have != want:
+            report.add(
+                LINT_DEFINE_MISMATCH,
+                Severity.ERROR,
+                f"#define {name} {have} contradicts the design point "
+                f"({design.signature} implies {name}={want})",
+                _find_define_span(lines, name, filename),
+            )
+    return report
+
+
+def _find_define_span(
+    lines: list[str], name: str, filename: str | None
+) -> SourceSpan | None:
+    for line_no, line in enumerate(lines, start=1):
+        match = _DEFINE_RE.match(line)
+        if match and match.group(1) == name:
+            return _span(line_no, line.index(name) + 1, filename)
+    return None
+
+
+__all__ = ["lint_against_design", "lint_generated_code"]

@@ -24,7 +24,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.hw.frequency import FrequencyModel
 from repro.model.platform import Platform
 from repro.nn.layers import ConvLayer
 

@@ -25,7 +25,6 @@ multi-layer DSE assumes.  Compiled and run by the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping as MappingT
 
 from repro.ir.access import ArrayAccess
 from repro.ir.loop import LoopNest

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.loop import LoopNest
 from repro.model.design_point import DesignEvaluation, DesignPoint
@@ -43,6 +43,12 @@ class DseConfig:
         include_cover: extend the power-of-two tiling candidates with the
             cover bound (see tuner docs); False = paper-faithful pruning.
         upper_bound_pruning: enable the admissible branch-and-bound.
+        strict: re-verify every finalist with the independent
+            design-point validator (:mod:`repro.analysis.design_check`)
+            and raise :class:`repro.analysis.DiagnosticError` if any
+            violates the paper's constraints.  Off by default: the
+            validator recomputes what the search already enforced, so
+            this is a self-audit, not a correctness requirement.
     """
 
     min_dsp_utilization: float = 0.8
@@ -50,6 +56,7 @@ class DseConfig:
     top_n: int = 14
     include_cover: bool = True
     upper_bound_pruning: bool = True
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.min_dsp_utilization <= 1.0:
@@ -169,17 +176,35 @@ def phase1(
         finalists.sort(key=lambda pair: pair[0], reverse=True)
         del finalists[config.top_n :]
 
-    return Phase1Result(
+    result = Phase1Result(
         finalists=tuple(ev for _, ev in finalists),
         configs_enumerated=len(candidates),
         configs_tuned=tuned,
         tilings_evaluated=tilings,
         elapsed_seconds=time.perf_counter() - start,
     )
+    if config.strict:
+        _audit_designs(
+            (ev.design for ev in result.finalists), platform, "phase-1 finalist"
+        )
+    return result
 
 
-def phase2(phase1_result: Phase1Result, platform: Platform) -> Phase2Result:
-    """Realize clocks for the finalists and pick the on-board winner."""
+def _audit_designs(designs, platform: Platform, context: str) -> None:
+    """Strict-mode self-audit: raise if any design violates a constraint."""
+    from repro.analysis.design_check import verify_design_points
+
+    verify_design_points(designs, platform, context=context).raise_if_errors()
+
+
+def phase2(
+    phase1_result: Phase1Result, platform: Platform, *, strict: bool = False
+) -> Phase2Result:
+    """Realize clocks for the finalists and pick the on-board winner.
+
+    With ``strict`` the winner is re-verified by the independent
+    design-point validator before being returned.
+    """
     if not phase1_result.finalists:
         raise ValueError("phase 1 produced no feasible designs")
     realized: list[tuple[DesignEvaluation, float]] = []
@@ -195,6 +220,8 @@ def phase2(phase1_result: Phase1Result, platform: Platform) -> Phase2Result:
         )
         realized.append((design.evaluate(platform, frequency_mhz=freq), evaluation.throughput_gops))
     realized.sort(key=lambda pair: pair[0].throughput_gops, reverse=True)
+    if strict:
+        _audit_designs([realized[0][0].design], platform, "phase-2 winner")
     return Phase2Result(
         best=realized[0][0],
         finalists=tuple(ev for ev, _ in realized),
@@ -208,7 +235,7 @@ def explore(
     config: DseConfig = DseConfig(),
 ) -> Phase2Result:
     """Full two-phase DSE for a single layer."""
-    return phase2(phase1(nest, platform, config), platform)
+    return phase2(phase1(nest, platform, config), platform, strict=config.strict)
 
 
 def explore_network(

@@ -22,7 +22,6 @@ import time
 from dataclasses import dataclass
 
 from repro.ir.loop import LoopNest
-from repro.model.design_point import ArrayShape, DesignPoint
 from repro.model.mapping import Mapping, feasible_mappings
 from repro.model.platform import Platform
 from repro.nn.folding import fold_layer

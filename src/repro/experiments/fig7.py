@@ -74,15 +74,29 @@ def run_fig7a_design_space(
         f"({len(sampled)} of {len(configs)} configs sampled)",
         headers=["shape", "mapping", "DSP blocks", "BRAM blocks", "agg GFlops"],
     )
+    from repro.analysis.design_check import check_design_point
+
     best = None
     raw_dsp: list[float] = []
     raw_bram: list[float] = []
     raw_gops: list[float] = []
+    designs_validated = 0
+    strict_violations = 0
     for config in sampled:
         outcome = _evaluate_config(workloads, config, platform, dse, None)
         if outcome is None:
             continue
-        aggregate, _seconds, _layers, max_bram, _ops = outcome
+        aggregate, _seconds, layers, max_bram, _ops = outcome
+        # Strict self-audit: every per-layer design the sweep prices must
+        # independently satisfy Eq. 2 and the Eq. 4-6 budgets.
+        middle_of = {layer.name: layer.middle for layer in layers}
+        for w in workloads:
+            design = DesignPoint.create(
+                w.nest, config.mapping, config.shape, middle_of[w.name]
+            )
+            designs_validated += 1
+            if not check_design_point(design, platform).ok:
+                strict_violations += 1
         dsp = config.shape.lanes * platform.dsp_per_mac
         result.add_row(
             str(config.shape),
@@ -106,6 +120,12 @@ def run_fig7a_design_space(
     )
     result.metrics["best_bram_utilization"] = bram / platform.bram_total
     result.metrics["points"] = float(len(result.rows))
+    result.metrics["designs_validated"] = float(designs_validated)
+    result.metrics["strict_violations"] = float(strict_violations)
+    result.note(
+        f"static design-point validator re-checked {designs_validated} "
+        f"per-layer designs of the sweep: {strict_violations} violation(s)."
+    )
 
     # Pareto structure: the paper's "moderate BRAM and DSPs" reading.
     from repro.dse.pareto import ParetoPoint, knee_point, pareto_frontier

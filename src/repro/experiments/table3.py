@@ -18,7 +18,6 @@ paper's 220-280 MHz band, and (iii) the resource profile.
 
 from __future__ import annotations
 
-from repro.model.platform import Platform
 from repro.experiments.common import ExperimentResult
 from repro.experiments.networks import unified_design
 

@@ -5,10 +5,16 @@ Usage::
     systolic-synth conv_layer.c -o build/
     systolic-synth conv_layer.c --datatype fixed8_16 --cs 0.85 --top-n 10
     systolic-synth --network alexnet -o build/
+    systolic-synth check conv_layer.c
+    systolic-synth check conv_layer.c --json --level design
 
 Reads a restricted-C program (or a built-in network), runs the two-phase
 DSE, and writes the generated OpenCL kernel, C++ host, C testbench and a
-text report to the output directory.
+text report to the output directory.  The ``check`` subcommand runs the
+static-analysis passes only (no artifacts written): nest legality,
+design-point validation, generated-code lint.  It exits 0 when the
+program is clean, 1 when diagnostics carry errors, 2 on usage errors —
+and never with a traceback for a malformed input.
 """
 
 from __future__ import annotations
@@ -57,7 +63,73 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_check_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth check",
+        description="Statically check a restricted-C nest without synthesizing it.",
+    )
+    parser.add_argument("source", help="C file to analyze")
+    parser.add_argument(
+        "--level",
+        choices=["nest", "design", "full"],
+        default="full",
+        help="nest = legality only; design = +DSE result validation; "
+        "full = +generated-code lint (default)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("--device", default="arria10_gt1150", help="target FPGA")
+    parser.add_argument(
+        "--datatype", default="float32", help="float32 | fixed8_16 | fixed16"
+    )
+    parser.add_argument(
+        "--no-pragma",
+        action="store_true",
+        help="downgrade a missing '#pragma systolic' to a warning",
+    )
+    return parser
+
+
+def check_main(argv: list[str]) -> int:
+    """The ``check`` subcommand: analysis only, no artifacts."""
+    args = build_check_arg_parser().parse_args(argv)
+    from repro.analysis.check import run_checks
+
+    path = Path(args.source)
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    platform = Platform(
+        device=device_by_name(args.device),
+        datatype=datatype_by_name(args.datatype),
+    )
+    try:
+        source = path.read_text()
+    except UnicodeDecodeError:
+        print(f"error: {path} is not a text file", file=sys.stderr)
+        return 2
+    result = run_checks(
+        source,
+        platform=platform,
+        level=args.level,
+        name=path.stem,
+        filename=str(path),
+        require_pragma=not args.no_pragma,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.report.render(source))
+        if result.ok and result.design is not None:
+            print(f"validated design: {result.design.signature}")
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "check":
+        return check_main(raw[1:])
     args = build_arg_parser().parse_args(argv)
     if bool(args.source) == bool(args.network):
         print("error: provide exactly one of SOURCE or --network", file=sys.stderr)
@@ -127,4 +199,4 @@ if __name__ == "__main__":  # pragma: no cover
     sys.exit(main())
 
 
-__all__ = ["build_arg_parser", "main"]
+__all__ = ["build_arg_parser", "build_check_arg_parser", "check_main", "main"]

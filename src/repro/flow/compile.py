@@ -58,6 +58,8 @@ def synthesize_nest(
     nest: LoopNest,
     platform: Platform | None = None,
     config: DseConfig = DseConfig(),
+    *,
+    strict: bool = False,
 ) -> SynthesisResult:
     """Full flow for a single loop nest.
 
@@ -65,15 +67,29 @@ def synthesize_nest(
         nest: the convolution loop nest (from the front end or a layer).
         platform: target platform (Arria 10 float by default).
         config: DSE knobs.
+        strict: run the static-analysis self-audit end to end — nest
+            legality before the DSE, the independent design-point
+            validator on the winner, and the generated-code linter on
+            every emitted artifact.  Raises
+            :class:`repro.analysis.DiagnosticError` on any violation.
     """
     platform = platform or Platform()
+    if strict:
+        from dataclasses import replace
+
+        from repro.analysis.nest_check import check_nest
+
+        # Layer-derived nests legitimately carry strided subscripts
+        # (the stride-folding transformation introduces them).
+        check_nest(nest, allow_strided=True).raise_if_errors()
+        config = replace(config, strict=True)
     p1 = phase1(nest, platform, config)
-    p2 = phase2(p1, platform)
+    p2 = phase2(p1, platform, strict=strict)
     best = p2.best
     design = best.design
     freq = best.performance.frequency_mhz
     measurement = simulate_performance(design, platform, frequency_mhz=freq)
-    return SynthesisResult(
+    result = SynthesisResult(
         evaluation=best,
         frequency_mhz=freq,
         measurement=measurement,
@@ -85,6 +101,23 @@ def synthesize_nest(
         configs_tuned=p1.configs_tuned,
         dse_seconds=p1.elapsed_seconds,
     )
+    if strict:
+        from repro.analysis.codegen_lint import lint_against_design, lint_generated_code
+        from repro.analysis.diagnostics import AnalysisReport
+
+        combined = AnalysisReport()
+        for label, text in (
+            ("testbench", result.testbench_source),
+            ("kernel", result.kernel_source),
+            ("driver", result.driver_source),
+        ):
+            combined.extend(lint_generated_code(text, filename=f"<{label}>"))
+            if label != "driver":
+                combined.extend(
+                    lint_against_design(text, design, filename=f"<{label}>")
+                )
+        combined.raise_if_errors()
+    return result
 
 
 def compile_c_source(
@@ -94,6 +127,7 @@ def compile_c_source(
     *,
     name: str = "user_nest",
     require_pragma: bool = True,
+    strict: bool = False,
 ) -> SynthesisResult:
     """Full flow from C text (the paper's programming model).
 
@@ -104,10 +138,22 @@ def compile_c_source(
         name: label for the nest.
         require_pragma: reject unannotated programs (the paper's flow is
             pragma-driven); set False to synthesize any conforming nest.
+        strict: run the full static-analysis pass over the source first
+            (raising :class:`repro.analysis.DiagnosticError` with
+            located diagnostics on rejection) and audit the DSE result
+            and generated artifacts; see :func:`synthesize_nest`.
 
     Raises:
-        ValueError: if the pragma is required and missing.
+        ValueError: if the pragma is required and missing (a located
+            ``DiagnosticError`` in strict mode).
     """
+    if strict:
+        from repro.analysis.nest_check import check_source
+
+        nest, report = check_source(source, name=name, require_pragma=require_pragma)
+        report.raise_if_errors()
+        assert nest is not None  # check_source only returns None with errors
+        return synthesize_nest(nest, platform, config, strict=True)
     nest, pragma = loop_nest_from_source(source, name=name)
     if require_pragma and (pragma is None or "systolic" not in pragma):
         raise ValueError(

@@ -17,10 +17,13 @@ location-bearing error.
 """
 
 from repro.frontend.cparser import ParseError, parse_program
-from repro.frontend.emit import nest_to_c
+from repro.frontend.emit import EmitError, nest_to_c
 from repro.frontend.extract import extract_loop_nest, loop_nest_from_source
+from repro.frontend.lexer import LexError
 
 __all__ = [
+    "EmitError",
+    "LexError",
     "ParseError",
     "nest_to_c",
     "extract_loop_nest",

@@ -8,7 +8,7 @@ the nest, a perfect nest of normalized counted ``for`` loops, and one
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -21,18 +21,30 @@ class AffineTerm:
 
 @dataclass(frozen=True)
 class SubscriptExpr:
-    """An affine subscript: sum of terms plus a constant."""
+    """An affine subscript: sum of terms plus a constant.
+
+    ``line``/``column`` locate the first token of the subscript in the
+    source (0 when the node was built programmatically).
+    """
 
     terms: tuple[AffineTerm, ...]
     constant: int = 0
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class ArrayRef:
-    """``NAME[e0][e1]...`` reference."""
+    """``NAME[e0][e1]...`` reference.
+
+    ``line``/``column`` locate the array name token in the source
+    (0 when the node was built programmatically).
+    """
 
     name: str
     subscripts: tuple[SubscriptExpr, ...]
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)

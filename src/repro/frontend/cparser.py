@@ -20,6 +20,17 @@ Anything else raises :class:`ParseError` with a source location.
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import (
+    PARSE_DECL_NOT_ARRAY,
+    PARSE_LOOP_NOT_NORMALIZED,
+    PARSE_LOOP_STEP,
+    PARSE_LOOP_VAR_MISMATCH,
+    PARSE_MISSING_SUBSCRIPT,
+    PARSE_SYNTAX,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+)
 from repro.frontend.ast_nodes import (
     AffineTerm,
     ArrayDecl,
@@ -35,7 +46,29 @@ _TYPE_KEYWORDS = {"float", "double", "int", "short", "char", "long"}
 
 
 class ParseError(ValueError):
-    """Syntax or subset violation, with source location in the message."""
+    """Syntax or subset violation, with source location in the message.
+
+    Carries a structured :attr:`diagnostic` (code + source span) so the
+    analysis layer can report rejections without scraping the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = PARSE_SYNTAX,
+        span: SourceSpan | None = None,
+        hint: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.span = span
+        self.hint = hint
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        """The error as a structured diagnostic."""
+        return Diagnostic(self.code, Severity.ERROR, str(self), self.span, self.hint)
 
 
 class _Parser:
@@ -49,9 +82,16 @@ class _Parser:
     def current(self) -> Token:
         return self.tokens[self.pos]
 
-    def error(self, message: str) -> ParseError:
+    def error(
+        self, message: str, *, code: str = PARSE_SYNTAX, hint: str | None = None
+    ) -> ParseError:
         tok = self.current
-        return ParseError(f"line {tok.line}, column {tok.column}: {message} (got {tok})")
+        return ParseError(
+            f"line {tok.line}, column {tok.column}: {message} (got {tok})",
+            code=code,
+            span=SourceSpan.from_token(tok),
+            hint=hint,
+        )
 
     def advance(self) -> Token:
         tok = self.current
@@ -100,7 +140,9 @@ class _Parser:
             dims.append(int(self.expect(TokenKind.NUMBER).text))
             self.expect(TokenKind.PUNCT, "]")
         if not dims:
-            raise self.error(f"declaration of {name!r} must be an array")
+            raise self.error(
+                f"declaration of {name!r} must be an array", code=PARSE_DECL_NOT_ARRAY
+            )
         self.expect(TokenKind.PUNCT, ";")
         return ArrayDecl(name, element_type, tuple(dims))
 
@@ -111,14 +153,27 @@ class _Parser:
         self.accept(TokenKind.IDENT, "int")
         iterator = self.expect(TokenKind.IDENT).text
         self.expect(TokenKind.PUNCT, "=")
-        start = int(self.expect(TokenKind.NUMBER).text)
+        start_token = self.expect(TokenKind.NUMBER)
+        start = int(start_token.text)
         if start != 0:
-            raise self.error(f"loop {iterator!r} must start at 0 (normalized form)")
+            raise ParseError(
+                f"line {start_token.line}, column {start_token.column}: "
+                f"loop {iterator!r} must start at 0 (normalized form)",
+                code=PARSE_LOOP_NOT_NORMALIZED,
+                span=SourceSpan.from_token(start_token),
+                hint="normalize the loop to start at 0 and fold the offset into the subscripts",
+            )
         self.expect(TokenKind.PUNCT, ";")
 
-        cond_var = self.expect(TokenKind.IDENT).text
+        cond_token = self.expect(TokenKind.IDENT)
+        cond_var = cond_token.text
         if cond_var != iterator:
-            raise self.error(f"condition variable {cond_var!r} != iterator {iterator!r}")
+            raise ParseError(
+                f"line {cond_token.line}, column {cond_token.column}: "
+                f"condition variable {cond_var!r} != iterator {iterator!r}",
+                code=PARSE_LOOP_VAR_MISMATCH,
+                span=SourceSpan.from_token(cond_token),
+            )
         if self.accept(TokenKind.PUNCT, "<"):
             bound = int(self.expect(TokenKind.NUMBER).text)
         elif self.accept(TokenKind.PUNCT, "<="):
@@ -127,15 +182,27 @@ class _Parser:
             raise self.error("expected '<' or '<=' in loop condition")
         self.expect(TokenKind.PUNCT, ";")
 
-        incr_var = self.expect(TokenKind.IDENT).text
+        incr_token = self.expect(TokenKind.IDENT)
+        incr_var = incr_token.text
         if incr_var != iterator:
-            raise self.error(f"increment variable {incr_var!r} != iterator {iterator!r}")
+            raise ParseError(
+                f"line {incr_token.line}, column {incr_token.column}: "
+                f"increment variable {incr_var!r} != iterator {iterator!r}",
+                code=PARSE_LOOP_VAR_MISMATCH,
+                span=SourceSpan.from_token(incr_token),
+            )
         if self.accept(TokenKind.PUNCT, "++"):
             pass
         elif self.accept(TokenKind.PUNCT, "+="):
-            step = int(self.expect(TokenKind.NUMBER).text)
-            if step != 1:
-                raise self.error("only unit-stride loops are supported (tile in the flow)")
+            step_token = self.expect(TokenKind.NUMBER)
+            if int(step_token.text) != 1:
+                raise ParseError(
+                    f"line {step_token.line}, column {step_token.column}: "
+                    "only unit-stride loops are supported (tile in the flow)",
+                    code=PARSE_LOOP_STEP,
+                    span=SourceSpan.from_token(step_token),
+                    hint="the DSE derives blocking itself; write a stride-1 loop",
+                )
         else:
             raise self.error("expected '++' or '+= 1'")
         self.expect(TokenKind.PUNCT, ")")
@@ -160,16 +227,25 @@ class _Parser:
         return MacStatement(target, lhs, rhs, line)
 
     def parse_array_ref(self) -> ArrayRef:
-        name = self.expect(TokenKind.IDENT).text
+        name_token = self.expect(TokenKind.IDENT)
+        name = name_token.text
         subscripts: list[SubscriptExpr] = []
         while self.accept(TokenKind.PUNCT, "["):
             subscripts.append(self.parse_affine())
             self.expect(TokenKind.PUNCT, "]")
         if not subscripts:
-            raise self.error(f"{name!r} must be subscripted")
-        return ArrayRef(name, tuple(subscripts))
+            raise ParseError(
+                f"line {name_token.line}, column {name_token.column}: "
+                f"{name!r} must be subscripted",
+                code=PARSE_MISSING_SUBSCRIPT,
+                span=SourceSpan.from_token(name_token),
+            )
+        return ArrayRef(
+            name, tuple(subscripts), line=name_token.line, column=name_token.column
+        )
 
     def parse_affine(self) -> SubscriptExpr:
+        first = self.current
         terms: list[AffineTerm] = []
         constant = 0
         while True:
@@ -192,7 +268,7 @@ class _Parser:
                 raise self.error("expected a subscript term")
             if not self.accept(TokenKind.PUNCT, "+"):
                 break
-        return SubscriptExpr(tuple(terms), constant)
+        return SubscriptExpr(tuple(terms), constant, line=first.line, column=first.column)
 
 
 def parse_program(source: str) -> Program:

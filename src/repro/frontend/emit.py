@@ -9,8 +9,27 @@ pin the parser and the emitter against each other.
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import EMIT_NOT_SUBSET, Diagnostic, Severity
 from repro.ir.access import AffineExpr, ArrayAccess
 from repro.ir.loop import LoopNest
+
+
+class EmitError(ValueError):
+    """A nest that cannot be rendered in the restricted C subset.
+
+    There is no user source to point into (the nest was built
+    programmatically), so the diagnostic carries the nest name instead
+    of a span.
+    """
+
+    def __init__(self, message: str, *, code: str = EMIT_NOT_SUBSET) -> None:
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        """The error as a structured diagnostic."""
+        return Diagnostic(self.code, Severity.ERROR, str(self))
 
 
 def _expr_to_c(expr: AffineExpr) -> str:
@@ -46,10 +65,16 @@ def nest_to_c(
         C source text that :func:`repro.frontend.parse_program` accepts
         and that round-trips to an equal nest.
     """
-    out = nest.output
+    try:
+        out = nest.output
+    except ValueError as exc:
+        raise EmitError(f"nest {nest.name!r}: {exc}") from exc
     reads = nest.reads
     if len(reads) != 2:
-        raise ValueError("the C subset carries exactly one a*b accumulation")
+        raise EmitError(
+            f"nest {nest.name!r}: the C subset carries exactly one a*b "
+            f"accumulation, found {len(reads)} read operand(s)"
+        )
     lines: list[str] = []
     if declarations:
         bounds = nest.bounds
@@ -75,4 +100,4 @@ def nest_to_c(
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["nest_to_c"]
+__all__ = ["EmitError", "nest_to_c"]

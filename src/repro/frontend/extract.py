@@ -3,11 +3,19 @@
 Walks the parsed perfect nest, collects iteration domains (loop bounds)
 and access functions (affine subscripts), checks the perfect-nest and
 single-statement discipline, and verifies subscripts against the declared
-array shapes where declarations are present.
+array shapes where declarations are present.  Every rejection raises a
+:class:`ParseError` carrying a diagnostic code and a source span.
 """
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import (
+    NEST_DUPLICATE_ITERATOR,
+    NEST_RANK_MISMATCH,
+    NEST_SHAPE_OVERFLOW,
+    NEST_UNBOUND_ITERATOR,
+    SourceSpan,
+)
 from repro.frontend.ast_nodes import ArrayRef, ForLoop, MacStatement, Program
 from repro.frontend.cparser import ParseError, parse_program
 from repro.ir.access import AffineExpr, ArrayAccess
@@ -23,49 +31,100 @@ def _to_affine(ref: ArrayRef) -> tuple[AffineExpr, ...]:
     )
 
 
+def _ref_span(ref: ArrayRef) -> SourceSpan | None:
+    """Source span of an array reference (None for programmatic ASTs)."""
+    if ref.line <= 0:
+        return None
+    return SourceSpan(ref.line, max(1, ref.column))
+
+
 def extract_loop_nest(program: Program, *, name: str = "user_nest") -> LoopNest:
     """Build a :class:`LoopNest` from a parsed program.
 
     Raises:
         ParseError: if the nest breaks a structural rule (duplicate
             iterators, subscripts using undeclared iterators, subscript
-            ranges exceeding a declared array shape).
+            ranges exceeding a declared array shape).  The error carries
+            a diagnostic code and the offending source span.
     """
     loops: list[Loop] = []
     node: ForLoop | MacStatement = program.nest
     while isinstance(node, ForLoop):
-        loops.append(Loop(node.iterator, node.bound))
+        if any(loop.iterator == node.iterator for loop in loops):
+            raise ParseError(
+                f"line {node.line}: duplicate loop iterator {node.iterator!r}",
+                code=NEST_DUPLICATE_ITERATOR,
+                span=SourceSpan(node.line),
+            )
+        try:
+            loops.append(Loop(node.iterator, node.bound))
+        except ValueError as exc:
+            raise ParseError(
+                f"line {node.line}: {exc}", span=SourceSpan(node.line)
+            ) from exc
         node = node.body
     statement = node
 
+    refs = (statement.target, statement.lhs, statement.rhs)
     accesses = (
         ArrayAccess(statement.target.name, _to_affine(statement.target), is_write=True),
         ArrayAccess(statement.lhs.name, _to_affine(statement.lhs)),
         ArrayAccess(statement.rhs.name, _to_affine(statement.rhs)),
     )
+
+    # Every subscript iterator must be bound by a loop of the nest.
+    known = {loop.iterator for loop in loops}
+    for ref, access in zip(refs, accesses):
+        unknown = sorted(access.iterators - known)
+        if unknown:
+            raise ParseError(
+                f"line {statement.line}: access {access} uses iterators {unknown} "
+                f"not bound by any loop of the nest",
+                code=NEST_UNBOUND_ITERATOR,
+                span=_ref_span(ref) or SourceSpan(statement.line),
+            )
+
     try:
         nest = LoopNest(tuple(loops), accesses, name=name)
     except ValueError as exc:
-        raise ParseError(f"line {statement.line}: {exc}") from exc
+        # LoopNest re-checks the invariants above; anything it still
+        # rejects is surfaced as a located ParseError, never a bare
+        # ValueError mid-flow.
+        raise ParseError(
+            f"line {statement.line}: {exc}", span=SourceSpan(statement.line)
+        ) from exc
 
     # Shape-check subscript ranges against declarations.
     decls = {d.name: d for d in program.declarations}
     bounds = nest.bounds
-    for access in accesses:
+    for ref, access in zip(refs, accesses):
         decl = decls.get(access.array)
         if decl is None:
             continue
         if len(decl.dims) != access.rank:
             raise ParseError(
                 f"array {access.array!r} declared with {len(decl.dims)} dims "
-                f"but accessed with {access.rank}"
+                f"but accessed with {access.rank}",
+                code=NEST_RANK_MISMATCH,
+                span=_ref_span(ref),
             )
         for dim, (expr, extent) in enumerate(zip(access.indices, decl.dims)):
             lo, hi = expr.value_range(bounds)
             if lo < 0 or hi >= extent:
+                sub = ref.subscripts[dim]
+                span = (
+                    SourceSpan(sub.line, max(1, sub.column))
+                    if sub.line > 0
+                    else _ref_span(ref)
+                )
                 raise ParseError(
                     f"subscript {dim} of {access.array!r} spans [{lo}, {hi}] "
-                    f"but the array dimension is {extent}"
+                    f"but the array dimension is {extent}",
+                    code=NEST_SHAPE_OVERFLOW,
+                    span=span,
+                    hint=f"declare {access.array} with dimension {dim} >= {hi + 1}"
+                    if lo >= 0
+                    else None,
                 )
     return nest
 

@@ -11,6 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.analysis.diagnostics import (
+    LEX_BAD_CHAR,
+    LEX_UNTERMINATED_COMMENT,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+)
+
 
 class TokenKind(Enum):
     IDENT = "ident"
@@ -47,7 +55,27 @@ PUNCTUATION = (
 
 
 class LexError(ValueError):
-    """Raised on characters outside the subset."""
+    """Raised on characters outside the subset.
+
+    Carries a structured :attr:`diagnostic` (code + source span) so the
+    analysis layer can report it without re-parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = LEX_BAD_CHAR,
+        span: SourceSpan | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.span = span
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        """The error as a structured diagnostic."""
+        return Diagnostic(self.code, Severity.ERROR, str(self), self.span)
 
 
 def tokenize(source: str) -> list[Token]:
@@ -85,7 +113,11 @@ def tokenize(source: str) -> list[Token]:
         if source.startswith("/*", i):
             end = source.find("*/", i + 2)
             if end == -1:
-                raise LexError(f"unterminated block comment at line {line}")
+                raise LexError(
+                    f"unterminated block comment at line {line}",
+                    code=LEX_UNTERMINATED_COMMENT,
+                    span=SourceSpan(line, col),
+                )
             advance(source[i : end + 2])
             i = end + 2
             continue
@@ -124,7 +156,11 @@ def tokenize(source: str) -> list[Token]:
                 i += len(punct)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r} at line {line}, column {col}")
+            raise LexError(
+                f"unexpected character {ch!r} at line {line}, column {col}",
+                code=LEX_BAD_CHAR,
+                span=SourceSpan(line, col),
+            )
 
     tokens.append(Token(TokenKind.EOF, "", line, col))
     return tokens

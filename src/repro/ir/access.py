@@ -11,7 +11,7 @@ AlexNet conv1), while the closed-form footprint math in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 

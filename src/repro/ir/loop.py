@@ -10,7 +10,7 @@ multiply-accumulate statement.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.ir.access import ArrayAccess
 

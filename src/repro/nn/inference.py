@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.golden import conv2d_layer
-from repro.nn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.nn.layers import PoolLayer
 from repro.nn.models import Network
 from repro.nn.quantize import QuantizationSpec, quantize_tensor
 

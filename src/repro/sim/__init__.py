@@ -39,10 +39,14 @@ __all__ = [
     "EngineResult",
     "chain_fill_cycles",
     "LayerMeasurement",
+    "SystemMeasurement",
     "SystolicArrayEngine",
     "audit_tiling_coverage",
     "enumerate_blocks",
+    "schedule_waterfall",
     "simulate_layer",
     "simulate_performance",
+    "simulate_system",
+    "wave_at",
     "wave_schedule_cycles",
 ]

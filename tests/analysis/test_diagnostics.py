@@ -1,0 +1,139 @@
+"""The shared diagnostics framework: codes, spans, reports, rendering."""
+
+import json
+import re
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    DiagnosticError,
+    Severity,
+    SourceSpan,
+    error,
+    register_code,
+    warning,
+)
+
+
+class TestCatalog:
+    def test_all_codes_well_formed(self):
+        for code, title in CODE_CATALOG.items():
+            assert re.fullmatch(r"SA\d{3}", code), code
+            assert title.strip(), code
+
+    def test_register_rejects_bad_code(self):
+        with pytest.raises(ValueError):
+            register_code("XX123", "nope")
+
+    def test_register_rejects_conflicting_title(self):
+        code = next(iter(CODE_CATALOG))
+        with pytest.raises(ValueError):
+            register_code(code, "a different title entirely")
+
+    def test_register_idempotent(self):
+        code = next(iter(CODE_CATALOG))
+        assert register_code(code, CODE_CATALOG[code]) == code
+
+
+class TestSourceSpan:
+    def test_str_forms(self):
+        assert str(SourceSpan(3, 7)) == "3:7"
+        assert str(SourceSpan(3, 7, filename="x.c")) == "x.c:3:7"
+
+    def test_with_filename(self):
+        span = SourceSpan(2, 5).with_filename("a.c")
+        assert span.filename == "a.c" and span.line == 2
+
+    def test_to_dict_roundtrips_fields(self):
+        d = SourceSpan(4, 2, filename="f.c").to_dict()
+        assert d["line"] == 4 and d["column"] == 2 and d["filename"] == "f.c"
+
+
+class TestReport:
+    def _report(self):
+        report = AnalysisReport()
+        report.add("SA110", Severity.ERROR, "bad subscript", SourceSpan(2, 5))
+        report.add("SA206", Severity.WARNING, "oversized shape")
+        return report
+
+    def test_counts_and_ok(self):
+        report = self._report()
+        assert len(report) == 2
+        assert len(report.errors) == 1 and len(report.warnings) == 1
+        assert not report.ok and report.exit_code == 1
+        assert AnalysisReport().ok and AnalysisReport().exit_code == 0
+
+    def test_codes_listing(self):
+        assert sorted(self._report().codes()) == ["SA110", "SA206"]
+
+    def test_render_has_summary_and_caret(self):
+        source = "line one\nfor (i) x[i];\n"
+        text = self._report().render(source)
+        assert "1 error(s), 1 warning(s)" in text
+        assert "[SA110]" in text
+        assert "^" in text  # caret excerpt under line 2
+
+    def test_render_clean(self):
+        assert "no issues found" in AnalysisReport().render("")
+
+    def test_json_machine_readable(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["ok"] is False
+        assert payload["errors"] == 1 and payload["warnings"] == 1
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == ["SA110", "SA206"]
+        assert payload["diagnostics"][0]["span"]["line"] == 2
+
+    def test_raise_if_errors(self):
+        report = self._report()
+        with pytest.raises(DiagnosticError) as exc:
+            report.raise_if_errors()
+        assert exc.value.report is report
+        assert isinstance(exc.value, ValueError)
+        # warnings alone never raise
+        clean = AnalysisReport()
+        clean.add("SA206", Severity.WARNING, "just a warning")
+        clean.raise_if_errors()
+
+    def test_diagnostic_error_counts_extras(self):
+        report = AnalysisReport()
+        report.add("SA110", Severity.ERROR, "first")
+        report.add("SA111", Severity.ERROR, "second")
+        with pytest.raises(DiagnosticError, match=r"\+1 more error"):
+            report.raise_if_errors()
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            AnalysisReport().add("SA999", Severity.ERROR, "unregistered")
+
+
+class TestDocumentation:
+    def test_every_code_is_documented(self):
+        from pathlib import Path
+
+        doc = Path(__file__).parent.parent.parent / "docs" / "diagnostics.md"
+        text = doc.read_text()
+        missing = [code for code in CODE_CATALOG if f"### {code} " not in text]
+        assert not missing, f"docs/diagnostics.md lacks a section for {missing}"
+
+    def test_documented_codes_exist(self):
+        from pathlib import Path
+
+        doc = Path(__file__).parent.parent.parent / "docs" / "diagnostics.md"
+        documented = re.findall(r"^### (SA\d{3}) ", doc.read_text(), re.MULTILINE)
+        unknown = [code for code in documented if code not in CODE_CATALOG]
+        assert not unknown, f"docs/diagnostics.md documents unregistered {unknown}"
+
+
+class TestShorthands:
+    def test_error_and_warning(self):
+        assert error("SA110", "x").severity is Severity.ERROR
+        assert warning("SA206", "x").severity is Severity.WARNING
+        assert error("SA110", "x").is_error
+
+    def test_title_lookup(self):
+        diag = Diagnostic("SA110", Severity.ERROR, "msg")
+        assert diag.title == CODE_CATALOG["SA110"]

@@ -52,6 +52,62 @@ def test_dse_winner_is_functionally_correct(out_ch, in_ch, size, kernel, pad, se
     np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-11)
 
 
+_CODE1 = """
+#pragma systolic
+for (o = 0; o < 8; o++)
+  for (i = 0; i < 4; i++)
+    for (c = 0; c < 6; c++)
+      for (r = 0; r < 6; r++)
+        for (p = 0; p < 3; p++)
+          for (q = 0; q < 3; q++)
+            OUT[o][r][c] += W[o][i][p][q] * IN[i][r+p][c+q];
+"""
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_malformed_sources_never_traceback(data):
+    """Mutation fuzz over the checker: however we mangle the input, the
+    static analyzer must answer with a report — never an exception."""
+    from repro.analysis.diagnostics import CODE_CATALOG
+    from repro.analysis.nest_check import check_source
+
+    mutation = data.draw(
+        st.sampled_from(
+            [
+                lambda s, d: s.replace(d.draw(st.sampled_from(list("oicrpq<=;[]()"))), "", 1),
+                lambda s, d: s.replace(
+                    d.draw(st.sampled_from(["for", "OUT", "+=", "pragma", "< 6", "[i]"])),
+                    d.draw(st.sampled_from(["", "@", "while", "42", "%%"])),
+                    1,
+                ),
+                lambda s, d: s[: d.draw(st.integers(0, len(s)))],
+                lambda s, d: s[d.draw(st.integers(0, len(s))) :],
+                lambda s, d: s + d.draw(st.sampled_from(["}", "/*", "for (", "#pragma", "\x00"])),
+            ]
+        )
+    )
+    source = mutation(_CODE1, data)
+    nest, report = check_source(source)  # must not raise
+    if nest is None or not report.ok:
+        assert len(report.errors) >= 1
+        for diag in report:
+            assert diag.code in CODE_CATALOG
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(junk=st.text(max_size=200))
+def test_arbitrary_text_never_tracebacks(junk):
+    """Totally arbitrary text (not even mutated C) is also rejected
+    gracefully by the full check pipeline."""
+    from repro.analysis.check import run_checks
+
+    result = run_checks(junk, level="nest")
+    assert result.exit_code in (0, 1)
+    if not result.ok:
+        assert all(d.code.startswith("SA") for d in result.report.errors)
+
+
 @pytest.mark.slow
 @settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(

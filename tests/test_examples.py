@@ -5,6 +5,7 @@ directories) with fast flags where available.  These are integration
 tests of the public API exactly as a new user would drive it.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,15 +13,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, tmp_path: Path, *args: str, timeout: int = 420) -> str:
+    # The subprocess runs from tmp_path, so a relative PYTHONPATH=src from
+    # the invoking shell would no longer resolve: pin the absolute src dir.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         cwd=tmp_path,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
     return result.stdout
