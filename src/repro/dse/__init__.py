@@ -18,6 +18,7 @@ selects the single unified design per network used in Tables 3–5.
 
 from repro.dse.brute import brute_force_best_middle, brute_force_space_size
 from repro.dse.explore import DseConfig, Phase1Result, Phase2Result, explore, explore_network
+from repro.dse.parallel import resolve_jobs
 from repro.dse.multi_layer import MultiLayerResult, prepare_network_nests, select_unified_design
 from repro.dse.pareto import ParetoPoint, knee_point, pareto_frontier
 from repro.dse.shared_reuse import SharedReuseResult, tune_shared_reuse
@@ -49,6 +50,7 @@ __all__ = [
     "middle_candidates",
     "pareto_frontier",
     "prepare_network_nests",
+    "resolve_jobs",
     "select_unified_design",
     "tune_shared_reuse",
     "tuning_space_size",

@@ -23,13 +23,17 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.ir.loop import LoopNest
 from repro.model.design_point import DesignEvaluation, DesignPoint
 from repro.model.platform import Platform
 from repro.dse.space import DEFAULT_VECTOR_CHOICES, SystolicConfig, enumerate_configs
 from repro.dse.tuner import MiddleTuner
+
+ProgressFn = Callable[[int, int], None]
+"""Optional progress hook: called with (configurations consumed, total)."""
 
 
 @dataclass(frozen=True)
@@ -76,14 +80,16 @@ class Phase1Result:
         configs_tuned: configurations whose tiling space was searched
             (smaller when upper-bound pruning fires).
         tilings_evaluated: total Problem-2 candidates walked.
-        elapsed_seconds: wall-clock time of the phase.
+        elapsed_seconds: wall-clock time of the phase (bookkeeping;
+            excluded from equality so runs at different ``jobs`` counts
+            or cache replays compare equal when the search agrees).
     """
 
     finalists: tuple[DesignEvaluation, ...]
     configs_enumerated: int
     configs_tuned: int
     tilings_evaluated: int
-    elapsed_seconds: float
+    elapsed_seconds: float = field(compare=False)
 
 
 @dataclass(frozen=True)
@@ -131,8 +137,24 @@ def phase1(
     nest: LoopNest,
     platform: Platform,
     config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Phase1Result:
-    """Run the analytical filtering phase on one layer."""
+    """Run the analytical filtering phase on one layer.
+
+    Args:
+        nest: the layer's loop nest.
+        platform: evaluation platform.
+        config: DSE knobs.
+        jobs: worker processes for the tuning fan-out; 1 (default) runs
+            serially in-process, <= 0 means all cores.  Any value yields
+            bit-identical finalists and statistics: the parallel path
+            evaluates ranked batches concurrently and then *replays* the
+            serial branch-and-bound over the batch results in rank order
+            (see :mod:`repro.dse.parallel`).
+        progress: optional hook called with (configs consumed, total).
+    """
     start = time.perf_counter()
     candidates = list(
         enumerate_configs(
@@ -151,30 +173,73 @@ def phase1(
     finalists: list[tuple[float, DesignEvaluation]] = []
     tuned = 0
     tilings = 0
-    for upper_bound, candidate in ranked:
-        if (
+
+    def should_stop(upper_bound: float) -> bool:
+        return (
             config.upper_bound_pruning
             and len(finalists) >= config.top_n
             and upper_bound <= finalists[-1][0]
-        ):
-            break  # nothing below this bound can enter the top-N
-        tuner = MiddleTuner(
-            nest,
-            candidate.mapping,
-            candidate.shape,
-            platform,
-            include_cover=config.include_cover,
-        )
-        try:
-            result = tuner.tune()
-        except RuntimeError:
-            continue  # no feasible tiling (BRAM) for this config
+        )  # nothing below this bound can enter the top-N
+
+    def merge(outcome: tuple[DesignEvaluation, int] | None) -> None:
+        nonlocal tuned, tilings
+        if outcome is None:
+            return  # no feasible tiling (BRAM) for this config
+        evaluation, candidates_evaluated = outcome
         tuned += 1
-        tilings += result.candidates_evaluated
-        evaluation = result.design.evaluate(platform)
+        tilings += candidates_evaluated
         finalists.append((evaluation.throughput_gops, evaluation))
         finalists.sort(key=lambda pair: pair[0], reverse=True)
         del finalists[config.top_n :]
+
+    if jobs != 1 and len(ranked) > 1:
+        from repro.dse.parallel import (
+            BATCH_FACTOR,
+            batched,
+            phase1_map,
+            phase1_pool,
+            resolve_jobs,
+        )
+
+        workers = resolve_jobs(jobs)
+        consumed = 0
+        with phase1_pool(nest, platform, config.include_cover, workers) as pool:
+            stopped = False
+            for batch in batched(ranked, workers * BATCH_FACTOR):
+                if stopped:
+                    break
+                outcomes = phase1_map(pool, (c for _, c in batch), workers)
+                for (upper_bound, _candidate), outcome in zip(batch, outcomes):
+                    if should_stop(upper_bound):
+                        stopped = True
+                        break
+                    consumed += 1
+                    merge(outcome)
+                if progress:
+                    progress(consumed, len(ranked))
+    else:
+        for index, (upper_bound, candidate) in enumerate(ranked):
+            if should_stop(upper_bound):
+                break
+            tuner = MiddleTuner(
+                nest,
+                candidate.mapping,
+                candidate.shape,
+                platform,
+                include_cover=config.include_cover,
+            )
+            try:
+                tuned_design = tuner.tune()
+            except RuntimeError:
+                outcome = None
+            else:
+                outcome = (
+                    tuned_design.design.evaluate(platform),
+                    tuned_design.candidates_evaluated,
+                )
+            merge(outcome)
+            if progress and (index + 1) % 32 == 0:
+                progress(index + 1, len(ranked))
 
     result = Phase1Result(
         finalists=tuple(ev for _, ev in finalists),
@@ -233,15 +298,21 @@ def explore(
     nest: LoopNest,
     platform: Platform,
     config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
 ) -> Phase2Result:
     """Full two-phase DSE for a single layer."""
-    return phase2(phase1(nest, platform, config), platform, strict=config.strict)
+    return phase2(
+        phase1(nest, platform, config, jobs=jobs), platform, strict=config.strict
+    )
 
 
 def explore_network(
     nests: tuple[LoopNest, ...],
     platform: Platform,
     config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
 ):
     """Full two-phase DSE for a whole network (unified design).
 
@@ -250,7 +321,7 @@ def explore_network(
     """
     from repro.dse.multi_layer import select_unified_design
 
-    return select_unified_design(nests, platform, config)
+    return select_unified_design(nests, platform, config, jobs=jobs)
 
 
 __all__ = [

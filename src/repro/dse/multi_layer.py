@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.ir.loop import LoopNest
 from repro.model.mapping import Mapping, feasible_mappings
@@ -107,7 +108,9 @@ class MultiLayerResult:
         dsp_utilization / bram_utilization / logic_utilization: resource
             report of the unified design (BRAM is the max over layers).
         configs_enumerated / configs_tuned: search statistics.
-        elapsed_seconds: DSE wall-clock time.
+        elapsed_seconds: DSE wall-clock time (bookkeeping; excluded from
+            equality so runs at different ``jobs`` counts or cache
+            replays compare equal when the search agrees).
     """
 
     config: SystolicConfig
@@ -120,7 +123,7 @@ class MultiLayerResult:
     logic_utilization: float
     configs_enumerated: int
     configs_tuned: int
-    elapsed_seconds: float
+    elapsed_seconds: float = field(compare=False)
 
 
 def _envelope_nest(workloads: tuple[LayerWorkload, ...]) -> LoopNest:
@@ -217,6 +220,9 @@ def select_unified_design(
     workloads: tuple[LayerWorkload, ...] | Network,
     platform: Platform,
     config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
+    progress: Callable[[int, int], None] | None = None,
 ) -> MultiLayerResult:
     """Two-phase DSE for one unified design across all conv layers.
 
@@ -225,6 +231,12 @@ def select_unified_design(
             with folding enabled).
         platform: evaluation platform.
         config: DSE knobs (c_s, vectors, top_n, pruning).
+        jobs: worker processes for the per-candidate (all-layer) tuning
+            fan-out; 1 runs serially, <= 0 means all cores.  The winning
+            design is bit-identical for any value: parallel batches are
+            replayed through the serial branch-and-bound in rank order
+            (see :mod:`repro.dse.parallel`).
+        progress: optional hook called with (configs consumed, total).
     """
     start = time.perf_counter()
     if isinstance(workloads, Network):
@@ -255,48 +267,120 @@ def select_unified_design(
 
     finalists: list[tuple[float, SystolicConfig]] = []
     tuned_count = 0
-    for upper_bound, candidate in ranked:
-        if (
+
+    def should_stop(upper_bound: float) -> bool:
+        return (
             config.upper_bound_pruning
             and len(finalists) >= config.top_n
             and upper_bound <= finalists[-1][0]
-        ):
-            break
-        outcome = _evaluate_config(workloads, candidate, platform, config, None)
+        )
+
+    def merge(candidate: SystolicConfig, outcome) -> None:
+        nonlocal tuned_count
         if outcome is None:
-            continue
+            return
         tuned_count += 1
         finalists.append((outcome[0], candidate))
         finalists.sort(key=lambda pair: pair[0], reverse=True)
         del finalists[config.top_n :]
 
-    if not finalists:
-        raise RuntimeError("no feasible unified design found")
-
-    # Phase 2: realize clocks, re-tune at the realized clock, pick winner.
-    best = None
-    for estimated, candidate in finalists:
-        probe = _evaluate_config(workloads, candidate, platform, config, None)
-        assert probe is not None
-        _, _, _, max_bram, _ = probe
-        dsp_blocks = candidate.shape.lanes * platform.dsp_per_mac
-        dsp_util = dsp_blocks / (platform.dsp_total * platform.dsp_per_mac)
-        bram_util = max_bram / platform.bram_total
-        freq = platform.frequency_model.realize(
-            rows=candidate.shape.rows,
-            cols=candidate.shape.cols,
-            vector=candidate.shape.vector,
-            dsp_utilization=dsp_util,
-            bram_utilization=bram_util,
-            signature=f"unified|{candidate}",
+    parallel = jobs != 1 and len(ranked) > 1
+    pool = None
+    workers = 1
+    if parallel:
+        from repro.dse.parallel import (
+            BATCH_FACTOR,
+            batched,
+            resolve_jobs,
+            unified_map,
+            unified_pool,
         )
-        outcome = _evaluate_config(workloads, candidate, platform, config, freq)
-        if outcome is None:
-            continue
-        aggregate, total_seconds, layers, max_bram, _total_ops = outcome
-        record = (aggregate, candidate, freq, total_seconds, layers, max_bram, dsp_util)
-        if best is None or aggregate > best[0]:
-            best = record
+
+        workers = resolve_jobs(jobs)
+        pool = unified_pool(workloads, platform, config, workers)
+    try:
+        if pool is not None:
+            consumed = 0
+            stopped = False
+            for batch in batched(ranked, workers * BATCH_FACTOR):
+                if stopped:
+                    break
+                outcomes = unified_map(pool, ((c, None) for _, c in batch), workers)
+                for (upper_bound, candidate), outcome in zip(batch, outcomes):
+                    if should_stop(upper_bound):
+                        stopped = True
+                        break
+                    consumed += 1
+                    merge(candidate, outcome)
+                if progress:
+                    progress(consumed, len(ranked))
+        else:
+            for index, (upper_bound, candidate) in enumerate(ranked):
+                if should_stop(upper_bound):
+                    break
+                merge(
+                    candidate,
+                    _evaluate_config(workloads, candidate, platform, config, None),
+                )
+                if progress and (index + 1) % 8 == 0:
+                    progress(index + 1, len(ranked))
+
+        if not finalists:
+            raise RuntimeError("no feasible unified design found")
+
+        # Phase 2: realize clocks, re-tune at the realized clock, pick the
+        # winner.  The parallel path maps the probe and realized-clock
+        # evaluations over the pool (order-preserving), then replays the
+        # serial argmax, so ties keep breaking toward the earlier finalist.
+        if pool is not None:
+            probes = unified_map(pool, ((c, None) for _, c in finalists), workers)
+        else:
+            probes = [
+                _evaluate_config(workloads, candidate, platform, config, None)
+                for _, candidate in finalists
+            ]
+        freqs = []
+        for (_estimated, candidate), probe in zip(finalists, probes):
+            assert probe is not None
+            _, _, _, max_bram, _ = probe
+            dsp_blocks = candidate.shape.lanes * platform.dsp_per_mac
+            dsp_util = dsp_blocks / (platform.dsp_total * platform.dsp_per_mac)
+            bram_util = max_bram / platform.bram_total
+            freq = platform.frequency_model.realize(
+                rows=candidate.shape.rows,
+                cols=candidate.shape.cols,
+                vector=candidate.shape.vector,
+                dsp_utilization=dsp_util,
+                bram_utilization=bram_util,
+                signature=f"unified|{candidate}",
+            )
+            freqs.append((freq, dsp_util))
+        if pool is not None:
+            realized = unified_map(
+                pool,
+                ((c, freq) for (_, c), (freq, _) in zip(finalists, freqs)),
+                workers,
+            )
+        else:
+            realized = [
+                _evaluate_config(workloads, candidate, platform, config, freq)
+                for (_, candidate), (freq, _) in zip(finalists, freqs)
+            ]
+        best = None
+        for (_estimated, candidate), (freq, dsp_util), outcome in zip(
+            finalists, freqs, realized
+        ):
+            if outcome is None:
+                continue
+            aggregate, total_seconds, layers, max_bram, _total_ops = outcome
+            record = (
+                aggregate, candidate, freq, total_seconds, layers, max_bram, dsp_util,
+            )
+            if best is None or aggregate > best[0]:
+                best = record
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
     assert best is not None
     aggregate, candidate, freq, total_seconds, layers, max_bram, dsp_util = best

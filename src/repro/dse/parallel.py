@@ -1,0 +1,146 @@
+"""Process-pool fan-out for the DSE hot loops.
+
+Phase-1 tuning is embarrassingly parallel *per configuration*, but the
+admissible branch-and-bound is inherently sequential: whether candidate
+``i`` may be skipped depends on the top-N after candidates ``< i``.  The
+scheme here keeps the serial semantics bit-for-bat identical while still
+using every core:
+
+1. candidates are walked in the same descending upper-bound order as the
+   serial search, in batches of ``~8 x jobs``;
+2. a worker pool evaluates a whole batch concurrently (each worker holds
+   the nest/platform in process-global state set by the pool initializer,
+   so per-task pickling is just the candidate);
+3. the parent *replays* the serial algorithm over the batch results in
+   rank order — applying the same pruning check before consuming each
+   result and discarding everything past the stop point.
+
+Because the replay performs exactly the serial sequence of top-N updates
+and prune checks, finalists, statistics and the stop point are identical
+to ``jobs=1`` (asserted by tests); the only cost is up to one batch of
+wasted tuning past the stop point.
+
+Workers are plain module-level functions (picklable under every start
+method); pools use the default start method of the host platform.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Batch size per pool round, as a multiple of the worker count.  Larger
+#: batches amortize dispatch overhead; smaller ones waste less work past
+#: the branch-and-bound stop point.
+BATCH_FACTOR = 8
+
+_PHASE1_STATE: tuple | None = None
+_UNIFIED_STATE: tuple | None = None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` knob: None/0/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def batched(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield successive slices of at most ``size`` items."""
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+# ------------------------------------------------------------- phase 1
+
+
+def _phase1_init(nest: Any, platform: Any, include_cover: bool) -> None:
+    global _PHASE1_STATE
+    _PHASE1_STATE = (nest, platform, include_cover)
+
+
+def _phase1_tune(candidate: Any) -> tuple[Any, int] | None:
+    """Tune one configuration; (evaluation, tilings walked) or None when
+    no tiling fits the BRAM budget."""
+    from repro.dse.tuner import MiddleTuner
+
+    assert _PHASE1_STATE is not None
+    nest, platform, include_cover = _PHASE1_STATE
+    tuner = MiddleTuner(
+        nest, candidate.mapping, candidate.shape, platform, include_cover=include_cover
+    )
+    try:
+        result = tuner.tune()
+    except RuntimeError:
+        return None
+    return result.design.evaluate(platform), result.candidates_evaluated
+
+
+def phase1_pool(nest: Any, platform: Any, include_cover: bool, jobs: int) -> ProcessPoolExecutor:
+    """A pool whose workers hold the phase-1 tuning state."""
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_phase1_init,
+        initargs=(nest, platform, include_cover),
+    )
+
+
+def phase1_map(
+    pool: ProcessPoolExecutor, candidates: Iterable[Any], jobs: int
+) -> list[tuple[Any, int] | None]:
+    """Evaluate a batch of configurations, preserving order."""
+    candidates = list(candidates)
+    chunksize = max(1, len(candidates) // (jobs * 2) or 1)
+    return list(pool.map(_phase1_tune, candidates, chunksize=chunksize))
+
+
+# ------------------------------------------------- unified (multi-layer)
+
+
+def _unified_init(workloads: Any, platform: Any, dse: Any) -> None:
+    global _UNIFIED_STATE
+    _UNIFIED_STATE = (workloads, platform, dse)
+
+
+def _unified_eval(task: tuple[Any, float | None]) -> Any:
+    """Evaluate one unified-design candidate over every layer."""
+    from repro.dse.multi_layer import _evaluate_config
+
+    assert _UNIFIED_STATE is not None
+    workloads, platform, dse = _UNIFIED_STATE
+    candidate, frequency_mhz = task
+    return _evaluate_config(workloads, candidate, platform, dse, frequency_mhz)
+
+
+def unified_pool(workloads: Any, platform: Any, dse: Any, jobs: int) -> ProcessPoolExecutor:
+    """A pool whose workers hold the multi-layer evaluation state."""
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_unified_init,
+        initargs=(workloads, platform, dse),
+    )
+
+
+def unified_map(
+    pool: ProcessPoolExecutor,
+    tasks: Iterable[tuple[Any, float | None]],
+    jobs: int,
+) -> list[Any]:
+    """Evaluate (candidate, frequency) tasks, preserving order."""
+    tasks = list(tasks)
+    chunksize = max(1, len(tasks) // (jobs * 2) or 1)
+    return list(pool.map(_unified_eval, tasks, chunksize=chunksize))
+
+
+__all__ = [
+    "BATCH_FACTOR",
+    "batched",
+    "phase1_map",
+    "phase1_pool",
+    "resolve_jobs",
+    "unified_map",
+    "unified_pool",
+]

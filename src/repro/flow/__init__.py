@@ -6,6 +6,7 @@ or one shell command (``systolic-synth``, :mod:`repro.flow.cli`).
 """
 
 from repro.flow.compile import (
+    CacheSpec,
     NetworkSynthesis,
     SynthesisResult,
     compile_c_source,
@@ -15,6 +16,7 @@ from repro.flow.compile import (
 from repro.flow.report import format_table, render_synthesis_report
 
 __all__ = [
+    "CacheSpec",
     "NetworkSynthesis",
     "SynthesisResult",
     "compile_c_source",

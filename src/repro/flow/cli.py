@@ -3,18 +3,27 @@
 Usage::
 
     systolic-synth conv_layer.c -o build/
+    systolic-synth compile conv_layer.c --jobs 4 --trace-json trace.jsonl
     systolic-synth conv_layer.c --datatype fixed8_16 --cs 0.85 --top-n 10
-    systolic-synth --network alexnet -o build/
+    systolic-synth --network alexnet -o build/ -j 0
     systolic-synth check conv_layer.c
     systolic-synth check conv_layer.c --json --level design
 
 Reads a restricted-C program (or a built-in network), runs the two-phase
-DSE, and writes the generated OpenCL kernel, C++ host, C testbench and a
-text report to the output directory.  The ``check`` subcommand runs the
-static-analysis passes only (no artifacts written): nest legality,
-design-point validation, generated-code lint.  It exits 0 when the
-program is clean, 1 when diagnostics carry errors, 2 on usage errors —
-and never with a traceback for a malformed input.
+DSE through the staged pipeline engine, and writes the generated OpenCL
+kernel, C++ host, C testbench and a text report to the output directory.
+``compile`` is an optional explicit subcommand name for the same default
+action.  DSE stages fan out over ``--jobs`` worker processes (results
+are bit-identical to serial), expensive stage results are cached under
+``~/.cache/repro-systolic`` (``--no-cache`` / ``--cache-dir`` override),
+per-stage progress goes to stderr, and ``--trace-json`` records every
+pipeline event as one JSON line.
+
+The ``check`` subcommand runs the static-analysis passes only (no
+artifacts written): nest legality, design-point validation,
+generated-code lint.  It exits 0 when the program is clean, 1 when
+diagnostics carry errors, 2 on usage errors — and never with a traceback
+for a malformed input.
 """
 
 from __future__ import annotations
@@ -59,6 +68,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--save-design",
         metavar="JSON",
         help="also persist the winning design point (single-layer mode)",
+    )
+    parser.add_argument(
+        "--save-result",
+        metavar="JSON",
+        help="also persist the full synthesis result (single-layer mode)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="DSE worker processes (0 = all cores); results are "
+        "bit-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed stage cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="stage cache directory (default ~/.cache/repro-systolic, "
+        "or $REPRO_SYSTOLIC_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="JSONL",
+        help="write every pipeline event as one JSON line to this file",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the per-stage progress lines on stderr",
     )
     return parser
 
@@ -130,7 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
     if raw and raw[0] == "check":
         return check_main(raw[1:])
-    args = build_arg_parser().parse_args(argv)
+    if raw and raw[0] == "compile":
+        raw = raw[1:]  # explicit subcommand name for the default action
+    args = build_arg_parser().parse_args(raw)
     if bool(args.source) == bool(args.network):
         print("error: provide exactly one of SOURCE or --network", file=sys.stderr)
         return 2
@@ -144,11 +190,30 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
 
+    from repro.pipeline.events import JsonlTraceWriter, Observer, ProgressPrinter
+
+    cache: bool | str = not args.no_cache
+    if args.cache_dir:
+        cache = args.cache_dir
+    observers: list[Observer] = [] if args.quiet else [ProgressPrinter()]
+    trace = JsonlTraceWriter(args.trace_json) if args.trace_json else None
+    if trace is not None:
+        observers.append(trace)
+    try:
+        return _synthesize(args, platform, config, out_dir, cache, tuple(observers))
+    finally:
+        if trace is not None:
+            trace.close()
+
+
+def _synthesize(args, platform, config, out_dir, cache, observers) -> int:
     if args.network:
         from repro.nn import models
 
         network = getattr(models, args.network)()
-        synthesis = synthesize_network(network, platform, config)
+        synthesis = synthesize_network(
+            network, platform, config, jobs=args.jobs, cache=cache, observers=observers
+        )
         result = synthesis.result
         (out_dir / "kernel.cl").write_text(synthesis.kernel_source)
         (out_dir / "host.cpp").write_text(synthesis.host_source)
@@ -177,7 +242,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         source = Path(args.source).read_text()
-        synthesis = compile_c_source(source, platform, config, name=Path(args.source).stem)
+        synthesis = compile_c_source(
+            source,
+            platform,
+            config,
+            name=Path(args.source).stem,
+            jobs=args.jobs,
+            cache=cache,
+            observers=observers,
+        )
         (out_dir / "kernel.cl").write_text(synthesis.kernel_source)
         (out_dir / "host.cpp").write_text(synthesis.host_source)
         (out_dir / "testbench.c").write_text(synthesis.testbench_source)
@@ -187,6 +260,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.model.serialize import save_design
 
             save_design(synthesis.evaluation.design, args.save_design)
+        if args.save_result:
+            from repro.model.serialize import save_result
+
+            save_result(synthesis, args.save_result)
         report = render_synthesis_report(synthesis)
 
     (out_dir / "report.txt").write_text(report + "\n")

@@ -2,56 +2,42 @@
 
 "A user only needs to specify the nested loop that functions as a CNN
 layer using a pragma ... No hardware-related, low-level considerations
-are necessary for end users."  These functions chain the front end, the
-two-phase DSE, the code generators and the performance simulator.
+are necessary for end users."  These functions are thin entry points over
+the staged pipeline engine (:mod:`repro.pipeline`): they build a
+:class:`~repro.pipeline.context.SynthesisContext`, run the canonical
+stage sequence ``parse → legality-check → dse-phase1 → dse-phase2 →
+codegen → simulate``, and fold the context into the same
+:class:`SynthesisResult` the flow has always returned.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.frontend.extract import loop_nest_from_source
 from repro.ir.loop import LoopNest
-from repro.model.design_point import DesignEvaluation
 from repro.model.platform import Platform
 from repro.nn.models import Network
 from repro.codegen.host import generate_host
-from repro.codegen.opencl import generate_kernel, generate_kernel_driver
-from repro.codegen.testbench import generate_testbench
-from repro.dse.explore import DseConfig, phase1, phase2
-from repro.dse.multi_layer import MultiLayerResult, select_unified_design
-from repro.sim.perf import LayerMeasurement, simulate_performance
+from repro.codegen.opencl import generate_kernel
+from repro.dse.explore import DseConfig
+from repro.dse.multi_layer import MultiLayerResult
+from repro.pipeline.cache import StageCache, resolve_cache
+from repro.pipeline.context import SynthesisContext, SynthesisResult
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.events import Observer
+from repro.pipeline.stages import synthesis_stages
+from repro.pipeline.unified import run_unified_dse
+
+CacheSpec = StageCache | str | bool | None
+"""How callers select a stage cache: None/False = off, True = the default
+directory, a path or a StageCache instance = that cache."""
 
 
-@dataclass(frozen=True)
-class SynthesisResult:
-    """Everything the flow produces for one layer.
-
-    Attributes:
-        evaluation: winning design at its realized clock.
-        frequency_mhz: realized clock.
-        measurement: performance-simulator run at the realized clock.
-        kernel_source / host_source / testbench_source / driver_source:
-            the generated artifacts.
-        configs_enumerated / configs_tuned: phase-1 statistics.
-        dse_seconds: phase-1 wall-clock time.
-    """
-
-    evaluation: DesignEvaluation
-    frequency_mhz: float
-    measurement: LayerMeasurement
-    kernel_source: str
-    host_source: str
-    testbench_source: str
-    driver_source: str
-    configs_enumerated: int
-    configs_tuned: int
-    dse_seconds: float
-
-    @property
-    def throughput_gops(self) -> float:
-        """Simulated ("measured") throughput."""
-        return self.measurement.throughput_gops
+def _run_pipeline(ctx: SynthesisContext, cache: CacheSpec, observers) -> SynthesisResult:
+    engine = PipelineEngine(
+        synthesis_stages(), cache=resolve_cache(cache), observers=tuple(observers)
+    )
+    return engine.run(ctx).to_result()
 
 
 def synthesize_nest(
@@ -60,6 +46,9 @@ def synthesize_nest(
     config: DseConfig = DseConfig(),
     *,
     strict: bool = False,
+    jobs: int = 1,
+    cache: CacheSpec = None,
+    observers: tuple[Observer, ...] = (),
 ) -> SynthesisResult:
     """Full flow for a single loop nest.
 
@@ -72,52 +61,20 @@ def synthesize_nest(
             validator on the winner, and the generated-code linter on
             every emitted artifact.  Raises
             :class:`repro.analysis.DiagnosticError` on any violation.
+        jobs: worker processes for the DSE fan-out (1 = serial, <= 0 =
+            all cores); the result is bit-identical for any value.
+        cache: stage cache (off by default for the API; the CLI defaults
+            it on) — see :data:`CacheSpec`.
+        observers: pipeline event callbacks (progress printer, JSONL
+            trace writer, ...).
     """
     platform = platform or Platform()
     if strict:
-        from dataclasses import replace
-
-        from repro.analysis.nest_check import check_nest
-
-        # Layer-derived nests legitimately carry strided subscripts
-        # (the stride-folding transformation introduces them).
-        check_nest(nest, allow_strided=True).raise_if_errors()
         config = replace(config, strict=True)
-    p1 = phase1(nest, platform, config)
-    p2 = phase2(p1, platform, strict=strict)
-    best = p2.best
-    design = best.design
-    freq = best.performance.frequency_mhz
-    measurement = simulate_performance(design, platform, frequency_mhz=freq)
-    result = SynthesisResult(
-        evaluation=best,
-        frequency_mhz=freq,
-        measurement=measurement,
-        kernel_source=generate_kernel(design, platform),
-        host_source=generate_host(design, platform),
-        testbench_source=generate_testbench(design, platform),
-        driver_source=generate_kernel_driver(design, platform),
-        configs_enumerated=p1.configs_enumerated,
-        configs_tuned=p1.configs_tuned,
-        dse_seconds=p1.elapsed_seconds,
+    ctx = SynthesisContext(
+        platform=platform, config=config, strict=strict, jobs=jobs, nest=nest
     )
-    if strict:
-        from repro.analysis.codegen_lint import lint_against_design, lint_generated_code
-        from repro.analysis.diagnostics import AnalysisReport
-
-        combined = AnalysisReport()
-        for label, text in (
-            ("testbench", result.testbench_source),
-            ("kernel", result.kernel_source),
-            ("driver", result.driver_source),
-        ):
-            combined.extend(lint_generated_code(text, filename=f"<{label}>"))
-            if label != "driver":
-                combined.extend(
-                    lint_against_design(text, design, filename=f"<{label}>")
-                )
-        combined.raise_if_errors()
-    return result
+    return _run_pipeline(ctx, cache, observers)
 
 
 def compile_c_source(
@@ -128,6 +85,9 @@ def compile_c_source(
     name: str = "user_nest",
     require_pragma: bool = True,
     strict: bool = False,
+    jobs: int = 1,
+    cache: CacheSpec = None,
+    observers: tuple[Observer, ...] = (),
 ) -> SynthesisResult:
     """Full flow from C text (the paper's programming model).
 
@@ -142,25 +102,27 @@ def compile_c_source(
             (raising :class:`repro.analysis.DiagnosticError` with
             located diagnostics on rejection) and audit the DSE result
             and generated artifacts; see :func:`synthesize_nest`.
+        jobs: worker processes for the DSE fan-out.
+        cache: stage cache — see :data:`CacheSpec`.
+        observers: pipeline event callbacks.
 
     Raises:
         ValueError: if the pragma is required and missing (a located
             ``DiagnosticError`` in strict mode).
     """
+    platform = platform or Platform()
     if strict:
-        from repro.analysis.nest_check import check_source
-
-        nest, report = check_source(source, name=name, require_pragma=require_pragma)
-        report.raise_if_errors()
-        assert nest is not None  # check_source only returns None with errors
-        return synthesize_nest(nest, platform, config, strict=True)
-    nest, pragma = loop_nest_from_source(source, name=name)
-    if require_pragma and (pragma is None or "systolic" not in pragma):
-        raise ValueError(
-            "no '#pragma systolic' found; annotate the nest or pass "
-            "require_pragma=False"
-        )
-    return synthesize_nest(nest, platform, config)
+        config = replace(config, strict=True)
+    ctx = SynthesisContext(
+        platform=platform,
+        config=config,
+        source=source,
+        name=name,
+        require_pragma=require_pragma,
+        strict=strict,
+        jobs=jobs,
+    )
+    return _run_pipeline(ctx, cache, observers)
 
 
 @dataclass(frozen=True)
@@ -192,10 +154,25 @@ def synthesize_network(
     network: Network,
     platform: Platform | None = None,
     config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
+    cache: CacheSpec = None,
+    observers: tuple[Observer, ...] = (),
 ) -> NetworkSynthesis:
-    """Full flow for a network: one unified design for all conv layers."""
+    """Full flow for a network: one unified design for all conv layers.
+
+    Args:
+        network: the CNN model.
+        platform: target platform.
+        config: DSE knobs.
+        jobs: worker processes for the per-candidate tuning fan-out.
+        cache: stage cache — see :data:`CacheSpec`.
+        observers: pipeline event callbacks.
+    """
     platform = platform or Platform()
-    result = select_unified_design(network, platform, config)
+    result = run_unified_dse(
+        network, platform, config, jobs=jobs, cache=cache, observers=tuple(observers)
+    )
     # Generate the artifact against the largest layer (the envelope user);
     # per-layer middle bounds are runtime parameters of the same kernel.
     from repro.model.design_point import DesignPoint
@@ -218,6 +195,7 @@ def synthesize_network(
 
 
 __all__ = [
+    "CacheSpec",
     "NetworkSynthesis",
     "SynthesisResult",
     "compile_c_source",

@@ -61,6 +61,14 @@ def render_synthesis_report(result) -> str:
         f"DSE: {result.configs_tuned}/{result.configs_enumerated} configs tuned "
         f"in {result.dse_seconds:.2f} s",
     ]
+    stage_seconds = getattr(result, "stage_seconds", ())
+    if stage_seconds:
+        cached = set(getattr(result, "cache_hits", ()))
+        lines.append("")
+        lines.append("pipeline stages:")
+        for stage, seconds in stage_seconds:
+            origin = "  (cached)" if stage in cached else ""
+            lines.append(f"  {stage:<15} {seconds:8.3f} s{origin}")
     return "\n".join(lines)
 
 

@@ -1,8 +1,12 @@
-"""Design persistence: JSON round-trips for design points.
+"""Design persistence: JSON round-trips for design points, evaluations
+and full synthesis results.
 
 DSE runs are deterministic but not free; users want to pin a winning
 design in version control and regenerate artifacts from it without
-re-searching.  The format is plain JSON with a schema version:
+re-searching, and the pipeline's content-addressed stage cache
+(:mod:`repro.pipeline.cache`) needs every stage output to survive a
+round trip bit-for-bit (JSON floats round-trip exactly through
+``repr``).  The design format is plain JSON with a schema version:
 
 .. code-block:: json
 
@@ -28,15 +32,18 @@ from typing import Any
 
 from repro.ir.access import AffineExpr, ArrayAccess
 from repro.ir.loop import Loop, LoopNest
-from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.design_point import ArrayShape, DesignEvaluation, DesignPoint
 from repro.model.mapping import Mapping
+from repro.model.performance import PerformanceEstimate
+from repro.model.resources import BramBreakdown
 
 FORMAT = "repro-design/1"
+EVALUATION_FORMAT = "repro-evaluation/1"
+RESULT_FORMAT = "repro-result/1"
 
 
-def design_to_dict(design: DesignPoint) -> dict[str, Any]:
-    """Serialize a design point to plain JSON-able data."""
-    nest = design.nest
+def nest_to_dict(nest: LoopNest) -> dict[str, Any]:
+    """Serialize a loop nest to plain JSON-able data."""
     accesses = []
     for access in nest.accesses:
         accesses.append(
@@ -48,12 +55,30 @@ def design_to_dict(design: DesignPoint) -> dict[str, Any]:
             }
         )
     return {
+        "name": nest.name,
+        "loops": [[loop.iterator, loop.trip_count] for loop in nest.loops],
+        "accesses": accesses,
+    }
+
+
+def nest_from_dict(data: dict[str, Any]) -> LoopNest:
+    """Rebuild a loop nest from :func:`nest_to_dict` data."""
+    loops = tuple(Loop(name, trip) for name, trip in data["loops"])
+    accesses = []
+    for entry in data["accesses"]:
+        indices = tuple(
+            AffineExpr.of({n: c for n, c in terms}, const)
+            for terms, const in zip(entry["indices"], entry["consts"])
+        )
+        accesses.append(ArrayAccess(entry["array"], indices, entry["write"]))
+    return LoopNest(loops, tuple(accesses), name=data["name"])
+
+
+def design_to_dict(design: DesignPoint) -> dict[str, Any]:
+    """Serialize a design point to plain JSON-able data."""
+    return {
         "format": FORMAT,
-        "nest": {
-            "name": nest.name,
-            "loops": [[loop.iterator, loop.trip_count] for loop in nest.loops],
-            "accesses": accesses,
-        },
+        "nest": nest_to_dict(design.nest),
         "mapping": {
             "row": design.mapping.row,
             "col": design.mapping.col,
@@ -77,16 +102,7 @@ def design_from_dict(data: dict[str, Any]) -> DesignPoint:
             f"unsupported design format {data.get('format')!r} (expected {FORMAT!r})"
         )
     try:
-        nest_data = data["nest"]
-        loops = tuple(Loop(name, trip) for name, trip in nest_data["loops"])
-        accesses = []
-        for entry in nest_data["accesses"]:
-            indices = tuple(
-                AffineExpr.of({n: c for n, c in terms}, const)
-                for terms, const in zip(entry["indices"], entry["consts"])
-            )
-            accesses.append(ArrayAccess(entry["array"], indices, entry["write"]))
-        nest = LoopNest(loops, tuple(accesses), name=nest_data["name"])
+        nest = nest_from_dict(data["nest"])
         mapping = Mapping(
             data["mapping"]["row"],
             data["mapping"]["col"],
@@ -116,4 +132,192 @@ def load_design(path) -> DesignPoint:
     return design_from_dict(json.loads(Path(path).read_text()))
 
 
-__all__ = ["FORMAT", "design_from_dict", "design_to_dict", "load_design", "save_design"]
+# --------------------------------------------------------- evaluations
+
+
+def evaluation_to_dict(evaluation: DesignEvaluation) -> dict[str, Any]:
+    """Serialize a :class:`DesignEvaluation` (design + model verdict)."""
+    perf = evaluation.performance
+    return {
+        "format": EVALUATION_FORMAT,
+        "design": design_to_dict(evaluation.design),
+        "performance": {
+            "frequency_mhz": perf.frequency_mhz,
+            "efficiency": perf.efficiency,
+            "lanes": perf.lanes,
+            "block_iterations": perf.block_iterations,
+            "pt_gops": perf.pt_gops,
+            "mt_gops": perf.mt_gops,
+            "mt_total_gops": perf.mt_total_gops,
+            "mt_per_array_gops": perf.mt_per_array_gops,
+            "throughput_gops": perf.throughput_gops,
+            "effective_ops": perf.effective_ops,
+            "seconds": perf.seconds,
+            "block_bytes": perf.block_bytes,
+        },
+        "bram": {
+            "per_array_blocks": evaluation.bram.per_array_blocks,
+            "pe_blocks": evaluation.bram.pe_blocks,
+            "footprints": evaluation.bram.footprints,
+        },
+        "dsp_blocks": evaluation.dsp_blocks,
+        "dsp_utilization": evaluation.dsp_utilization,
+        "bram_utilization": evaluation.bram_utilization,
+        "logic_cells": evaluation.logic_cells,
+    }
+
+
+def evaluation_from_dict(data: dict[str, Any]) -> DesignEvaluation:
+    """Rebuild a :class:`DesignEvaluation` from :func:`evaluation_to_dict`.
+
+    Raises:
+        ValueError: on unknown format versions or malformed payloads.
+    """
+    if data.get("format") != EVALUATION_FORMAT:
+        raise ValueError(
+            f"unsupported evaluation format {data.get('format')!r} "
+            f"(expected {EVALUATION_FORMAT!r})"
+        )
+    try:
+        perf = data["performance"]
+        bram = data["bram"]
+        return DesignEvaluation(
+            design=design_from_dict(data["design"]),
+            performance=PerformanceEstimate(
+                frequency_mhz=perf["frequency_mhz"],
+                efficiency=perf["efficiency"],
+                lanes=perf["lanes"],
+                block_iterations=perf["block_iterations"],
+                pt_gops=perf["pt_gops"],
+                mt_gops=perf["mt_gops"],
+                mt_total_gops=perf["mt_total_gops"],
+                mt_per_array_gops=dict(perf["mt_per_array_gops"]),
+                throughput_gops=perf["throughput_gops"],
+                effective_ops=perf["effective_ops"],
+                seconds=perf["seconds"],
+                block_bytes=dict(perf["block_bytes"]),
+            ),
+            bram=BramBreakdown(
+                per_array_blocks=dict(bram["per_array_blocks"]),
+                pe_blocks=bram["pe_blocks"],
+                footprints=dict(bram["footprints"]),
+            ),
+            dsp_blocks=data["dsp_blocks"],
+            dsp_utilization=data["dsp_utilization"],
+            bram_utilization=data["bram_utilization"],
+            logic_cells=data["logic_cells"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed evaluation payload: {exc}") from exc
+
+
+# ------------------------------------------------------ full results
+
+
+def measurement_to_dict(measurement: Any) -> dict[str, Any]:
+    """Serialize a :class:`repro.sim.perf.LayerMeasurement`."""
+    return {
+        "seconds": measurement.seconds,
+        "cycles": measurement.cycles,
+        "compute_cycles": measurement.compute_cycles,
+        "transfer_cycles": measurement.transfer_cycles,
+        "frequency_mhz": measurement.frequency_mhz,
+        "throughput_gops": measurement.throughput_gops,
+        "blocks": measurement.blocks,
+        "bound": measurement.bound,
+        "utilization": measurement.utilization,
+    }
+
+
+def measurement_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a :class:`repro.sim.perf.LayerMeasurement`."""
+    from repro.sim.perf import LayerMeasurement
+
+    try:
+        return LayerMeasurement(**data)
+    except TypeError as exc:
+        raise ValueError(f"malformed measurement payload: {exc}") from exc
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Serialize a full :class:`repro.pipeline.context.SynthesisResult`."""
+    return {
+        "format": RESULT_FORMAT,
+        "evaluation": evaluation_to_dict(result.evaluation),
+        "frequency_mhz": result.frequency_mhz,
+        "measurement": measurement_to_dict(result.measurement),
+        "kernel_source": result.kernel_source,
+        "host_source": result.host_source,
+        "testbench_source": result.testbench_source,
+        "driver_source": result.driver_source,
+        "configs_enumerated": result.configs_enumerated,
+        "configs_tuned": result.configs_tuned,
+        "dse_seconds": result.dse_seconds,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a :class:`repro.pipeline.context.SynthesisResult`.
+
+    Raises:
+        ValueError: on unknown format versions or malformed payloads.
+    """
+    # The result type lives at the flow layer; import lazily so the model
+    # layer carries no import-time dependency on it.
+    from repro.pipeline.context import SynthesisResult
+
+    if data.get("format") != RESULT_FORMAT:
+        raise ValueError(
+            f"unsupported result format {data.get('format')!r} "
+            f"(expected {RESULT_FORMAT!r})"
+        )
+    try:
+        return SynthesisResult(
+            evaluation=evaluation_from_dict(data["evaluation"]),
+            frequency_mhz=data["frequency_mhz"],
+            measurement=measurement_from_dict(data["measurement"]),
+            kernel_source=data["kernel_source"],
+            host_source=data["host_source"],
+            testbench_source=data["testbench_source"],
+            driver_source=data["driver_source"],
+            configs_enumerated=data["configs_enumerated"],
+            configs_tuned=data["configs_tuned"],
+            dse_seconds=data["dse_seconds"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed result payload: {exc}") from exc
+
+
+def save_result(result: Any, path) -> None:
+    """Write a full synthesis result (design, artifacts, stats) to JSON."""
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path) -> Any:
+    """Read a full synthesis result back from JSON."""
+    from pathlib import Path
+
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+__all__ = [
+    "EVALUATION_FORMAT",
+    "FORMAT",
+    "RESULT_FORMAT",
+    "design_from_dict",
+    "design_to_dict",
+    "evaluation_from_dict",
+    "evaluation_to_dict",
+    "load_design",
+    "load_result",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "nest_from_dict",
+    "nest_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "save_design",
+    "save_result",
+]

@@ -1,0 +1,174 @@
+"""Content-addressed stage cache.
+
+Every cacheable stage result is keyed by a stable SHA-256 over
+
+* the stage name,
+* the loop nest (value serialization, not object identity),
+* the platform (device, datatype, memory system, frequency surrogate and
+  calibration constants),
+* the :class:`~repro.dse.explore.DseConfig` knobs,
+* a code-version fingerprint (hash of every ``repro`` source file), so a
+  code change silently invalidates the whole cache instead of replaying
+  stale results.
+
+Payloads are JSON files under ``~/.cache/repro-systolic/<stage>/`` —
+overridable per call (``--cache-dir``), via ``$REPRO_SYSTOLIC_CACHE_DIR``,
+or via ``$XDG_CACHE_HOME``.  Writes are atomic (temp file + rename) so
+concurrent compiles never observe torn entries; a corrupt or unreadable
+entry degrades to a cache miss, never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_CODE_VERSION: str | None = None
+
+CACHE_ENV_VAR = "REPRO_SYSTOLIC_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: env override, XDG, then ``~/.cache``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-systolic"
+
+
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def stable_fingerprint(value: Any) -> Any:
+    """Lower an arbitrary value-object graph to canonical JSON-able data.
+
+    Dataclasses (Platform, DseConfig, LoopNest, ...) reduce to their field
+    dicts, tuples to lists, dict keys are stringified; the result feeds
+    ``json.dumps(sort_keys=True)`` so logically equal values always hash
+    equal.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: stable_fingerprint(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): stable_fingerprint(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [stable_fingerprint(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class StageCache:
+    """Persistent JSON store addressed by content hashes.
+
+    Attributes:
+        root: cache directory (created lazily on first write).
+        hits / misses: per-instance probe statistics.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "StageCache":
+        """A cache rooted at the resolved default directory."""
+        return cls()
+
+    def key_for(self, stage: str, *parts: Any) -> str:
+        """Content hash of (stage, code version, *parts)."""
+        material = json.dumps(
+            [stage, code_version(), [stable_fingerprint(p) for p in parts]],
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.json"
+
+    def get(self, stage: str, key: str) -> dict[str, Any] | None:
+        """Return the stored payload, or None on miss / corrupt entry."""
+        path = self._path(stage, key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, stage: str, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist a payload; IO failures are non-fatal."""
+        path = self._path(stage, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def resolve_cache(cache: "StageCache | Path | str | bool | None") -> StageCache | None:
+    """Normalize the user-facing ``cache`` argument.
+
+    ``None``/``False`` disable caching, ``True`` selects the default
+    directory, a path roots the cache there, and an existing
+    :class:`StageCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return StageCache.default()
+    if isinstance(cache, StageCache):
+        return cache
+    return StageCache(cache)
+
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "StageCache",
+    "code_version",
+    "default_cache_dir",
+    "resolve_cache",
+    "stable_fingerprint",
+]

@@ -1,0 +1,143 @@
+"""The immutable state threaded through the pipeline stages.
+
+A :class:`SynthesisContext` starts as pure inputs (source text or a loop
+nest, platform, DSE knobs, run options) and is *evolved* — never mutated —
+by each stage filling in its outputs.  The final context is folded into
+the user-facing :class:`SynthesisResult`, which keeps the exact shape the
+pre-pipeline ``repro.flow.compile`` API returned (it is re-exported from
+there for backward compatibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.ir.loop import LoopNest
+from repro.model.design_point import DesignEvaluation
+from repro.model.platform import Platform
+from repro.dse.explore import DseConfig, Phase1Result, Phase2Result
+from repro.sim.perf import LayerMeasurement
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Everything the flow produces for one layer.
+
+    Attributes:
+        evaluation: winning design at its realized clock.
+        frequency_mhz: realized clock.
+        measurement: performance-simulator run at the realized clock.
+        kernel_source / host_source / testbench_source / driver_source:
+            the generated artifacts.
+        configs_enumerated / configs_tuned: phase-1 statistics.
+        dse_seconds: phase-1 wall-clock time (bookkeeping; excluded from
+            equality, like the other timing fields).
+        stage_seconds: per-stage wall time of this run, pipeline order
+            (bookkeeping; excluded from equality so a warm-cache result
+            compares equal to the cold run that produced it).
+        cache_hits: names of stages served from the stage cache
+            (bookkeeping; excluded from equality).
+    """
+
+    evaluation: DesignEvaluation
+    frequency_mhz: float
+    measurement: LayerMeasurement
+    kernel_source: str
+    host_source: str
+    testbench_source: str
+    driver_source: str
+    configs_enumerated: int
+    configs_tuned: int
+    dse_seconds: float = field(compare=False)
+    stage_seconds: tuple[tuple[str, float], ...] = field(default=(), compare=False)
+    cache_hits: tuple[str, ...] = field(default=(), compare=False)
+
+    @property
+    def throughput_gops(self) -> float:
+        """Simulated ("measured") throughput."""
+        return self.measurement.throughput_gops
+
+
+@dataclass(frozen=True)
+class SynthesisContext:
+    """Immutable pipeline state: inputs plus every stage's outputs so far.
+
+    Attributes:
+        platform: evaluation platform.
+        config: DSE knobs.
+        name: label for the nest (reports, cache diagnostics).
+        source: restricted-C text (None when entering with a built nest).
+        require_pragma: reject unannotated programs in the parse stage.
+        strict: run the static-analysis self-audits.
+        jobs: process-pool width for the DSE stages (1 = serial).
+        nest: the loop nest (parse-stage output, or an input).
+        phase1 / phase2: DSE stage outputs.
+        frequency_mhz: realized clock of the winner.
+        measurement: simulator verdict on the winner.
+        kernel_source / host_source / testbench_source / driver_source:
+            codegen outputs.
+        stage_seconds: (stage, wall seconds) per executed stage.
+        cache_hits: stages served from the cache.
+    """
+
+    platform: Platform
+    config: DseConfig
+    name: str = "user_nest"
+    source: str | None = None
+    require_pragma: bool = True
+    strict: bool = False
+    jobs: int = 1
+    nest: LoopNest | None = None
+    phase1: Phase1Result | None = None
+    phase2: Phase2Result | None = None
+    frequency_mhz: float | None = None
+    measurement: LayerMeasurement | None = None
+    kernel_source: str | None = None
+    host_source: str | None = None
+    testbench_source: str | None = None
+    driver_source: str | None = None
+    stage_seconds: tuple[tuple[str, float], ...] = ()
+    cache_hits: tuple[str, ...] = ()
+
+    def evolve(self, **changes: Any) -> "SynthesisContext":
+        """A copy with some fields replaced (stages never mutate)."""
+        return replace(self, **changes)
+
+    @property
+    def best(self) -> DesignEvaluation:
+        """The phase-2 winner; only valid after the dse-phase2 stage."""
+        if self.phase2 is None:
+            raise ValueError("pipeline has not run the dse-phase2 stage yet")
+        return self.phase2.best
+
+    def to_result(self) -> SynthesisResult:
+        """Fold a fully-populated context into the public result."""
+        if (
+            self.phase1 is None
+            or self.phase2 is None
+            or self.frequency_mhz is None
+            or self.measurement is None
+            or self.kernel_source is None
+            or self.host_source is None
+            or self.testbench_source is None
+            or self.driver_source is None
+        ):
+            raise ValueError("pipeline did not populate every stage output")
+        return SynthesisResult(
+            evaluation=self.phase2.best,
+            frequency_mhz=self.frequency_mhz,
+            measurement=self.measurement,
+            kernel_source=self.kernel_source,
+            host_source=self.host_source,
+            testbench_source=self.testbench_source,
+            driver_source=self.driver_source,
+            configs_enumerated=self.phase1.configs_enumerated,
+            configs_tuned=self.phase1.configs_tuned,
+            dse_seconds=self.phase1.elapsed_seconds,
+            stage_seconds=self.stage_seconds,
+            cache_hits=self.cache_hits,
+        )
+
+
+__all__ = ["SynthesisContext", "SynthesisResult"]

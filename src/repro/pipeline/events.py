@@ -1,0 +1,187 @@
+"""Typed progress events of the pipeline engine.
+
+Every stage emits start/finish events (and, for the long-running DSE
+stages, progress ticks) through an observer hook: any callable taking a
+single event object.  Two observers ship with the engine:
+
+* :class:`ProgressPrinter` — the human-readable CLI progress line
+  (one line per event, written to stderr by default);
+* :class:`JsonlTraceWriter` — a machine-readable JSONL trace
+  (``systolic-synth --trace-json run.jsonl``), one event per line.
+
+Events are plain frozen dataclasses so observers can match on type; the
+``to_dict()`` form adds an ``"event"`` discriminator for JSON consumers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, IO, Iterable
+
+Observer = Callable[["PipelineEvent"], None]
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """Base class: something happened in stage ``stage``."""
+
+    stage: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form with an ``event`` type discriminator."""
+        data: dict[str, Any] = {"event": type(self).__name__}
+        data.update(dataclasses.asdict(self))
+        return data
+
+
+@dataclass(frozen=True)
+class StageStarted(PipelineEvent):
+    """A stage began executing (or probing its cache).
+
+    Attributes:
+        index: 0-based position in the pipeline.
+        total: number of stages in the pipeline.
+    """
+
+    index: int = 0
+    total: int = 0
+
+
+@dataclass(frozen=True)
+class StageFinished(PipelineEvent):
+    """A stage completed.
+
+    Attributes:
+        seconds: wall time of the stage (cache probe included).
+        cached: True when the result came from the stage cache.
+        info: stage-specific summary (configs enumerated, pruned by the
+            branch-and-bound, realized clock, ...).
+    """
+
+    seconds: float = 0.0
+    cached: bool = False
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StageProgress(PipelineEvent):
+    """A long-running stage reporting partial progress.
+
+    Attributes:
+        done: work items finished (e.g. configurations tuned).
+        total: work items known (e.g. configurations enumerated).
+        message: optional free-form detail.
+    """
+
+    done: int = 0
+    total: int = 0
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class CacheProbe(PipelineEvent):
+    """Outcome of a content-addressed cache lookup for one stage.
+
+    Attributes:
+        key: the content hash probed.
+        hit: whether a stored result was found.
+    """
+
+    key: str = ""
+    hit: bool = False
+
+
+class EventBus:
+    """Fans events out to observers; observer errors never kill the run."""
+
+    def __init__(self, observers: Iterable[Observer] = ()) -> None:
+        self._observers = list(observers)
+
+    def subscribe(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def emit(self, event: PipelineEvent) -> None:
+        for observer in self._observers:
+            try:
+                observer(event)
+            except Exception:  # noqa: BLE001 - observers are best-effort
+                pass
+
+    __call__ = emit
+
+
+class ProgressPrinter:
+    """Human-readable one-line-per-event progress, for the CLI."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream
+
+    def _out(self) -> IO[str]:
+        return self.stream if self.stream is not None else sys.stderr
+
+    def __call__(self, event: PipelineEvent) -> None:
+        if isinstance(event, StageStarted):
+            return  # the finish line carries everything worth a line
+        if isinstance(event, CacheProbe):
+            if event.hit:
+                print(f"[{event.stage}] cache hit ({event.key[:12]})", file=self._out())
+            return
+        if isinstance(event, StageProgress):
+            print(
+                f"[{event.stage}] {event.done}/{event.total} {event.message}".rstrip(),
+                file=self._out(),
+            )
+            return
+        if isinstance(event, StageFinished):
+            detail = "".join(
+                f"  {key}={value}" for key, value in sorted(event.info.items())
+            )
+            origin = " (cached)" if event.cached else ""
+            print(
+                f"[{event.stage}] done in {event.seconds:.2f}s{origin}{detail}",
+                file=self._out(),
+            )
+
+
+class JsonlTraceWriter:
+    """Writes every event as one JSON line (``--trace-json``)."""
+
+    def __init__(self, path) -> None:
+        from pathlib import Path
+
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def __call__(self, event: PipelineEvent) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "CacheProbe",
+    "EventBus",
+    "JsonlTraceWriter",
+    "Observer",
+    "PipelineEvent",
+    "ProgressPrinter",
+    "StageFinished",
+    "StageProgress",
+    "StageStarted",
+]

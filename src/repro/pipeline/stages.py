@@ -1,0 +1,282 @@
+"""The six named stages of the synthesis pipeline.
+
+``parse → legality-check → dse-phase1 → dse-phase2 → codegen → simulate``
+
+Each stage is a thin adapter from the engine's Stage protocol onto the
+existing layer APIs (front end, :mod:`repro.analysis`, the two-phase DSE,
+the code generators and the performance simulator).  The expensive stages
+(DSE, codegen, simulate) declare cache key parts and JSON codecs; parse
+and legality-check always run — they are cheap and they *produce* the
+loop nest the cache keys hash.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.model.serialize import measurement_from_dict, measurement_to_dict
+from repro.pipeline.codecs import (
+    decode_phase1,
+    decode_phase2,
+    encode_phase1,
+    encode_phase2,
+)
+from repro.pipeline.context import SynthesisContext
+from repro.pipeline.engine import StageBase
+from repro.pipeline.events import EventBus, StageProgress
+
+
+class ParseStage(StageBase):
+    """Front end: restricted-C text to a loop nest (no-op when the
+    context already carries a nest, i.e. ``synthesize_nest`` entry)."""
+
+    name = "parse"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        if ctx.nest is not None:
+            return ctx
+        if ctx.source is None:
+            raise ValueError("pipeline needs either C source or a loop nest")
+        if ctx.strict:
+            from repro.analysis.nest_check import check_source
+
+            nest, report = check_source(
+                ctx.source, name=ctx.name, require_pragma=ctx.require_pragma
+            )
+            report.raise_if_errors()
+            assert nest is not None  # check_source only returns None with errors
+            return ctx.evolve(nest=nest)
+        from repro.frontend.extract import loop_nest_from_source
+
+        nest, pragma = loop_nest_from_source(ctx.source, name=ctx.name)
+        if ctx.require_pragma and (pragma is None or "systolic" not in pragma):
+            raise ValueError(
+                "no '#pragma systolic' found; annotate the nest or pass "
+                "require_pragma=False"
+            )
+        return ctx.evolve(nest=nest)
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        assert ctx.nest is not None
+        return {"nest": ctx.nest.name, "loops": ctx.nest.depth}
+
+
+class LegalityStage(StageBase):
+    """Static nest legality (strict mode only; see ``repro.analysis``)."""
+
+    name = "legality-check"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        if ctx.strict:
+            from repro.analysis.nest_check import check_nest
+
+            assert ctx.nest is not None
+            # Layer-derived nests legitimately carry strided subscripts
+            # (the stride-folding transformation introduces them).
+            check_nest(ctx.nest, allow_strided=True).raise_if_errors()
+        return ctx
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        return {"checked": ctx.strict}
+
+
+class DsePhase1Stage(StageBase):
+    """Analytical filtering: enumerate configurations, tune tilings,
+    keep the top-N — fanned out over ``ctx.jobs`` worker processes."""
+
+    name = "dse-phase1"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        from repro.dse.explore import phase1
+
+        assert ctx.nest is not None
+
+        def progress(done: int, total: int) -> None:
+            events.emit(
+                StageProgress(self.name, done=done, total=total, message="configs")
+            )
+
+        result = phase1(
+            ctx.nest, ctx.platform, ctx.config, jobs=ctx.jobs, progress=progress
+        )
+        return ctx.evolve(phase1=result)
+
+    def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
+        return (ctx.nest, ctx.platform, ctx.config, ctx.strict)
+
+    def dump(self, ctx: SynthesisContext) -> dict[str, Any] | None:
+        assert ctx.phase1 is not None
+        return encode_phase1(ctx.phase1)
+
+    def load(self, payload: dict[str, Any], ctx: SynthesisContext) -> SynthesisContext:
+        return ctx.evolve(phase1=decode_phase1(payload))
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        result = ctx.phase1
+        assert result is not None
+        return {
+            "configs": result.configs_enumerated,
+            "tuned": result.configs_tuned,
+            "pruned": result.configs_enumerated - result.configs_tuned,
+            "tilings": result.tilings_evaluated,
+        }
+
+
+class DsePhase2Stage(StageBase):
+    """Implementation phase: realize clocks, pick the on-board winner."""
+
+    name = "dse-phase2"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        from repro.dse.explore import phase2
+
+        assert ctx.phase1 is not None
+        result = phase2(ctx.phase1, ctx.platform, strict=ctx.strict)
+        return ctx.evolve(
+            phase2=result, frequency_mhz=result.best.performance.frequency_mhz
+        )
+
+    def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
+        return (ctx.nest, ctx.platform, ctx.config, ctx.strict, "phase2")
+
+    def dump(self, ctx: SynthesisContext) -> dict[str, Any] | None:
+        assert ctx.phase2 is not None
+        return encode_phase2(ctx.phase2)
+
+    def load(self, payload: dict[str, Any], ctx: SynthesisContext) -> SynthesisContext:
+        result = decode_phase2(payload)
+        return ctx.evolve(
+            phase2=result, frequency_mhz=result.best.performance.frequency_mhz
+        )
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        assert ctx.phase2 is not None and ctx.frequency_mhz is not None
+        best = ctx.phase2.best
+        return {
+            "winner": str(best.design.shape),
+            "frequency_mhz": round(ctx.frequency_mhz, 1),
+            "gops": round(best.throughput_gops, 1),
+        }
+
+
+class CodegenStage(StageBase):
+    """Emit the OpenCL kernel, host, testbench and driver artifacts
+    (linted against the design in strict mode)."""
+
+    name = "codegen"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        from repro.codegen.host import generate_host
+        from repro.codegen.opencl import generate_kernel, generate_kernel_driver
+        from repro.codegen.testbench import generate_testbench
+
+        design = ctx.best.design
+        ctx = ctx.evolve(
+            kernel_source=generate_kernel(design, ctx.platform),
+            host_source=generate_host(design, ctx.platform),
+            testbench_source=generate_testbench(design, ctx.platform),
+            driver_source=generate_kernel_driver(design, ctx.platform),
+        )
+        if ctx.strict:
+            from repro.analysis.codegen_lint import (
+                lint_against_design,
+                lint_generated_code,
+            )
+            from repro.analysis.diagnostics import AnalysisReport
+
+            combined = AnalysisReport()
+            for label, text in (
+                ("testbench", ctx.testbench_source),
+                ("kernel", ctx.kernel_source),
+                ("driver", ctx.driver_source),
+            ):
+                assert text is not None
+                combined.extend(lint_generated_code(text, filename=f"<{label}>"))
+                if label != "driver":
+                    combined.extend(
+                        lint_against_design(text, design, filename=f"<{label}>")
+                    )
+            combined.raise_if_errors()
+        return ctx
+
+    def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
+        return (ctx.best.design, ctx.platform, ctx.strict)
+
+    def dump(self, ctx: SynthesisContext) -> dict[str, Any] | None:
+        return {
+            "kernel_source": ctx.kernel_source,
+            "host_source": ctx.host_source,
+            "testbench_source": ctx.testbench_source,
+            "driver_source": ctx.driver_source,
+        }
+
+    def load(self, payload: dict[str, Any], ctx: SynthesisContext) -> SynthesisContext:
+        try:
+            return ctx.evolve(
+                kernel_source=payload["kernel_source"],
+                host_source=payload["host_source"],
+                testbench_source=payload["testbench_source"],
+                driver_source=payload["driver_source"],
+            )
+        except KeyError as exc:
+            raise ValueError(f"malformed codegen payload: {exc}") from exc
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        artifacts = [
+            ctx.kernel_source, ctx.host_source, ctx.testbench_source, ctx.driver_source,
+        ]
+        return {"artifacts": sum(1 for a in artifacts if a is not None)}
+
+
+class SimulateStage(StageBase):
+    """Performance-simulator run of the winner at its realized clock."""
+
+    name = "simulate"
+
+    def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        from repro.sim.perf import simulate_performance
+
+        measurement = simulate_performance(
+            ctx.best.design, ctx.platform, frequency_mhz=ctx.frequency_mhz
+        )
+        return ctx.evolve(measurement=measurement)
+
+    def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
+        return (ctx.best.design, ctx.platform, ctx.frequency_mhz)
+
+    def dump(self, ctx: SynthesisContext) -> dict[str, Any] | None:
+        assert ctx.measurement is not None
+        return measurement_to_dict(ctx.measurement)
+
+    def load(self, payload: dict[str, Any], ctx: SynthesisContext) -> SynthesisContext:
+        return ctx.evolve(measurement=measurement_from_dict(payload))
+
+    def info(self, ctx: SynthesisContext) -> dict[str, Any]:
+        assert ctx.measurement is not None
+        return {
+            "gops": round(ctx.measurement.throughput_gops, 1),
+            "bound": ctx.measurement.bound,
+        }
+
+
+def synthesis_stages() -> list[StageBase]:
+    """The canonical stage sequence of the push-button flow."""
+    return [
+        ParseStage(),
+        LegalityStage(),
+        DsePhase1Stage(),
+        DsePhase2Stage(),
+        CodegenStage(),
+        SimulateStage(),
+    ]
+
+
+__all__ = [
+    "CodegenStage",
+    "DsePhase1Stage",
+    "DsePhase2Stage",
+    "LegalityStage",
+    "ParseStage",
+    "SimulateStage",
+    "synthesis_stages",
+]

@@ -1,0 +1,116 @@
+"""Cached, observable wrapper around the unified multi-layer DSE.
+
+The single-layer flow runs through :class:`~repro.pipeline.engine.
+PipelineEngine`; network synthesis has one dominant stage — the unified
+design selection of :mod:`repro.dse.multi_layer` — so this module gives
+it the same treatment directly: a content-addressed cache probe, typed
+start/progress/finish events, and a ``jobs`` fan-out knob.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.dse.explore import DseConfig
+from repro.dse.multi_layer import (
+    LayerWorkload,
+    MultiLayerResult,
+    prepare_network_nests,
+    select_unified_design,
+)
+from repro.model.platform import Platform
+from repro.nn.models import Network
+from repro.pipeline.cache import StageCache, resolve_cache
+from repro.pipeline.codecs import decode_unified, encode_unified
+from repro.pipeline.events import (
+    CacheProbe,
+    EventBus,
+    Observer,
+    StageFinished,
+    StageProgress,
+    StageStarted,
+)
+
+STAGE_NAME = "unified-dse"
+
+
+def run_unified_dse(
+    workloads: tuple[LayerWorkload, ...] | Network,
+    platform: Platform,
+    config: DseConfig = DseConfig(),
+    *,
+    jobs: int = 1,
+    cache: StageCache | str | bool | None = None,
+    observers: tuple[Observer, ...] = (),
+) -> MultiLayerResult:
+    """Select the unified design, with stage caching and progress events.
+
+    Args:
+        workloads: prepared workloads or a :class:`Network`.
+        platform: evaluation platform.
+        config: DSE knobs.
+        jobs: worker processes (1 = serial; <= 0 = all cores); the result
+            is bit-identical for any value.
+        cache: stage cache — ``None``/``False`` disables, ``True`` uses
+            the default directory, a path or :class:`StageCache` uses it.
+        observers: event callbacks (see :mod:`repro.pipeline.events`).
+    """
+    if isinstance(workloads, Network):
+        workloads = prepare_network_nests(workloads)
+    events = EventBus(observers)
+    store = resolve_cache(cache)
+    events.emit(StageStarted(STAGE_NAME, index=0, total=1))
+    start = time.perf_counter()
+
+    key: str | None = None
+    if store is not None:
+        key = store.key_for(STAGE_NAME, workloads, platform, config)
+        payload = store.get(STAGE_NAME, key)
+        events.emit(CacheProbe(STAGE_NAME, key=key, hit=payload is not None))
+        if payload is not None:
+            try:
+                result = decode_unified(payload)
+            except ValueError:
+                pass  # stale/corrupt entry: fall through and recompute
+            else:
+                events.emit(
+                    StageFinished(
+                        STAGE_NAME,
+                        seconds=time.perf_counter() - start,
+                        cached=True,
+                        info=_info(result),
+                    )
+                )
+                return result
+
+    def progress(done: int, total: int) -> None:
+        events.emit(StageProgress(STAGE_NAME, done=done, total=total, message="configs"))
+
+    result = select_unified_design(
+        workloads, platform, config, jobs=jobs, progress=progress
+    )
+    if store is not None and key is not None:
+        store.put(STAGE_NAME, key, encode_unified(result))
+    events.emit(
+        StageFinished(
+            STAGE_NAME,
+            seconds=time.perf_counter() - start,
+            cached=False,
+            info=_info(result),
+        )
+    )
+    return result
+
+
+def _info(result: MultiLayerResult) -> dict[str, Any]:
+    return {
+        "winner": str(result.config.shape),
+        "frequency_mhz": round(result.frequency_mhz, 1),
+        "gops": round(result.aggregate_gops, 1),
+        "configs": result.configs_enumerated,
+        "tuned": result.configs_tuned,
+    }
+
+
+__all__ = ["STAGE_NAME", "run_unified_dse"]

@@ -172,6 +172,105 @@ class TestCli:
         regenerated = generate_kernel(design, Platform())
         assert (tmp_path / "out" / "kernel.cl").read_text() == regenerated
 
+    def test_cli_compile_subcommand_alias(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        out_dir = tmp_path / "out"
+        code = main([
+            "compile", str(src), "-o", str(out_dir), "--cs", "0.0", "--top-n", "2",
+        ])
+        assert code == 0
+        assert (out_dir / "kernel.cl").exists()
+
+    def test_cli_jobs_flag_same_artifacts(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        code = main([
+            str(src), "-o", str(tmp_path / "a"), "--cs", "0.0", "--top-n", "2",
+            "--jobs", "2", "--no-cache",
+        ])
+        assert code == 0
+        code = main([
+            str(src), "-o", str(tmp_path / "b"), "--cs", "0.0", "--top-n", "2",
+            "--no-cache",
+        ])
+        assert code == 0
+        assert (
+            (tmp_path / "a" / "kernel.cl").read_text()
+            == (tmp_path / "b" / "kernel.cl").read_text()
+        )
+
+    def test_cli_cache_dir_and_progress(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        argv = [
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0", "--top-n", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "[dse-phase1]" in first.err  # progress lines on stderr
+        assert "cache hit" not in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "cache hit" in second.err
+        assert "(cached)" in second.err  # both the progress line and report
+        assert "PE array" in second.out
+
+    def test_cli_quiet_suppresses_progress(self, tmp_path, capsys):
+        from repro.flow.cli import main
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        code = main([
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0", "--top-n", "2",
+            "--no-cache", "--quiet",
+        ])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_cli_trace_json(self, tmp_path, capsys):
+        import json
+
+        from repro.flow.cli import main
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0", "--top-n", "2",
+            "--no-cache", "--trace-json", str(trace),
+        ])
+        assert code == 0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        stages = [e["stage"] for e in events if e["event"] == "StageFinished"]
+        assert stages == [
+            "parse", "legality-check", "dse-phase1",
+            "dse-phase2", "codegen", "simulate",
+        ]
+
+    def test_cli_save_result_round_trips(self, tmp_path, capsys):
+        from repro.flow.cli import main
+        from repro.model.serialize import load_result
+
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        result_path = tmp_path / "result.json"
+        code = main([
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0", "--top-n", "2",
+            "--no-cache", "--save-result", str(result_path),
+        ])
+        assert code == 0
+        result = load_result(result_path)
+        assert result.kernel_source == (tmp_path / "out" / "kernel.cl").read_text()
+        assert result.throughput_gops > 0
+
     def test_cli_rejects_unknown_device(self, tmp_path):
         import pytest as _pytest
 

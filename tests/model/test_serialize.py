@@ -13,8 +13,16 @@ from repro.model.platform import Platform
 from repro.model.serialize import (
     design_from_dict,
     design_to_dict,
+    evaluation_from_dict,
+    evaluation_to_dict,
     load_design,
+    load_result,
+    measurement_from_dict,
+    measurement_to_dict,
+    result_from_dict,
+    result_to_dict,
     save_design,
+    save_result,
 )
 
 
@@ -76,6 +84,63 @@ class TestRoundTrip:
             nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(2, 2, 2), {"p": k}
         )
         assert design_from_dict(design_to_dict(design)) == design
+
+
+class TestEvaluationRoundTrip:
+    def test_dict_round_trip_is_equal(self):
+        evaluation = sample_design().evaluate(Platform())
+        rebuilt = evaluation_from_dict(evaluation_to_dict(evaluation))
+        assert rebuilt == evaluation
+
+    def test_floats_survive_json_exactly(self):
+        evaluation = sample_design().evaluate(Platform())
+        wire = json.loads(json.dumps(evaluation_to_dict(evaluation)))
+        rebuilt = evaluation_from_dict(wire)
+        assert rebuilt.throughput_gops == evaluation.throughput_gops
+        assert rebuilt.performance == evaluation.performance
+        assert rebuilt.bram == evaluation.bram
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            evaluation_from_dict({"format": "repro-evaluation/999"})
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.dse.explore import DseConfig
+        from repro.flow.compile import synthesize_nest
+
+        nest = conv_loop_nest(16, 8, 7, 7, 3, 3, name="layer")
+        fast = DseConfig(min_dsp_utilization=0.0, vector_choices=(2, 4), top_n=3)
+        return synthesize_nest(nest, Platform(), fast)
+
+    def test_dict_round_trip_is_equal(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.kernel_source == result.kernel_source
+        assert rebuilt.measurement == result.measurement
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        assert rebuilt == result
+        assert json.loads(path.read_text())["format"] == "repro-result/1"
+
+    def test_measurement_round_trip(self, result):
+        wire = json.loads(json.dumps(measurement_to_dict(result.measurement)))
+        assert measurement_from_dict(wire) == result.measurement
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            result_from_dict({"format": "repro-result/999"})
+
+    def test_malformed_payload_rejected(self, result):
+        data = result_to_dict(result)
+        del data["measurement"]["cycles"]
+        with pytest.raises(ValueError, match="malformed"):
+            result_from_dict(data)
 
 
 class TestValidation:

@@ -1,0 +1,201 @@
+"""Engine mechanics: stage sequencing, events, caching, JSONL traces."""
+
+import io
+import json
+
+import pytest
+
+from repro.model.platform import Platform
+from repro.dse.explore import DseConfig
+from repro.pipeline.cache import StageCache
+from repro.pipeline.context import SynthesisContext
+from repro.pipeline.engine import PipelineEngine, Stage, StageBase
+from repro.pipeline.events import (
+    CacheProbe,
+    EventBus,
+    JsonlTraceWriter,
+    ProgressPrinter,
+    StageFinished,
+    StageProgress,
+    StageStarted,
+)
+
+
+def make_ctx(**kwargs):
+    return SynthesisContext(platform=Platform(), config=DseConfig(), **kwargs)
+
+
+class NamedStage(StageBase):
+    """A do-nothing stage with a recordable name."""
+
+    def __init__(self, name):
+        self.name = name
+        self.runs = 0
+
+    def run(self, ctx, events):
+        self.runs += 1
+        return ctx
+
+
+class CachingStage(NamedStage):
+    """Counts runs; caches a constant payload under a constant key."""
+
+    def __init__(self, name="cacheable"):
+        super().__init__(name)
+        self.loads = 0
+
+    def cache_parts(self, ctx):
+        return ("fixed",)
+
+    def dump(self, ctx):
+        return {"payload": True}
+
+    def load(self, payload, ctx):
+        self.loads += 1
+        return ctx
+
+
+class TestSequencing:
+    def test_stages_run_in_order_and_are_timed(self):
+        stages = [NamedStage("a"), NamedStage("b"), NamedStage("c")]
+        ctx = PipelineEngine(stages).run(make_ctx())
+        assert [s.runs for s in stages] == [1, 1, 1]
+        assert [name for name, _ in ctx.stage_seconds] == ["a", "b", "c"]
+        assert all(seconds >= 0 for _, seconds in ctx.stage_seconds)
+        assert ctx.cache_hits == ()
+
+    def test_concrete_stages_satisfy_protocol(self):
+        from repro.pipeline.stages import synthesis_stages
+
+        names = [stage.name for stage in synthesis_stages()]
+        assert names == [
+            "parse", "legality-check", "dse-phase1",
+            "dse-phase2", "codegen", "simulate",
+        ]
+        assert all(isinstance(stage, Stage) for stage in synthesis_stages())
+
+
+class TestEvents:
+    def test_start_and_finish_emitted_per_stage(self):
+        seen = []
+        PipelineEngine([NamedStage("a"), NamedStage("b")], observers=[seen.append]).run(
+            make_ctx()
+        )
+        kinds = [(type(e).__name__, e.stage) for e in seen]
+        assert kinds == [
+            ("StageStarted", "a"), ("StageFinished", "a"),
+            ("StageStarted", "b"), ("StageFinished", "b"),
+        ]
+        started = seen[0]
+        assert (started.index, started.total) == (0, 2)
+
+    def test_observer_errors_do_not_kill_the_run(self):
+        def bomb(event):
+            raise RuntimeError("observer crash")
+
+        stage = NamedStage("a")
+        PipelineEngine([stage], observers=[bomb]).run(make_ctx())
+        assert stage.runs == 1
+
+    def test_event_bus_fans_out(self):
+        a, b = [], []
+        bus = EventBus([a.append])
+        bus.subscribe(b.append)
+        bus.emit(StageStarted("s"))
+        assert len(a) == len(b) == 1
+
+    def test_to_dict_carries_discriminator(self):
+        event = StageFinished("dse-phase1", seconds=1.5, cached=True, info={"n": 3})
+        data = event.to_dict()
+        assert data["event"] == "StageFinished"
+        assert data["stage"] == "dse-phase1"
+        assert data["cached"] is True
+        assert json.dumps(data)  # JSON-able
+
+
+class TestEngineCaching:
+    def test_second_run_loads_instead_of_running(self, tmp_path):
+        cache = StageCache(tmp_path)
+        stage = CachingStage()
+        engine = PipelineEngine([stage], cache=cache)
+        first = engine.run(make_ctx())
+        second = engine.run(make_ctx())
+        assert stage.runs == 1
+        assert stage.loads == 1
+        assert first.cache_hits == ()
+        assert second.cache_hits == ("cacheable",)
+
+    def test_cache_probe_events(self, tmp_path):
+        seen = []
+        engine = PipelineEngine(
+            [CachingStage()], cache=StageCache(tmp_path), observers=[seen.append]
+        )
+        engine.run(make_ctx())
+        engine.run(make_ctx())
+        probes = [e for e in seen if isinstance(e, CacheProbe)]
+        assert [p.hit for p in probes] == [False, True]
+        assert all(len(p.key) == 64 for p in probes)
+
+    def test_corrupt_payload_falls_back_to_run(self, tmp_path):
+        class Strict(CachingStage):
+            def load(self, payload, ctx):
+                raise ValueError("bad payload")
+
+        cache = StageCache(tmp_path)
+        stage = Strict()
+        engine = PipelineEngine([stage], cache=cache)
+        engine.run(make_ctx())
+        ctx = engine.run(make_ctx())
+        assert stage.runs == 2  # load refused, stage re-ran
+        assert ctx.cache_hits == ()
+
+    def test_uncacheable_stage_never_touches_cache(self, tmp_path):
+        cache = StageCache(tmp_path)
+        engine = PipelineEngine([NamedStage("plain")], cache=cache)
+        engine.run(make_ctx())
+        assert cache.hits == cache.misses == 0
+
+
+class TestObserverOutputs:
+    def test_jsonl_trace_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as trace:
+            PipelineEngine([NamedStage("a")], observers=[trace]).run(make_ctx())
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["event"] for entry in lines] == ["StageStarted", "StageFinished"]
+        assert all(entry["stage"] == "a" for entry in lines)
+
+    def test_progress_printer_formats(self):
+        out = io.StringIO()
+        printer = ProgressPrinter(out)
+        printer(StageStarted("parse"))  # silent
+        printer(StageProgress("dse-phase1", done=32, total=100, message="configs"))
+        printer(CacheProbe("dse-phase1", key="ab" * 32, hit=True))
+        printer(StageFinished("dse-phase1", seconds=2.5, cached=False, info={"n": 1}))
+        text = out.getvalue()
+        assert "[dse-phase1] 32/100 configs" in text
+        assert "cache hit" in text
+        assert "done in 2.50s" in text
+        assert "n=1" in text
+        assert "parse" not in text
+
+    def test_progress_printer_marks_cached(self):
+        out = io.StringIO()
+        ProgressPrinter(out)(StageFinished("codegen", seconds=0.01, cached=True))
+        assert "(cached)" in out.getvalue()
+
+
+class TestContext:
+    def test_best_requires_phase2(self):
+        with pytest.raises(ValueError, match="dse-phase2"):
+            make_ctx().best
+
+    def test_to_result_requires_all_outputs(self):
+        with pytest.raises(ValueError, match="populate"):
+            make_ctx().to_result()
+
+    def test_evolve_is_pure(self):
+        ctx = make_ctx()
+        evolved = ctx.evolve(jobs=8)
+        assert ctx.jobs == 1
+        assert evolved.jobs == 8

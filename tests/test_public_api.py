@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.hw",
     "repro.model",
     "repro.dse",
+    "repro.pipeline",
     "repro.sim",
     "repro.codegen",
     "repro.flow",
