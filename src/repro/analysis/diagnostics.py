@@ -23,7 +23,9 @@ Code blocks:
 * ``SA2xx`` — design-point validation (Eq. 2 feasibility, Eqs. 4–6
   resource budgets, tiling invariants),
 * ``SA3xx`` — generated-code lint (index bounds, parameter consistency,
-  double-buffer discipline).
+  double-buffer discipline),
+* ``SA4xx`` — differential conformance (:mod:`repro.verify`): fast-sim
+  vs. cycle-accurate engine vs. analytical model vs. golden outputs.
 """
 
 from __future__ import annotations
@@ -195,6 +197,20 @@ LINT_PINGPONG_FLIP_MISSING = register_code(
 )
 LINT_PINGPONG_NOT_USED = register_code(
     "SA322", "double-buffered array access does not select a buffer with the ping-pong index"
+)
+
+# --- SA4xx: differential conformance (repro.verify) -----------------------
+VERIFY_GOLDEN_MISMATCH = register_code(
+    "SA401", "simulated output diverges from the NumPy golden model"
+)
+VERIFY_ENGINE_MISMATCH = register_code(
+    "SA402", "fast wavefront simulator diverges from the cycle-accurate engine"
+)
+VERIFY_CYCLE_MODEL_MISMATCH = register_code(
+    "SA403", "simulated cycle counts diverge from the analytical model"
+)
+VERIFY_LEG_SKIPPED = register_code(
+    "SA404", "conformance leg skipped (problem too large for that oracle)"
 )
 
 

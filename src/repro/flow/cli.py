@@ -6,8 +6,11 @@ Usage::
     systolic-synth compile conv_layer.c --jobs 4 --trace-json trace.jsonl
     systolic-synth conv_layer.c --datatype fixed8_16 --cs 0.85 --top-n 10
     systolic-synth --network alexnet -o build/ -j 0
+    systolic-synth conv_layer.c --sim-backend both
     systolic-synth check conv_layer.c
     systolic-synth check conv_layer.c --json --level design
+    systolic-synth verify conv_layer.c
+    systolic-synth verify design.json --json
 
 Reads a restricted-C program (or a built-in network), runs the two-phase
 DSE through the staged pipeline engine, and writes the generated OpenCL
@@ -24,6 +27,15 @@ artifacts written): nest legality, design-point validation,
 generated-code lint.  It exits 0 when the program is clean, 1 when
 diagnostics carry errors, 2 on usage errors — and never with a traceback
 for a malformed input.
+
+The ``verify`` subcommand runs the differential-conformance matrix
+(:mod:`repro.verify`) over a design — either a saved design-point JSON
+or the DSE winner of a C program — comparing the vectorized wavefront
+simulator against the cycle-accurate engine, the NumPy golden model and
+the analytical cycle counts.  Any disagreement is reported as an
+``SA4xx`` diagnostic and exits 1.  The compile flow can do the same
+in-line on its winner with ``--sim-backend fast|rtl|both`` (``both`` =
+differential mode).
 """
 
 from __future__ import annotations
@@ -99,6 +111,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write every pipeline event as one JSON line to this file",
     )
     parser.add_argument(
+        "--sim-backend",
+        choices=["fast", "rtl", "both"],
+        help="also execute the winner on a wavefront simulator: fast = "
+        "vectorized, rtl = cycle-accurate engine (small nests), both = "
+        "differential conformance (fails on any disagreement)",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -131,6 +150,110 @@ def build_check_arg_parser() -> argparse.ArgumentParser:
         help="downgrade a missing '#pragma systolic' to a warning",
     )
     return parser
+
+
+def build_verify_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth verify",
+        description="Differentially verify a design: fast wavefront simulator "
+        "vs. cycle-accurate engine vs. golden model vs. analytical cycles.",
+    )
+    parser.add_argument(
+        "source",
+        help="a saved design-point JSON (from --save-design) or a C file "
+        "whose DSE winner is checked",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("--device", default="arria10_gt1150", help="target FPGA")
+    parser.add_argument(
+        "--datatype", default="float32", help="float32 | fixed8_16 | fixed16"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic-tensor RNG seed"
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        help="relative tolerance of the golden-output legs (default 1e-9)",
+    )
+    parser.add_argument(
+        "--engine-limit",
+        type=int,
+        default=None,
+        help="skip the cycle-accurate engine leg above this iteration "
+        "count (default 200000)",
+    )
+    parser.add_argument(
+        "--no-pragma",
+        action="store_true",
+        help="accept a C file without '#pragma systolic'",
+    )
+    return parser
+
+
+def verify_main(argv: list[str]) -> int:
+    """The ``verify`` subcommand: differential conformance, no artifacts."""
+    args = build_verify_arg_parser().parse_args(argv)
+    from repro.verify.conformance import (
+        DEFAULT_ENGINE_ITERATION_LIMIT,
+        DEFAULT_REL_TOL,
+        cross_check,
+    )
+
+    path = Path(args.source)
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    if path.suffix == ".json":
+        from repro.model.serialize import load_design
+
+        try:
+            design = load_design(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.analysis.check import run_checks
+
+        platform = Platform(
+            device=device_by_name(args.device),
+            datatype=datatype_by_name(args.datatype),
+        )
+        try:
+            source = path.read_text()
+        except UnicodeDecodeError:
+            print(f"error: {path} is not a text file", file=sys.stderr)
+            return 2
+        checked = run_checks(
+            source,
+            platform=platform,
+            level="design",
+            name=path.stem,
+            filename=str(path),
+            require_pragma=not args.no_pragma,
+        )
+        if checked.design is None:
+            print(checked.report.render(source), file=sys.stderr)
+            return checked.exit_code or 1
+        design = checked.design
+    conformance = cross_check(
+        design,
+        seed=args.seed,
+        rel_tol=args.rel_tol if args.rel_tol is not None else DEFAULT_REL_TOL,
+        engine_iteration_limit=(
+            args.engine_limit
+            if args.engine_limit is not None
+            else DEFAULT_ENGINE_ITERATION_LIMIT
+        ),
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(conformance.to_dict(), indent=2))
+    else:
+        print(conformance.render())
+    return conformance.exit_code
 
 
 def check_main(argv: list[str]) -> int:
@@ -174,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
     if raw and raw[0] == "check":
         return check_main(raw[1:])
+    if raw and raw[0] == "verify":
+        return verify_main(raw[1:])
     if raw and raw[0] == "compile":
         raw = raw[1:]  # explicit subcommand name for the default action
     args = build_arg_parser().parse_args(raw)
@@ -248,6 +373,7 @@ def _synthesize(args, platform, config, out_dir, cache, observers) -> int:
             config,
             name=Path(args.source).stem,
             jobs=args.jobs,
+            sim_backend=args.sim_backend,
             cache=cache,
             observers=observers,
         )
@@ -276,4 +402,11 @@ if __name__ == "__main__":  # pragma: no cover
     sys.exit(main())
 
 
-__all__ = ["build_arg_parser", "build_check_arg_parser", "check_main", "main"]
+__all__ = [
+    "build_arg_parser",
+    "build_check_arg_parser",
+    "build_verify_arg_parser",
+    "check_main",
+    "main",
+    "verify_main",
+]

@@ -47,6 +47,7 @@ def synthesize_nest(
     *,
     strict: bool = False,
     jobs: int = 1,
+    sim_backend: str | None = None,
     cache: CacheSpec = None,
     observers: tuple[Observer, ...] = (),
 ) -> SynthesisResult:
@@ -63,6 +64,13 @@ def synthesize_nest(
             :class:`repro.analysis.DiagnosticError` on any violation.
         jobs: worker processes for the DSE fan-out (1 = serial, <= 0 =
             all cores); the result is bit-identical for any value.
+        sim_backend: also execute the winner on a wavefront simulator
+            with synthetic tensors — ``"fast"`` (vectorized), ``"rtl"``
+            (cycle-accurate engine; small nests only) or ``"both"``
+            (differential conformance via :mod:`repro.verify`, raising
+            :class:`repro.analysis.DiagnosticError` on disagreement).
+            The result's ``engine_result`` / ``conformance`` fields are
+            populated accordingly.
         cache: stage cache (off by default for the API; the CLI defaults
             it on) — see :data:`CacheSpec`.
         observers: pipeline event callbacks (progress printer, JSONL
@@ -72,7 +80,12 @@ def synthesize_nest(
     if strict:
         config = replace(config, strict=True)
     ctx = SynthesisContext(
-        platform=platform, config=config, strict=strict, jobs=jobs, nest=nest
+        platform=platform,
+        config=config,
+        strict=strict,
+        jobs=jobs,
+        sim_backend=sim_backend,
+        nest=nest,
     )
     return _run_pipeline(ctx, cache, observers)
 
@@ -86,6 +99,7 @@ def compile_c_source(
     require_pragma: bool = True,
     strict: bool = False,
     jobs: int = 1,
+    sim_backend: str | None = None,
     cache: CacheSpec = None,
     observers: tuple[Observer, ...] = (),
 ) -> SynthesisResult:
@@ -103,6 +117,8 @@ def compile_c_source(
             located diagnostics on rejection) and audit the DSE result
             and generated artifacts; see :func:`synthesize_nest`.
         jobs: worker processes for the DSE fan-out.
+        sim_backend: wavefront-simulator backend for the winner
+            (``fast`` | ``rtl`` | ``both``); see :func:`synthesize_nest`.
         cache: stage cache — see :data:`CacheSpec`.
         observers: pipeline event callbacks.
 
@@ -121,6 +137,7 @@ def compile_c_source(
         require_pragma=require_pragma,
         strict=strict,
         jobs=jobs,
+        sim_backend=sim_backend,
     )
     return _run_pipeline(ctx, cache, observers)
 

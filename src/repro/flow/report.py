@@ -61,6 +61,17 @@ def render_synthesis_report(result) -> str:
         f"DSE: {result.configs_tuned}/{result.configs_enumerated} configs tuned "
         f"in {result.dse_seconds:.2f} s",
     ]
+    engine_result = getattr(result, "engine_result", None)
+    if engine_result is not None:
+        lines += [
+            "",
+            f"wavefront sim: {engine_result.compute_cycles} compute cycles "
+            f"({engine_result.waves} waves over {engine_result.blocks} blocks, "
+            f"{engine_result.pe_active_cycles} PE-active cycles)",
+        ]
+    conformance = getattr(result, "conformance", None)
+    if conformance is not None:
+        lines += ["", conformance.render()]
     stage_seconds = getattr(result, "stage_seconds", ())
     if stage_seconds:
         cached = set(getattr(result, "cache_hits", ()))

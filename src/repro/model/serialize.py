@@ -40,6 +40,7 @@ from repro.model.resources import BramBreakdown
 FORMAT = "repro-design/1"
 EVALUATION_FORMAT = "repro-evaluation/1"
 RESULT_FORMAT = "repro-result/1"
+ENGINE_RESULT_FORMAT = "repro-engine-result/1"
 
 
 def nest_to_dict(nest: LoopNest) -> dict[str, Any]:
@@ -239,9 +240,60 @@ def measurement_from_dict(data: dict[str, Any]) -> Any:
         raise ValueError(f"malformed measurement payload: {exc}") from exc
 
 
+def engine_result_to_dict(engine_result: Any) -> dict[str, Any]:
+    """Serialize a :class:`repro.sim.engine.EngineResult`.
+
+    The output tensor is stored flat plus its shape; float64 values
+    round-trip bit-for-bit through JSON's ``repr``-based float encoding,
+    so a reloaded result compares bit-identical to the simulated one.
+    """
+    output = engine_result.output
+    return {
+        "format": ENGINE_RESULT_FORMAT,
+        "output_shape": list(output.shape),
+        "output": output.ravel().tolist(),
+        "compute_cycles": engine_result.compute_cycles,
+        "blocks": engine_result.blocks,
+        "waves": engine_result.waves,
+        "pe_active_cycles": engine_result.pe_active_cycles,
+        "first_all_active_cycle": engine_result.first_all_active_cycle,
+    }
+
+
+def engine_result_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild an :class:`repro.sim.engine.EngineResult`.
+
+    Raises:
+        ValueError: on unknown format versions or malformed payloads.
+    """
+    import numpy as np
+
+    from repro.sim.engine import EngineResult
+
+    if data.get("format") != ENGINE_RESULT_FORMAT:
+        raise ValueError(
+            f"unsupported engine-result format {data.get('format')!r} "
+            f"(expected {ENGINE_RESULT_FORMAT!r})"
+        )
+    try:
+        output = np.asarray(data["output"], dtype=np.float64).reshape(
+            tuple(data["output_shape"])
+        )
+        return EngineResult(
+            output=output,
+            compute_cycles=data["compute_cycles"],
+            blocks=data["blocks"],
+            waves=data["waves"],
+            pe_active_cycles=data["pe_active_cycles"],
+            first_all_active_cycle=data["first_all_active_cycle"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed engine-result payload: {exc}") from exc
+
+
 def result_to_dict(result: Any) -> dict[str, Any]:
     """Serialize a full :class:`repro.pipeline.context.SynthesisResult`."""
-    return {
+    data = {
         "format": RESULT_FORMAT,
         "evaluation": evaluation_to_dict(result.evaluation),
         "frequency_mhz": result.frequency_mhz,
@@ -254,6 +306,10 @@ def result_to_dict(result: Any) -> dict[str, Any]:
         "configs_tuned": result.configs_tuned,
         "dse_seconds": result.dse_seconds,
     }
+    engine_result = getattr(result, "engine_result", None)
+    if engine_result is not None:
+        data["engine_result"] = engine_result_to_dict(engine_result)
+    return data
 
 
 def result_from_dict(data: dict[str, Any]) -> Any:
@@ -283,6 +339,11 @@ def result_from_dict(data: dict[str, Any]) -> Any:
             configs_enumerated=data["configs_enumerated"],
             configs_tuned=data["configs_tuned"],
             dse_seconds=data["dse_seconds"],
+            engine_result=(
+                engine_result_from_dict(data["engine_result"])
+                if "engine_result" in data
+                else None
+            ),
         )
     except (KeyError, TypeError) as exc:
         raise ValueError(f"malformed result payload: {exc}") from exc
@@ -303,11 +364,14 @@ def load_result(path) -> Any:
 
 
 __all__ = [
+    "ENGINE_RESULT_FORMAT",
     "EVALUATION_FORMAT",
     "FORMAT",
     "RESULT_FORMAT",
     "design_from_dict",
     "design_to_dict",
+    "engine_result_from_dict",
+    "engine_result_to_dict",
     "evaluation_from_dict",
     "evaluation_to_dict",
     "load_design",

@@ -17,7 +17,9 @@ from repro.ir.loop import LoopNest
 from repro.model.design_point import DesignEvaluation
 from repro.model.platform import Platform
 from repro.dse.explore import DseConfig, Phase1Result, Phase2Result
+from repro.sim.engine import EngineResult
 from repro.sim.perf import LayerMeasurement
+from repro.verify.conformance import ConformanceReport
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,11 @@ class SynthesisResult:
             compares equal to the cold run that produced it).
         cache_hits: names of stages served from the stage cache
             (bookkeeping; excluded from equality).
+        engine_result: wavefront-simulator run of the winner on synthetic
+            tensors (``sim_backend`` set; None otherwise).  Excluded from
+            equality — it holds the simulated output tensor.
+        conformance: differential-conformance verdict
+            (``sim_backend="both"`` only; excluded from equality).
     """
 
     evaluation: DesignEvaluation
@@ -52,6 +59,8 @@ class SynthesisResult:
     dse_seconds: float = field(compare=False)
     stage_seconds: tuple[tuple[str, float], ...] = field(default=(), compare=False)
     cache_hits: tuple[str, ...] = field(default=(), compare=False)
+    engine_result: EngineResult | None = field(default=None, compare=False)
+    conformance: ConformanceReport | None = field(default=None, compare=False)
 
     @property
     def throughput_gops(self) -> float:
@@ -71,6 +80,9 @@ class SynthesisContext:
         require_pragma: reject unannotated programs in the parse stage.
         strict: run the static-analysis self-audits.
         jobs: process-pool width for the DSE stages (1 = serial).
+        sim_backend: wavefront-simulator backend for the simulate stage
+            (``"fast"``, ``"rtl"`` or ``"both"`` for differential
+            conformance; None = performance model only).
         nest: the loop nest (parse-stage output, or an input).
         phase1 / phase2: DSE stage outputs.
         frequency_mhz: realized clock of the winner.
@@ -88,6 +100,7 @@ class SynthesisContext:
     require_pragma: bool = True
     strict: bool = False
     jobs: int = 1
+    sim_backend: str | None = None
     nest: LoopNest | None = None
     phase1: Phase1Result | None = None
     phase2: Phase2Result | None = None
@@ -97,6 +110,8 @@ class SynthesisContext:
     host_source: str | None = None
     testbench_source: str | None = None
     driver_source: str | None = None
+    engine_result: EngineResult | None = None
+    conformance: ConformanceReport | None = None
     stage_seconds: tuple[tuple[str, float], ...] = ()
     cache_hits: tuple[str, ...] = ()
 
@@ -137,6 +152,8 @@ class SynthesisContext:
             dse_seconds=self.phase1.elapsed_seconds,
             stage_seconds=self.stage_seconds,
             cache_hits=self.cache_hits,
+            engine_result=self.engine_result,
+            conformance=self.conformance,
         )
 
 

@@ -229,7 +229,12 @@ class CodegenStage(StageBase):
 
 
 class SimulateStage(StageBase):
-    """Performance-simulator run of the winner at its realized clock."""
+    """Performance-simulator run of the winner at its realized clock,
+    plus an optional wavefront-simulator execution on synthetic tensors
+    (``ctx.sim_backend``): ``fast`` runs the vectorized simulator,
+    ``rtl`` the cycle-accurate engine (small problems only), ``both``
+    the full differential-conformance matrix (:mod:`repro.verify`),
+    failing the pipeline on any disagreement."""
 
     name = "simulate"
 
@@ -239,9 +244,49 @@ class SimulateStage(StageBase):
         measurement = simulate_performance(
             ctx.best.design, ctx.platform, frequency_mhz=ctx.frequency_mhz
         )
-        return ctx.evolve(measurement=measurement)
+        ctx = ctx.evolve(measurement=measurement)
+        if ctx.sim_backend is not None:
+            ctx = self._run_wavefront(ctx)
+        return ctx
+
+    def _run_wavefront(self, ctx: SynthesisContext) -> SynthesisContext:
+        from repro.verify.conformance import (
+            DEFAULT_ENGINE_ITERATION_LIMIT,
+            cross_check,
+            synthetic_arrays,
+        )
+
+        design = ctx.best.design
+        backend = ctx.sim_backend
+        if backend == "both":
+            conformance = cross_check(design)
+            conformance.report.raise_if_errors()
+            return ctx.evolve(engine_result=conformance.result, conformance=conformance)
+        arrays = synthetic_arrays(design.nest)
+        if backend == "fast":
+            from repro.sim.fast import FastWavefrontSimulator
+
+            result = FastWavefrontSimulator(design).run(arrays)
+        elif backend == "rtl":
+            from repro.sim.engine import SystolicArrayEngine
+
+            total = design.nest.total_iterations
+            if total > DEFAULT_ENGINE_ITERATION_LIMIT:
+                raise ValueError(
+                    f"--sim-backend rtl: {design.nest.name!r} has {total} "
+                    f"iterations, beyond the cycle-accurate engine's budget "
+                    f"of {DEFAULT_ENGINE_ITERATION_LIMIT}; use 'fast' or 'both'"
+                )
+            result = SystolicArrayEngine(design).run(arrays)
+        else:
+            raise ValueError(
+                f"unknown simulator backend {backend!r} (fast | rtl | both)"
+            )
+        return ctx.evolve(engine_result=result)
 
     def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
+        if ctx.sim_backend is not None:
+            return None  # wavefront/differential runs always execute
         return (ctx.best.design, ctx.platform, ctx.frequency_mhz)
 
     def dump(self, ctx: SynthesisContext) -> dict[str, Any] | None:
@@ -253,10 +298,15 @@ class SimulateStage(StageBase):
 
     def info(self, ctx: SynthesisContext) -> dict[str, Any]:
         assert ctx.measurement is not None
-        return {
+        info: dict[str, Any] = {
             "gops": round(ctx.measurement.throughput_gops, 1),
             "bound": ctx.measurement.bound,
         }
+        if ctx.engine_result is not None:
+            info["wavefront_cycles"] = ctx.engine_result.compute_cycles
+        if ctx.conformance is not None:
+            info["conformance"] = "ok" if ctx.conformance.ok else "mismatch"
+        return info
 
 
 def synthesis_stages() -> list[StageBase]:

@@ -13,6 +13,9 @@ DESIGN.md §1):
   compute and DRAM-transfer cycles with double-buffer overlap, producing
   the "measured" layer latencies that Fig. 7(b) compares against the
   analytical model;
+* :mod:`repro.sim.fast` — the vectorized wavefront simulator: the same
+  architecture executed as NumPy batch operations over whole waves,
+  bit-identical to the engine but fast enough for full Table-2 layers;
 * :mod:`repro.sim.functional` — functional validation helpers (engine-
   based simulation against the NumPy golden model, tiling-coverage
   audits).
@@ -24,7 +27,8 @@ from repro.sim.buffers import (
     DoubleBuffer,
     chain_fill_cycles,
 )
-from repro.sim.engine import EngineResult, SystolicArrayEngine
+from repro.sim.engine import EngineResult, SystolicArrayEngine, simd_dot
+from repro.sim.fast import CycleStatistics, FastWavefrontSimulator, cycle_statistics
 from repro.sim.functional import audit_tiling_coverage, simulate_layer
 from repro.sim.perf import LayerMeasurement, simulate_performance
 from repro.sim.schedule import BlockSpec, enumerate_blocks, wave_schedule_cycles
@@ -35,15 +39,19 @@ __all__ = [
     "BlockSpec",
     "BufferChain",
     "BufferConflictError",
+    "CycleStatistics",
     "DoubleBuffer",
     "EngineResult",
+    "FastWavefrontSimulator",
     "chain_fill_cycles",
+    "cycle_statistics",
     "LayerMeasurement",
     "SystemMeasurement",
     "SystolicArrayEngine",
     "audit_tiling_coverage",
     "enumerate_blocks",
     "schedule_waterfall",
+    "simd_dot",
     "simulate_layer",
     "simulate_performance",
     "simulate_system",

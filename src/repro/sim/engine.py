@@ -38,6 +38,20 @@ class _Packet:
     values: np.ndarray
 
 
+def simd_dot(weights: np.ndarray, inputs: np.ndarray) -> float:
+    """One PE's SIMD accumulation: lane products added in lane order.
+
+    Every simulator must use this exact operation order (a running sum
+    starting from +0.0, one fused nothing — plain IEEE multiply then add
+    per lane) so their outputs agree bit-for-bit.  ``np.dot`` delegates
+    to BLAS, which is free to reassociate and can differ in the last ulp.
+    """
+    total = 0.0
+    for w, value in zip(weights.tolist(), inputs.tolist()):
+        total += w * value
+    return total
+
+
 @dataclass(frozen=True)
 class EngineResult:
     """Outcome of a cycle-accurate run.
@@ -212,8 +226,8 @@ class SystolicArrayEngine:
                     if any(idx[it] >= self._bounds[it] for it in self._iterators if it != self.mapping.vector):
                         continue  # padding PE position: no real output element
                     key = self._out_access.evaluate(idx)
-                    acc[x][y][key] = acc[x][y].get(key, 0.0) + float(
-                        np.dot(w_pkt.values, in_pkt.values)
+                    acc[x][y][key] = acc[x][y].get(key, 0.0) + simd_dot(
+                        w_pkt.values, in_pkt.values
                     )
         # Drain: fold per-PE accumulators into the global output.
         for x in range(rows):
@@ -223,4 +237,4 @@ class SystolicArrayEngine:
         return cycles, active
 
 
-__all__ = ["EngineResult", "SystolicArrayEngine"]
+__all__ = ["EngineResult", "SystolicArrayEngine", "simd_dot"]

@@ -1,0 +1,358 @@
+"""Fast vectorized wavefront simulator.
+
+The cycle-accurate engine (:mod:`repro.sim.engine`) interprets the array
+one PE and one cycle at a time and is exponential in problem size by
+construction.  This module simulates the *same architecture* — the same
+block/wave decomposition, the same skewed injection schedule, the same
+per-PE SIMD accumulation — as NumPy batch operations over whole waves:
+
+* **skewed injection as index arithmetic** — wave ``m`` meets PE
+  ``(x, y)`` at cycle ``m + x + y``, so the set of (wave, PE) pairings is
+  known in closed form and never needs shift registers;
+* **vectorized operand gathers** — every affine subscript decomposes as
+  ``A[m] + c_row * x + c_vec * v`` (and symmetrically for columns), so a
+  whole chunk of waves is fetched with one fancy-indexing expression per
+  array dimension;
+* **SIMD accumulation in engine order** — per-PE dot products are
+  evaluated lane-by-lane (``D += W_lane * I_lane``), the exact
+  :func:`repro.sim.engine.simd_dot` operation sequence, and folded into
+  per-PE accumulators with ``np.add.at`` (unbuffered, applied in array
+  order) laid out wave-major, so every accumulator sees the same IEEE
+  additions in the same order as the engine's;
+* **closed-form cycle accounting** — a block of M waves takes
+  ``M + R + C - 2`` cycles and keeps every PE busy for exactly
+  ``M * R * C`` PE-cycles, so the counters need no cycle loop at all.
+
+The result is **bit-identical** to :class:`SystolicArrayEngine` — the
+output tensor equal with ``==``, every counter equal — while full
+Table-2 layer shapes complete in seconds (see
+``benchmarks/bench_sim_fast.py`` and ``docs/simulation.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.access import ArrayAccess
+from repro.model.design_point import DesignPoint
+from repro.sim.engine import EngineResult
+from repro.sim.schedule import (
+    BlockSpec,
+    enumerate_blocks,
+    first_all_active_cycle,
+    wave_schedule_cycles,
+)
+
+
+@dataclass(frozen=True)
+class CycleStatistics:
+    """Closed-form cycle accounting for a design (no simulation run).
+
+    These are the analytical counterparts of the engine counters, derived
+    from the tiling alone: under clipped-middle semantics loop ``l``
+    contributes ``ceil(N_l / t_l)`` middle steps in total, so
+
+    * ``waves  = prod_l ceil(N_l / t_l)``,
+    * ``compute_cycles = waves + blocks * (R + C - 2)`` (every block pays
+      one pipeline fill/drain of ``R + C - 2`` cycles),
+    * ``pe_active_cycles = waves * R * C`` (each wave sweeps the array).
+
+    The conformance harness (:mod:`repro.verify`) checks the simulators'
+    emergent counters against these formulas exactly.
+    """
+
+    blocks: int
+    waves: int
+    compute_cycles: int
+    pe_active_cycles: int
+    first_all_active_cycle: int
+
+
+def cycle_statistics(design: DesignPoint) -> CycleStatistics:
+    """Closed-form :class:`CycleStatistics` of a design (clipped middles)."""
+    nest = design.nest
+    tiling = design.tiling
+    waves = 1
+    for it in nest.iterators:
+        waves *= math.ceil(nest.bounds[it] / tiling.t(it))
+    blocks = design.tiled.total_blocks
+    rows, cols = design.shape.rows, design.shape.cols
+    return CycleStatistics(
+        blocks=blocks,
+        waves=waves,
+        compute_cycles=waves + blocks * (rows + cols - 2),
+        pe_active_cycles=waves * rows * cols,
+        first_all_active_cycle=first_all_active_cycle(rows, cols),
+    )
+
+
+class FastWavefrontSimulator:
+    """Vectorized execution of one design point; engine-bit-identical.
+
+    Drop-in for :class:`~repro.sim.engine.SystolicArrayEngine`: same
+    constructor, same :meth:`run` contract, same :class:`EngineResult`.
+
+    Args:
+        design: the design point to execute.
+        chunk_entries: soft cap on the number of (wave, PE) entries
+            materialized at once (memory/latency knob; any value gives
+            the same bits because chunks preserve wave order).
+    """
+
+    #: Refuse accumulation buffers above this many float64 slots (1 GiB).
+    MAX_ACC_ENTRIES = 1 << 27
+
+    def __init__(self, design: DesignPoint, *, chunk_entries: int = 1 << 21) -> None:
+        self.design = design
+        self.nest = design.nest
+        self.mapping = design.mapping
+        self.rows = design.shape.rows
+        self.cols = design.shape.cols
+        self.vector = design.shape.vector
+        self._chunk_entries = max(1, chunk_entries)
+        self._iterators = self.nest.iterators
+        self._bounds = self.nest.bounds
+        self._out_access = self.nest.output
+        reads = {a.array: a for a in self.nest.reads}
+        self._w_access = reads[self.mapping.horizontal_array]
+        self._in_access = reads[self.mapping.vertical_array]
+        for access in (self._out_access, self._w_access, self._in_access):
+            for expr in access.indices:
+                if expr.const < 0 or any(c < 0 for _, c in expr.terms):
+                    raise ValueError(
+                        f"fast simulator requires non-negative subscripts; "
+                        f"{access} is outside the systolizable subset "
+                        f"(use SystolicArrayEngine)"
+                    )
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, arrays: dict[str, np.ndarray]) -> EngineResult:
+        """Execute all blocks; same contract as ``SystolicArrayEngine.run``.
+
+        Args:
+            arrays: name -> tensor for both read arrays, with shapes large
+                enough for the access ranges (the layer's natural shapes).
+        """
+        out_shape = tuple(
+            expr.value_range(self._bounds)[1] + 1 for expr in self._out_access.indices
+        )
+        output = np.zeros(out_shape)
+
+        total_cycles = 0
+        total_waves = 0
+        active_cycles = 0
+        blocks = 0
+        for block in enumerate_blocks(self.design.tiled, clip=True):
+            blocks += 1
+            waves = block.waves
+            total_waves += waves
+            total_cycles += wave_schedule_cycles(waves, self.rows, self.cols)
+            # The engine counts a PE active whenever a wave reaches it,
+            # padding positions included: M waves x R x C PEs per block.
+            active_cycles += waves * self.rows * self.cols
+            self._run_block(block, arrays, output)
+
+        return EngineResult(
+            output=output,
+            compute_cycles=total_cycles,
+            blocks=blocks,
+            waves=total_waves,
+            pe_active_cycles=active_cycles,
+            first_all_active_cycle=first_all_active_cycle(self.rows, self.cols),
+        )
+
+    # ------------------------------------------------------------ one block
+
+    def _run_block(
+        self, block: BlockSpec, arrays: dict[str, np.ndarray], output: np.ndarray
+    ) -> None:
+        rows, cols, vector = self.rows, self.cols, self.vector
+        iterators = self._iterators
+        counts = block.middle_map
+        bases = block.base_map
+        t = self.design.tiling.t
+
+        # Mixed-radix wave index -> middle vector, outermost loop slowest
+        # (the enumerate_waves order the engine consumes).
+        strides: dict[str, int] = {}
+        stride = 1
+        for it in reversed(iterators):
+            strides[it] = stride
+            stride *= counts[it]
+        total_waves = stride
+
+        # Per-PE accumulators, engine-equivalent: one slot per (PE, output
+        # element the block can touch).  The block's output footprint is a
+        # box in index space because every subscript is affine with
+        # non-negative coefficients (checked in __init__).
+        box_lo, box_hi = self._output_box(block, output.shape)
+        box_shape = tuple(hi - lo + 1 for lo, hi in zip(box_lo, box_hi))
+        box_size = int(np.prod(box_shape, dtype=np.int64)) if box_shape else 1
+        if rows * cols * box_size > self.MAX_ACC_ENTRIES:
+            raise ValueError(
+                f"block output footprint {box_shape} x {rows * cols} PEs exceeds "
+                f"the fast simulator's accumulator budget"
+            )
+        acc = np.zeros(rows * cols * box_size)
+        pe_slot_base = (
+            np.arange(rows, dtype=np.int64)[:, None] * cols
+            + np.arange(cols, dtype=np.int64)[None, :]
+        ) * box_size
+
+        row_it, col_it, vec_it = self.mapping.row, self.mapping.col, self.mapping.vector
+        x_idx = np.arange(rows, dtype=np.int64)
+        y_idx = np.arange(cols, dtype=np.int64)
+        v_idx = np.arange(vector, dtype=np.int64)
+
+        per_entry = max(rows * cols, rows * vector, cols * vector)
+        chunk = max(1, self._chunk_entries // per_entry)
+        for m0 in range(0, total_waves, chunk):
+            m_idx = np.arange(m0, min(m0 + chunk, total_waves), dtype=np.int64)
+            # i_l = base_l + mid_l * t_l at lane 0 for every iterator.
+            vals = {
+                it: bases[it] + (m_idx // strides[it]) % counts[it] * t(it)
+                for it in iterators
+            }
+            ok0 = {it: vals[it] < self._bounds[it] for it in iterators}
+            mask_row = vals[row_it][:, None] + x_idx[None, :] < self._bounds[row_it]
+            mask_col = vals[col_it][:, None] + y_idx[None, :] < self._bounds[col_it]
+            mask_vec = vals[vec_it][:, None] + v_idx[None, :] < self._bounds[vec_it]
+
+            # Operand gathers: the weight vector entering row x, the input
+            # vector entering column y (the engine's _w_vector/_in_vector).
+            base_ok_w = self._and_all(ok0, exclude=(row_it, vec_it), n=len(m_idx))
+            w_vals = self._gather(
+                self._w_access, arrays, vals,
+                base_ok_w[:, None, None] & mask_row[:, :, None] & mask_vec[:, None, :],
+                row_it, x_idx, vec_it, v_idx,
+            )
+            base_ok_i = self._and_all(ok0, exclude=(col_it, vec_it), n=len(m_idx))
+            in_vals = self._gather(
+                self._in_access, arrays, vals,
+                base_ok_i[:, None, None] & mask_col[:, :, None] & mask_vec[:, None, :],
+                col_it, y_idx, vec_it, v_idx,
+            )
+
+            # Per-PE SIMD dot, lane order = simd_dot order.
+            dots = np.zeros((len(m_idx), rows, cols))
+            for v in range(vector):
+                dots += w_vals[:, :, v][:, :, None] * in_vals[:, :, v][:, None, :]
+
+            # A PE position is real (non-padding) when every non-vector
+            # iterator stays inside its original bound at lane 0.
+            base_ok_c = self._and_all(ok0, exclude=(row_it, col_it, vec_it), n=len(m_idx))
+            compute_mask = (
+                base_ok_c[:, None, None] & mask_row[:, :, None] & mask_col[:, None, :]
+            )
+
+            # Output element per (wave, PE), as an offset into the box.
+            box_off = np.zeros((len(m_idx), 1, 1), dtype=np.int64)
+            box_stride = 1
+            for dim in range(len(box_shape) - 1, -1, -1):
+                expr = self._out_access.indices[dim]
+                key = np.full(len(m_idx), expr.const, dtype=np.int64)
+                for name, coeff in expr.terms:
+                    key = key + coeff * vals[name]
+                dim_key = (
+                    key[:, None, None]
+                    + expr.coefficient(row_it) * x_idx[None, :, None]
+                    + expr.coefficient(col_it) * y_idx[None, None, :]
+                )
+                box_off = box_off + (dim_key - box_lo[dim]) * box_stride
+                box_stride *= box_shape[dim]
+
+            slot = pe_slot_base[None, :, :] + box_off
+            keep = compute_mask.ravel()
+            # np.add.at is unbuffered: entries land in array order, which is
+            # wave-major here — the engine's per-accumulator add order.
+            np.add.at(acc, slot.ravel()[keep], dots.ravel()[keep])
+
+        # Drain in the engine's order: PEs row-major, one add per touched
+        # element.  Untouched box slots add +0.0, which cannot change any
+        # bit: accumulators and outputs are sums seeded with +0.0 and can
+        # never hold -0.0.
+        region = output[tuple(slice(lo, hi + 1) for lo, hi in zip(box_lo, box_hi))]
+        for pe in range(rows * cols):
+            region += acc[pe * box_size : (pe + 1) * box_size].reshape(box_shape)
+
+    # -------------------------------------------------------------- helpers
+
+    def _output_box(
+        self, block: BlockSpec, out_shape: tuple[int, ...]
+    ) -> tuple[list[int], list[int]]:
+        """Inclusive per-dimension bounds of the block's output footprint.
+
+        The lower corner is attained by the always-valid first wave at
+        PE (0, 0); the upper corner is clamped to the tensor so padding
+        waves (masked out anyway) cannot inflate the box.
+        """
+        counts = block.middle_map
+        bases = block.base_map
+        t = self.design.tiling.t
+        inner_extent = {
+            self.mapping.row: self.rows - 1,
+            self.mapping.col: self.cols - 1,
+        }
+        lo: list[int] = []
+        hi: list[int] = []
+        for dim, expr in enumerate(self._out_access.indices):
+            low = high = expr.const
+            for name, coeff in expr.terms:
+                low += coeff * bases[name]
+                high += coeff * (bases[name] + (counts[name] - 1) * t(name))
+                high += coeff * inner_extent.get(name, 0)
+            lo.append(low)
+            hi.append(min(high, out_shape[dim] - 1))
+        return lo, hi
+
+    @staticmethod
+    def _and_all(
+        ok0: dict[str, np.ndarray], *, exclude: tuple[str, ...], n: int
+    ) -> np.ndarray:
+        """AND of the lane-0 in-bounds masks over all iterators not excluded."""
+        result = np.ones(n, dtype=bool)
+        for it, mask in ok0.items():
+            if it not in exclude:
+                result &= mask
+        return result
+
+    def _gather(
+        self,
+        access: ArrayAccess,
+        arrays: dict[str, np.ndarray],
+        vals: dict[str, np.ndarray],
+        mask: np.ndarray,
+        it1: str,
+        k1: np.ndarray,
+        it2: str,
+        k2: np.ndarray,
+    ) -> np.ndarray:
+        """Masked vectorized gather: (waves, |it1|, |it2|) float64 values.
+
+        Matches the engine's ``_gather``: any iterator past its original
+        bound makes the value 0.0 (quantization padding contributes
+        nothing); in-bounds values are fetched and widened to float64.
+        """
+        source = arrays[access.array]
+        dims = []
+        for expr in access.indices:
+            base = np.full(len(next(iter(vals.values()))), expr.const, dtype=np.int64)
+            for name, coeff in expr.terms:
+                base = base + coeff * vals[name]
+            dim = (
+                base[:, None, None]
+                + expr.coefficient(it1) * k1[None, :, None]
+                + expr.coefficient(it2) * k2[None, None, :]
+            )
+            # Padding indices may exceed the tensor; point them at 0 and
+            # let the mask zero the fetched value.
+            dims.append(np.where(mask, dim, 0))
+        gathered = np.asarray(source[tuple(dims)], dtype=np.float64)
+        return np.where(mask, gathered, 0.0)
+
+
+__all__ = ["CycleStatistics", "FastWavefrontSimulator", "cycle_statistics"]

@@ -30,14 +30,19 @@ def simulate_layer(
     layer: ConvLayer,
     inputs: np.ndarray,
     weights: np.ndarray,
+    *,
+    backend: str = "rtl",
 ) -> np.ndarray:
-    """Cycle-accurately execute a conv layer under a design.
+    """Execute a conv layer under a design on a simulator backend.
 
     Args:
         design: a design whose nest is the layer's per-group nest.
         layer: the layer descriptor (for padding/group handling).
         inputs: (I, H, W) tensor.
         weights: (O, I/groups, K, K) tensor.
+        backend: ``"rtl"`` for the cycle-accurate engine (exponential;
+            small shapes only) or ``"fast"`` for the vectorized wavefront
+            simulator — bit-identical outputs, Table-2 scale.
 
     Returns:
         (O, R, C) output tensor.
@@ -55,8 +60,16 @@ def simulate_layer(
             f"design nest bounds {design.nest.bounds} do not match layer "
             f"{layer.name}'s per-group nest {per_group.to_loop_nest().bounds}"
         )
+    if backend == "rtl":
+        simulator_class = SystolicArrayEngine
+    elif backend == "fast":
+        from repro.sim.fast import FastWavefrontSimulator
+
+        simulator_class = FastWavefrontSimulator
+    else:
+        raise ValueError(f"unknown simulator backend {backend!r} (rtl | fast)")
     for g in range(groups):
-        engine = SystolicArrayEngine(design)
+        engine = simulator_class(design)
         # The engine addresses tensors by array name; the weight tensor is
         # the rank-4 read (o,i,p,q), the feature map the rank-3 read.
         name_arrays = {}

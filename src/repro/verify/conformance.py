@@ -1,0 +1,426 @@
+"""The differential-conformance harness behind :func:`cross_check`.
+
+Each *leg* of the conformance matrix compares two independent estimates
+of the same quantity and yields a :class:`LegResult`; disagreements also
+emit an ``SA4xx`` diagnostic into an :class:`repro.analysis.AnalysisReport`
+so callers get both a human summary and a machine-readable verdict.
+
+Tolerance policy (documented in ``docs/simulation.md``):
+
+* fast vs. engine — **bit-exact**: equal output bytes, equal counters.
+  Both simulators perform the identical sequence of IEEE double
+  operations, so any difference is a bug, not rounding.
+* output vs. golden — relative tolerance ``rel_tol`` (default 1e-9).
+  The golden evaluations sum in a different order (einsum / flat index
+  chunks), so last-ulp drift is legitimate; the observed gap on real
+  layers is ~1e-11.  Golden references are computed in float64 even for
+  float32 tensors — the simulators accumulate in double precision, and
+  comparing against a float32 accumulation would measure the *oracle's*
+  rounding, not the simulator's.
+* cycles vs. model — **exact**: under clipped-middle semantics the
+  closed form ``waves = prod ceil(N_l / t_l)``,
+  ``compute = waves + blocks * (R + C - 2)`` is not an approximation,
+  and the pipeline fill/drain term is the only allowed gap between the
+  simulator's count and the Eq. 5 ideal ``executed / lanes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.diagnostics import (
+    VERIFY_CYCLE_MODEL_MISMATCH,
+    VERIFY_ENGINE_MISMATCH,
+    VERIFY_GOLDEN_MISMATCH,
+    VERIFY_LEG_SKIPPED,
+    AnalysisReport,
+    Severity,
+)
+from repro.ir.loop import LoopNest
+from repro.model.design_point import DesignPoint
+from repro.sim.engine import EngineResult, SystolicArrayEngine
+from repro.sim.fast import FastWavefrontSimulator, cycle_statistics
+
+#: Cycle-accurate engine legs are skipped above this many iterations —
+#: the engine is exponential in problem size by construction.
+DEFAULT_ENGINE_ITERATION_LIMIT = 200_000
+
+#: Relative tolerance for output-vs-golden legs (different but valid
+#: floating-point summation orders).
+DEFAULT_REL_TOL = 1e-9
+
+
+def synthetic_arrays(
+    nest: LoopNest, *, seed: int = 0, dtype: Any = np.float64
+) -> dict[str, np.ndarray]:
+    """Deterministic operand tensors sized from the nest's access ranges.
+
+    Args:
+        nest: the loop nest to feed.
+        seed: RNG seed (same seed, same tensors — reports are replayable).
+        dtype: element type of the generated tensors.
+    """
+    rng = np.random.default_rng(seed)
+    arrays: dict[str, np.ndarray] = {}
+    for access in nest.reads:
+        shape = tuple(
+            expr.value_range(nest.bounds)[1] + 1 for expr in access.indices
+        )
+        arrays[access.array] = rng.standard_normal(shape).astype(dtype)
+    return arrays
+
+
+def golden_nest_output(
+    nest: LoopNest, arrays: dict[str, np.ndarray], *, chunk: int = 1 << 18
+) -> np.ndarray:
+    """Independent NumPy evaluation of the nest (no tiling, no schedule).
+
+    Walks the original iteration space in flat chunks, gathers both read
+    operands through their affine access functions and scatter-adds the
+    products into the output — sharing *nothing* with the simulators
+    except the nest itself, which is what makes it an oracle.
+    """
+    iterators = nest.iterators
+    bounds = nest.bounds
+    out_access = nest.output
+    out_shape = tuple(expr.value_range(bounds)[1] + 1 for expr in out_access.indices)
+    output = np.zeros(out_shape)
+
+    strides: dict[str, int] = {}
+    stride = 1
+    for it in reversed(iterators):
+        strides[it] = stride
+        stride *= bounds[it]
+    total = stride
+
+    read_a, read_b = nest.reads
+
+    def gather(access: Any, vals: dict[str, np.ndarray]) -> np.ndarray:
+        dims = []
+        for expr in access.indices:
+            dim = np.full(len(next(iter(vals.values()))), expr.const, dtype=np.int64)
+            for name, coeff in expr.terms:
+                dim = dim + coeff * vals[name]
+            dims.append(dim)
+        return np.asarray(arrays[access.array][tuple(dims)], dtype=np.float64)
+
+    for start in range(0, total, chunk):
+        flat = np.arange(start, min(start + chunk, total), dtype=np.int64)
+        vals = {it: (flat // strides[it]) % bounds[it] for it in iterators}
+        products = gather(read_a, vals) * gather(read_b, vals)
+        keys = []
+        for expr in out_access.indices:
+            key = np.full(len(flat), expr.const, dtype=np.int64)
+            for name, coeff in expr.terms:
+                key = key + coeff * vals[name]
+            keys.append(key)
+        np.add.at(output, tuple(keys), products)
+    return output
+
+
+@dataclass(frozen=True)
+class LegResult:
+    """Outcome of one conformance leg.
+
+    Attributes:
+        name: leg identifier, e.g. ``"fast-vs-engine"``.
+        status: ``"ok"``, ``"mismatch"`` or ``"skipped"``.
+        detail: one-line human explanation.
+        metrics: (name, value) measurement pairs backing the verdict.
+    """
+
+    name: str
+    status: str
+    detail: str
+    metrics: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "mismatch"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "metrics": dict(self.metrics),
+        }
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Everything :func:`cross_check` established about one design.
+
+    Attributes:
+        design_signature: the checked design's signature string.
+        legs: per-leg verdicts, in execution order.
+        report: ``SA4xx`` diagnostics (errors on mismatch, notes on
+            skipped legs) in the shared :mod:`repro.analysis` format.
+        result: the fast simulator's :class:`EngineResult` (the artifact
+            every leg was checked against).
+    """
+
+    design_signature: str
+    legs: tuple[LegResult, ...]
+    report: AnalysisReport = field(compare=False)
+    result: EngineResult = field(compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when every executed leg agreed (skipped legs allowed)."""
+        return self.report.ok
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit convention: 0 all legs agree, 1 any mismatch."""
+        return self.report.exit_code
+
+    def leg(self, name: str) -> LegResult:
+        """The leg with a given name (KeyError if the leg did not run)."""
+        for leg in self.legs:
+            if leg.name == name:
+                return leg
+        raise KeyError(f"no conformance leg named {name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable summary (JSON-serializable)."""
+        return {
+            "design": self.design_signature,
+            "ok": self.ok,
+            "legs": [leg.to_dict() for leg in self.legs],
+            "diagnostics": self.report.to_dict(),
+        }
+
+    def render(self) -> str:
+        """Terminal rendering: the matrix, then any diagnostics."""
+        lines = [f"conformance check: {self.design_signature}"]
+        for leg in self.legs:
+            lines.append(f"  {leg.name:<22} {leg.status:<9} {leg.detail}")
+        if len(self.report):
+            lines.append(self.report.render())
+        else:
+            lines.append("all conformance legs agree")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def cross_check(
+    design: DesignPoint,
+    layer: Any = None,
+    *,
+    arrays: dict[str, np.ndarray] | None = None,
+    seed: int = 0,
+    rel_tol: float = DEFAULT_REL_TOL,
+    engine_iteration_limit: int = DEFAULT_ENGINE_ITERATION_LIMIT,
+) -> ConformanceReport:
+    """Run the full conformance matrix over one design point.
+
+    Args:
+        design: the design to check.
+        layer: optional :class:`~repro.nn.layers.ConvLayer` whose
+            per-group nest the design targets; adds a layer-level leg
+            against the golden convolution (padding and groups included).
+        arrays: operand tensors for the nest-level legs (synthetic,
+            seeded tensors by default).
+        seed: seed for the synthetic tensors.
+        rel_tol: relative tolerance of the golden-output legs.
+        engine_iteration_limit: skip the cycle-accurate engine leg above
+            this iteration count (with an ``SA404`` note).
+
+    Returns:
+        a :class:`ConformanceReport`; never raises on disagreement —
+        call ``.report.raise_if_errors()`` for exception semantics.
+    """
+    nest = design.nest
+    report = AnalysisReport()
+    legs: list[LegResult] = []
+    if arrays is None:
+        arrays = synthetic_arrays(nest, seed=seed)
+
+    fast_result = FastWavefrontSimulator(design).run(arrays)
+
+    legs.append(_engine_leg(design, arrays, fast_result, engine_iteration_limit, report))
+    legs.append(_golden_leg(nest, arrays, fast_result, rel_tol, report))
+    legs.append(_cycle_model_leg(design, fast_result, report))
+    if layer is not None:
+        legs.append(_layer_leg(design, layer, seed, rel_tol, report))
+
+    return ConformanceReport(
+        design_signature=design.signature,
+        legs=tuple(legs),
+        report=report,
+        result=fast_result,
+    )
+
+
+# ----------------------------------------------------------------- legs
+
+
+def _engine_leg(
+    design: DesignPoint,
+    arrays: dict[str, np.ndarray],
+    fast_result: EngineResult,
+    limit: int,
+    report: AnalysisReport,
+) -> LegResult:
+    """Bit-exact differential identity against the cycle-accurate engine."""
+    name = "fast-vs-engine"
+    total = design.nest.total_iterations
+    if total > limit:
+        report.add(
+            VERIFY_LEG_SKIPPED,
+            Severity.NOTE,
+            f"cycle-accurate engine leg skipped: {total} iterations exceed "
+            f"the {limit}-iteration engine budget",
+        )
+        return LegResult(
+            name, "skipped", f"{total} iterations > engine budget {limit}"
+        )
+    engine_result = SystolicArrayEngine(design).run(arrays)
+    mismatches = []
+    for counter in (
+        "compute_cycles", "blocks", "waves", "pe_active_cycles", "first_all_active_cycle",
+    ):
+        got, want = getattr(fast_result, counter), getattr(engine_result, counter)
+        if got != want:
+            mismatches.append(f"{counter}: fast={got} engine={want}")
+    bit_equal = (
+        fast_result.output.shape == engine_result.output.shape
+        and fast_result.output.tobytes() == engine_result.output.tobytes()
+    )
+    if not bit_equal:
+        diff = int(np.sum(fast_result.output != engine_result.output))
+        mismatches.append(f"output differs in {diff} element(s)")
+    if mismatches:
+        report.add(
+            VERIFY_ENGINE_MISMATCH,
+            Severity.ERROR,
+            f"fast simulator disagrees with the engine on "
+            f"{design.signature}: " + "; ".join(mismatches),
+        )
+        return LegResult(name, "mismatch", "; ".join(mismatches))
+    return LegResult(
+        name,
+        "ok",
+        f"bit-identical over {total} iterations",
+        metrics=(("iterations", float(total)),),
+    )
+
+
+def _golden_leg(
+    nest: LoopNest,
+    arrays: dict[str, np.ndarray],
+    fast_result: EngineResult,
+    rel_tol: float,
+    report: AnalysisReport,
+) -> LegResult:
+    """Simulated output vs. an independent NumPy evaluation of the nest."""
+    name = "fast-vs-golden"
+    golden = golden_nest_output(nest, arrays)
+    sim = fast_result.output[tuple(slice(0, n) for n in golden.shape)]
+    scale = max(1.0, float(np.max(np.abs(golden))))
+    max_abs = float(np.max(np.abs(sim - golden))) if golden.size else 0.0
+    max_rel = max_abs / scale
+    metrics = (("max_abs_error", max_abs), ("max_rel_error", max_rel))
+    if not np.allclose(sim, golden, rtol=rel_tol, atol=rel_tol * scale):
+        report.add(
+            VERIFY_GOLDEN_MISMATCH,
+            Severity.ERROR,
+            f"simulated output of {nest.name!r} deviates from the golden "
+            f"model by {max_rel:.3e} (relative; tolerance {rel_tol:.1e})",
+        )
+        return LegResult(
+            name, "mismatch", f"max relative error {max_rel:.3e}", metrics
+        )
+    return LegResult(name, "ok", f"max relative error {max_rel:.3e}", metrics)
+
+
+def _cycle_model_leg(
+    design: DesignPoint, fast_result: EngineResult, report: AnalysisReport
+) -> LegResult:
+    """Emergent cycle counters vs. the closed-form analytical model."""
+    name = "cycles-vs-model"
+    stats = cycle_statistics(design)
+    mismatches = []
+    for counter in (
+        "blocks", "waves", "compute_cycles", "pe_active_cycles", "first_all_active_cycle",
+    ):
+        got, want = getattr(fast_result, counter), getattr(stats, counter)
+        if got != want:
+            mismatches.append(f"{counter}: simulated={got} model={want}")
+    # Eq. 5 ideal: executed iterations / lanes; the fill/drain term is
+    # the only legitimate gap between ideal and simulated cycles.
+    ideal = design.tiled.executed_iterations_clipped // design.shape.lanes
+    fill = stats.blocks * (design.shape.rows + design.shape.cols - 2)
+    if fast_result.compute_cycles - ideal != fill:
+        mismatches.append(
+            f"fill overhead: simulated-ideal={fast_result.compute_cycles - ideal} "
+            f"expected={fill}"
+        )
+    metrics = (
+        ("ideal_cycles", float(ideal)),
+        ("fill_overhead_cycles", float(fill)),
+        ("fill_overhead_fraction", fill / ideal if ideal else 0.0),
+    )
+    if mismatches:
+        report.add(
+            VERIFY_CYCLE_MODEL_MISMATCH,
+            Severity.ERROR,
+            f"cycle counters of {design.signature} deviate from the "
+            f"analytical model: " + "; ".join(mismatches),
+        )
+        return LegResult(name, "mismatch", "; ".join(mismatches), metrics)
+    return LegResult(
+        name, "ok", f"exact (+{fill} fill/drain cycles over Eq. 5 ideal)", metrics
+    )
+
+
+def _layer_leg(
+    design: DesignPoint,
+    layer: Any,
+    seed: int,
+    rel_tol: float,
+    report: AnalysisReport,
+) -> LegResult:
+    """Full layer (padding + groups) vs. the golden convolution."""
+    from repro.nn.golden import conv2d_layer, random_layer_tensors
+    from repro.sim.functional import simulate_layer
+
+    name = "layer-vs-conv-golden"
+    inputs, weights = random_layer_tensors(layer, seed=seed)
+    sim = simulate_layer(design, layer, inputs, weights, backend="fast")
+    golden = conv2d_layer(
+        layer, inputs.astype(np.float64), weights.astype(np.float64)
+    )
+    scale = max(1.0, float(np.max(np.abs(golden))))
+    max_abs = float(np.max(np.abs(sim - golden)))
+    max_rel = max_abs / scale
+    metrics = (("max_abs_error", max_abs), ("max_rel_error", max_rel))
+    if not np.allclose(sim, golden, rtol=rel_tol, atol=rel_tol * scale):
+        report.add(
+            VERIFY_GOLDEN_MISMATCH,
+            Severity.ERROR,
+            f"layer {layer.name!r} simulated under {design.signature} "
+            f"deviates from the golden convolution by {max_rel:.3e} "
+            f"(relative; tolerance {rel_tol:.1e})",
+        )
+        return LegResult(
+            name, "mismatch", f"max relative error {max_rel:.3e}", metrics
+        )
+    return LegResult(name, "ok", f"max relative error {max_rel:.3e}", metrics)
+
+
+__all__ = [
+    "ConformanceReport",
+    "DEFAULT_ENGINE_ITERATION_LIMIT",
+    "DEFAULT_REL_TOL",
+    "LegResult",
+    "cross_check",
+    "golden_nest_output",
+    "synthetic_arrays",
+]

@@ -55,6 +55,7 @@ class TestPhase1:
         gops = [ev.throughput_gops for ev in result.finalists]
         assert gops == sorted(gops, reverse=True)
 
+    @pytest.mark.slow
     def test_pruning_does_not_change_topn_throughputs(self):
         """Branch-and-bound must be admissible: same top-N throughputs as
         tuning every configuration."""

@@ -58,6 +58,7 @@ class TestPhase1Determinism:
         assert fanned.finalists == serial.finalists
         assert fanned.estimated_gops == serial.estimated_gops
 
+    @pytest.mark.slow
     def test_progress_hook_reaches_total(self, nest):
         ticks = []
         config = DseConfig(

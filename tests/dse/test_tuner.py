@@ -12,6 +12,7 @@ from repro.model.design_point import ArrayShape, DesignPoint
 from repro.model.mapping import Mapping
 from repro.model.platform import Platform
 from repro.dse.tuner import MiddleTuner, middle_candidates, tuning_space_size
+from tests.strategies import array_shapes
 
 
 def conv5():
@@ -182,9 +183,13 @@ class TestTune:
         assert a.design == b.design
 
     @settings(max_examples=15, deadline=None)
-    @given(st.integers(2, 16), st.integers(2, 16), st.sampled_from([2, 4, 8]))
-    def test_property_tuned_throughput_below_peak(self, rows, cols, vec):
+    @given(
+        shape=array_shapes(
+            min_rows=2, max_rows=16, min_cols=2, max_cols=16, vectors=(2, 4, 8)
+        )
+    )
+    def test_property_tuned_throughput_below_peak(self, shape):
         platform = Platform()
-        result = MiddleTuner(conv5(), SYS1[0], ArrayShape(rows, cols, vec), platform).tune()
-        peak = 2 * rows * cols * vec * platform.assumed_clock_mhz * 1e6 / 1e9
+        result = MiddleTuner(conv5(), SYS1[0], shape, platform).tune()
+        peak = 2 * shape.lanes * platform.assumed_clock_mhz * 1e6 / 1e9
         assert 0 < result.throughput_gops <= peak * 1.0001

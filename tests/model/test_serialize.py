@@ -143,6 +143,78 @@ class TestResultRoundTrip:
             result_from_dict(data)
 
 
+class TestEngineResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def engine_result(self):
+        from repro.sim.fast import FastWavefrontSimulator
+        from repro.verify.conformance import synthetic_arrays
+
+        design = sample_design()
+        return FastWavefrontSimulator(design).run(synthetic_arrays(design.nest))
+
+    def test_dict_round_trip_is_bit_identical(self, engine_result):
+        from repro.model.serialize import (
+            engine_result_from_dict,
+            engine_result_to_dict,
+        )
+
+        wire = json.loads(json.dumps(engine_result_to_dict(engine_result)))
+        rebuilt = engine_result_from_dict(wire)
+        assert rebuilt.output.tobytes() == engine_result.output.tobytes()
+        assert rebuilt.output.shape == engine_result.output.shape
+        assert rebuilt.compute_cycles == engine_result.compute_cycles
+        assert rebuilt.blocks == engine_result.blocks
+        assert rebuilt.waves == engine_result.waves
+        assert rebuilt.pe_active_cycles == engine_result.pe_active_cycles
+        assert rebuilt.first_all_active_cycle == engine_result.first_all_active_cycle
+
+    def test_unknown_format_rejected(self):
+        from repro.model.serialize import engine_result_from_dict
+
+        with pytest.raises(ValueError, match="format"):
+            engine_result_from_dict({"format": "repro-engine-result/999"})
+
+    def test_malformed_payload_rejected(self, engine_result):
+        from repro.model.serialize import (
+            engine_result_from_dict,
+            engine_result_to_dict,
+        )
+
+        data = engine_result_to_dict(engine_result)
+        del data["waves"]
+        with pytest.raises(ValueError, match="malformed"):
+            engine_result_from_dict(data)
+
+    def test_save_result_preserves_sim_stats(self, engine_result, tmp_path):
+        """``--save-result`` after ``--sim-backend`` keeps the wavefront
+        counters: the engine_result travels inside the result payload."""
+        import dataclasses
+
+        from repro.dse.explore import DseConfig
+        from repro.flow.compile import synthesize_nest
+
+        nest = conv_loop_nest(16, 8, 7, 7, 3, 3, name="layer")
+        fast = DseConfig(min_dsp_utilization=0.0, vector_choices=(2, 4), top_n=3)
+        result = synthesize_nest(nest, Platform(), fast)
+        result = dataclasses.replace(result, engine_result=engine_result)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        assert rebuilt.engine_result is not None
+        assert rebuilt.engine_result.output.tobytes() == engine_result.output.tobytes()
+        assert rebuilt.engine_result.compute_cycles == engine_result.compute_cycles
+
+    def test_result_without_engine_result_loads_as_none(self, tmp_path):
+        from repro.dse.explore import DseConfig
+        from repro.flow.compile import synthesize_nest
+
+        nest = conv_loop_nest(16, 8, 7, 7, 3, 3, name="layer")
+        fast = DseConfig(min_dsp_utilization=0.0, vector_choices=(2, 4), top_n=3)
+        result = synthesize_nest(nest, Platform(), fast)
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.engine_result is None
+
+
 class TestValidation:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError, match="format"):

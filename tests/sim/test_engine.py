@@ -13,6 +13,7 @@ from repro.nn.golden import conv2d_layer, random_layer_tensors
 from repro.nn.layers import ConvLayer
 from repro.sim.engine import SystolicArrayEngine
 from repro.sim.functional import audit_tiling_coverage, simulate_layer
+from tests.strategies import array_shapes, seeds
 
 
 def small_layer():
@@ -76,15 +77,10 @@ class TestEngineFunctional:
             simulate_layer(design, layer, x, w)
 
     @settings(max_examples=10, deadline=None)
-    @given(
-        st.integers(1, 3),
-        st.integers(1, 3),
-        st.integers(1, 2),
-        st.integers(0, 20),
-    )
-    def test_property_random_designs_match_golden(self, rows, cols, vec, seed):
+    @given(shape=array_shapes(vectors=(1, 2)), seed=seeds)
+    def test_property_random_designs_match_golden(self, shape, seed):
         layer = ConvLayer("t", 2, 3, 5, 5, kernel=2)
-        design = design_for(layer, shape=ArrayShape(rows, cols, vec), middle={"r": 2})
+        design = design_for(layer, shape=shape, middle={"r": 2})
         x, w = random_layer_tensors(layer, seed=seed, dtype=np.float64)
         got = simulate_layer(design, layer, x, w)
         np.testing.assert_allclose(got, conv2d_layer(layer, x, w), rtol=1e-9)

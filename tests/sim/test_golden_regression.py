@@ -1,0 +1,138 @@
+"""Golden regression corpus: cycle statistics of the paper's designs.
+
+Each fixture under ``tests/sim/golden/`` pins, for every conv layer of a
+Table-2 network, the tuned design under the paper's winning unified
+configuration (mapping ``(o, c, i)``, shape ``11x13x8``) and its
+closed-form cycle statistics.  The tests rebuild the designs from the
+stored payloads and recompute the statistics — any change to tiling,
+scheduling or cycle accounting that shifts a single counter fails here
+with a precise diff.
+
+Regenerate after an *intentional* model change with::
+
+    pytest tests/sim/test_golden_regression.py --refresh-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.model.design_point import ArrayShape
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.model.serialize import design_from_dict, design_to_dict
+from repro.nn.models import alexnet, vgg16
+from repro.sim.fast import FastWavefrontSimulator, cycle_statistics
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The paper's winning unified configuration (Table 2 / Fig. 7).
+PAPER_MAPPING = Mapping("o", "c", "i", "IN", "W")
+PAPER_SHAPE = ArrayShape(11, 13, 8)
+
+NETWORKS = {"alexnet": alexnet, "vgg16": vgg16}
+
+COUNTERS = (
+    "blocks",
+    "waves",
+    "compute_cycles",
+    "pe_active_cycles",
+    "first_all_active_cycle",
+)
+
+
+def tuned_design(layer):
+    """The tuned design for one layer under the paper's configuration."""
+    from repro.dse.tuner import MiddleTuner
+
+    nest = layer.group_view().to_loop_nest()
+    return MiddleTuner(nest, PAPER_MAPPING, PAPER_SHAPE, Platform()).tune().design
+
+
+def layer_entry(layer):
+    design = tuned_design(layer)
+    stats = cycle_statistics(design)
+    return {
+        "layer": layer.name,
+        "design": design_to_dict(design),
+        "cycles": {name: getattr(stats, name) for name in COUNTERS},
+    }
+
+
+def fixture_path(network_name):
+    return GOLDEN_DIR / f"{network_name}.json"
+
+
+def write_fixture(network_name):
+    network = NETWORKS[network_name]()
+    payload = {
+        "network": network.name,
+        "mapping": [PAPER_MAPPING.row, PAPER_MAPPING.col, PAPER_MAPPING.vector],
+        "shape": [PAPER_SHAPE.rows, PAPER_SHAPE.cols, PAPER_SHAPE.vector],
+        "layers": [layer_entry(layer) for layer in network.conv_layers],
+    }
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    fixture_path(network_name).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.fixture(scope="module", params=sorted(NETWORKS))
+def corpus(request):
+    """One network's fixture — regenerated under ``--refresh-golden``."""
+    name = request.param
+    if request.config.getoption("--refresh-golden"):
+        return name, write_fixture(name)
+    path = fixture_path(name)
+    if not path.is_file():
+        pytest.fail(
+            f"missing golden fixture {path}; run pytest --refresh-golden "
+            f"to generate it"
+        )
+    return name, json.loads(path.read_text())
+
+
+class TestGoldenCycleStatistics:
+    def test_every_conv_layer_is_pinned(self, corpus):
+        name, payload = corpus
+        network = NETWORKS[name]()
+        assert [e["layer"] for e in payload["layers"]] == [
+            layer.name for layer in network.conv_layers
+        ]
+
+    def test_closed_form_statistics_match_fixture(self, corpus):
+        """Rebuild each stored design and recompute its cycle counts."""
+        _, payload = corpus
+        for entry in payload["layers"]:
+            design = design_from_dict(entry["design"])
+            stats = cycle_statistics(design)
+            got = {name: getattr(stats, name) for name in COUNTERS}
+            assert got == entry["cycles"], entry["layer"]
+
+    def test_tuner_still_picks_the_stored_design(self, corpus):
+        """The middle tuner is deterministic: re-deriving the design for
+        the first and last conv layer must reproduce the fixture."""
+        name, payload = corpus
+        network = NETWORKS[name]()
+        for layer, entry in [
+            (network.conv_layers[0], payload["layers"][0]),
+            (network.conv_layers[-1], payload["layers"][-1]),
+        ]:
+            fresh = json.loads(json.dumps(design_to_dict(tuned_design(layer))))
+            assert fresh == entry["design"], layer.name
+
+
+class TestGoldenExecution:
+    def test_fast_sim_counters_match_fixture(self, corpus):
+        """Emergent counters from actually *running* the fast simulator
+        equal the pinned closed-form numbers (smallest layer per net)."""
+        from repro.verify.conformance import synthetic_arrays
+
+        name, payload = corpus
+        network = NETWORKS[name]()
+        by_name = {e["layer"]: e for e in payload["layers"]}
+        layer = min(network.conv_layers, key=lambda l: l.macs)
+        design = design_from_dict(by_name[layer.name]["design"])
+        result = FastWavefrontSimulator(design).run(synthetic_arrays(design.nest))
+        got = {c: getattr(result, c) for c in COUNTERS}
+        assert got == by_name[layer.name]["cycles"]

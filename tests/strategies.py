@@ -1,0 +1,109 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+Every property test that needs "a random small conv layer", "a random PE
+array shape" or "a random feasible design point" should draw it from
+here instead of rolling its own ``st.integers`` tuple — the generators
+stay in sync (and shrink well) in exactly one place.
+
+The size bounds default to engine-friendly values: the cycle-accurate
+engine is exponential in problem size, so anything drawn from these
+strategies with default arguments can be run through *both* simulator
+backends in a differential test.
+"""
+
+from hypothesis import strategies as st
+
+from repro.ir.loop import LoopNest, conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import feasible_mappings
+from repro.nn.layers import ConvLayer
+
+#: RNG seeds for synthetic tensors (the range the fuzz suite always used).
+seeds = st.integers(0, 10_000)
+
+
+def array_shapes(
+    *,
+    min_rows: int = 1,
+    max_rows: int = 3,
+    min_cols: int = 1,
+    max_cols: int = 3,
+    vectors: tuple[int, ...] = (1, 2),
+) -> st.SearchStrategy[ArrayShape]:
+    """PE-array shapes (rows x cols x SIMD vector), small by default."""
+    return st.builds(
+        ArrayShape,
+        st.integers(min_rows, max_rows),
+        st.integers(min_cols, max_cols),
+        st.sampled_from(vectors),
+    )
+
+
+@st.composite
+def small_layers(
+    draw,
+    *,
+    name: str = "fuzz",
+    max_channels: int = 8,
+    min_size: int = 4,
+    max_size: int = 8,
+    max_kernel: int = 3,
+    max_pad: int = 1,
+) -> ConvLayer:
+    """Conv layers small enough for the cycle-accurate engine."""
+    out_ch = draw(st.integers(2, max_channels))
+    in_ch = draw(st.integers(1, max(1, max_channels - 2)))
+    size = draw(st.integers(min_size, max_size))
+    kernel = draw(st.integers(1, min(max_kernel, size)))
+    pad = draw(st.integers(0, max_pad))
+    return ConvLayer(name, in_ch, out_ch, size, size, kernel=kernel, pad=pad)
+
+
+@st.composite
+def small_conv_nests(
+    draw, *, name: str = "prop", max_stride: int = 2
+) -> LoopNest:
+    """Code-1 conv nests with awkward (non-dividing) bounds and strides."""
+    out_ch = draw(st.integers(2, 6))
+    in_ch = draw(st.integers(1, 4))
+    size = draw(st.integers(3, 6))
+    kernel = draw(st.integers(1, 3))
+    stride = draw(st.integers(1, max_stride))
+    return conv_loop_nest(
+        out_ch, in_ch, size, size, kernel, kernel, stride=stride, name=name
+    )
+
+
+@st.composite
+def small_designs(
+    draw,
+    *,
+    max_rows: int = 3,
+    max_cols: int = 3,
+    vectors: tuple[int, ...] = (1, 2),
+    max_middle: int = 3,
+) -> DesignPoint:
+    """Feasible design points over small conv nests.
+
+    Draws a nest, one of its feasible systolic mappings, a PE-array shape
+    and a sparse set of middle bounds — the workhorse generator for
+    differential simulator tests (clipping, padding and strides all get
+    exercised because nothing is required to divide anything).
+    """
+    nest = draw(small_conv_nests())
+    mapping = draw(st.sampled_from(list(feasible_mappings(nest))))
+    shape = draw(array_shapes(max_rows=max_rows, max_cols=max_cols, vectors=vectors))
+    middle = {}
+    for it in nest.iterators:
+        if draw(st.booleans()):
+            middle[it] = draw(st.integers(1, max_middle))
+    return DesignPoint.create(nest, mapping, shape, middle)
+
+
+__all__ = [
+    "array_shapes",
+    "seeds",
+    "small_conv_nests",
+    "small_designs",
+    "small_layers",
+]

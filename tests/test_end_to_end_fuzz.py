@@ -17,6 +17,7 @@ from repro.nn.golden import conv2d_layer, random_layer_tensors
 from repro.nn.layers import ConvLayer
 from repro.dse.explore import DseConfig, explore
 from repro.sim.functional import audit_tiling_coverage, simulate_layer
+from tests.strategies import seeds, small_layers
 
 
 @settings(
@@ -24,16 +25,8 @@ from repro.sim.functional import audit_tiling_coverage, simulate_layer
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(
-    out_ch=st.integers(2, 8),
-    in_ch=st.integers(1, 6),
-    size=st.integers(4, 8),
-    kernel=st.integers(1, 3),
-    pad=st.integers(0, 1),
-    seed=st.integers(0, 10_000),
-)
-def test_dse_winner_is_functionally_correct(out_ch, in_ch, size, kernel, pad, seed):
-    layer = ConvLayer("fuzz", in_ch, out_ch, size, size, kernel=kernel, pad=pad)
+@given(layer=small_layers(), seed=seeds)
+def test_dse_winner_is_functionally_correct(layer, seed):
     nest = layer.to_loop_nest()
     result = explore(
         nest,

@@ -40,6 +40,7 @@ class TestExamples:
         assert (tmp_path / "quickstart_out" / "kernel.cl").exists()
         assert (tmp_path / "quickstart_out" / "testbench.c").exists()
 
+    @pytest.mark.slow
     def test_vgg16_accelerator_fast(self, tmp_path):
         out = run_example("vgg16_accelerator.py", tmp_path, "--fast")
         assert "per-layer performance" in out

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.dse",
     "repro.pipeline",
     "repro.sim",
+    "repro.verify",
     "repro.codegen",
     "repro.flow",
     "repro.baselines",

@@ -1,0 +1,165 @@
+"""Conformance-harness tests: clean designs pass every leg, corrupted
+simulators are caught with the right SA4xx code, oversized problems skip
+the engine leg gracefully."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping
+from repro.nn.layers import ConvLayer
+from repro.sim.fast import FastWavefrontSimulator
+from repro.verify import conformance
+from repro.verify.conformance import (
+    ConformanceReport,
+    cross_check,
+    golden_nest_output,
+    synthetic_arrays,
+)
+from tests.strategies import small_designs
+
+
+def small_design():
+    nest = conv_loop_nest(6, 4, 5, 5, 3, 3, name="verify_t")
+    return DesignPoint.create(
+        nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(3, 3, 2), {"r": 2}
+    )
+
+
+class TestSyntheticArrays:
+    def test_deterministic_per_seed(self):
+        nest = small_design().nest
+        a = synthetic_arrays(nest, seed=7)
+        b = synthetic_arrays(nest, seed=7)
+        c = synthetic_arrays(nest, seed=8)
+        assert set(a) == {"W", "IN"}
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+        assert any(not np.array_equal(a[n], c[n]) for n in a)
+
+    def test_shapes_cover_access_ranges(self):
+        nest = small_design().nest
+        arrays = synthetic_arrays(nest)
+        for access in nest.reads:
+            shape = tuple(
+                expr.value_range(nest.bounds)[1] + 1 for expr in access.indices
+            )
+            assert arrays[access.array].shape == shape
+
+
+class TestGoldenNestOutput:
+    def test_matches_fast_simulator(self):
+        design = small_design()
+        arrays = synthetic_arrays(design.nest, seed=1)
+        golden = golden_nest_output(design.nest, arrays)
+        sim = FastWavefrontSimulator(design).run(arrays).output
+        np.testing.assert_allclose(
+            sim[tuple(slice(0, n) for n in golden.shape)], golden, rtol=1e-9
+        )
+
+    def test_chunking_is_invisible(self):
+        nest = small_design().nest
+        arrays = synthetic_arrays(nest, seed=2)
+        full = golden_nest_output(nest, arrays)
+        tiny = golden_nest_output(nest, arrays, chunk=13)
+        np.testing.assert_array_equal(full, tiny)
+
+
+class TestCrossCheckClean:
+    def test_all_legs_agree(self):
+        report = cross_check(small_design())
+        assert report.ok
+        assert report.exit_code == 0
+        assert [leg.status for leg in report.legs] == ["ok", "ok", "ok"]
+        assert report.leg("fast-vs-engine").status == "ok"
+        with pytest.raises(KeyError):
+            report.leg("no-such-leg")
+
+    def test_layer_mode_adds_a_leg(self):
+        layer = ConvLayer("verify_l", 4, 6, 7, 7, kernel=3, pad=1)
+        nest = layer.group_view().to_loop_nest()
+        design = DesignPoint.create(
+            nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(3, 3, 2), {"r": 2}
+        )
+        report = cross_check(design, layer)
+        assert report.ok
+        assert report.leg("layer-vs-conv-golden").status == "ok"
+
+    def test_engine_leg_skipped_above_budget(self):
+        report = cross_check(small_design(), engine_iteration_limit=10)
+        assert report.ok  # a skip is a note, not an error
+        assert report.leg("fast-vs-engine").status == "skipped"
+        assert any(d.code == "SA404" for d in report.report.diagnostics)
+
+    def test_report_is_json_serializable(self):
+        report = cross_check(small_design())
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert {leg["name"] for leg in payload["legs"]} == {
+            "fast-vs-engine", "fast-vs-golden", "cycles-vs-model",
+        }
+
+    def test_render_mentions_every_leg(self):
+        report = cross_check(small_design())
+        text = report.render()
+        for leg in report.legs:
+            assert leg.name in text
+        assert "all conformance legs agree" in text
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(design=small_designs())
+    def test_property_feasible_designs_conform(self, design):
+        report = cross_check(design)
+        assert report.ok, report.render()
+
+
+class _CorruptingSimulator(FastWavefrontSimulator):
+    """A deliberately broken backend: flips one output element and
+    inflates the cycle counter — both divergences must be caught."""
+
+    def run(self, arrays):
+        result = super().run(arrays)
+        output = result.output.copy()
+        output.flat[0] += 1.0
+        return dataclasses.replace(
+            result, output=output, compute_cycles=result.compute_cycles + 5
+        )
+
+
+class TestCrossCheckCatchesCorruption:
+    def test_corrupted_simulator_fails_every_leg(self, monkeypatch):
+        monkeypatch.setattr(
+            conformance, "FastWavefrontSimulator", _CorruptingSimulator
+        )
+        report = cross_check(small_design())
+        assert not report.ok
+        assert report.exit_code == 1
+        codes = {d.code for d in report.report.diagnostics}
+        assert codes == {"SA401", "SA402", "SA403"}
+        assert report.leg("fast-vs-engine").status == "mismatch"
+        assert report.leg("fast-vs-golden").status == "mismatch"
+        assert report.leg("cycles-vs-model").status == "mismatch"
+        with pytest.raises(Exception):
+            report.report.raise_if_errors()
+
+    def test_mismatch_detail_names_the_counter(self, monkeypatch):
+        monkeypatch.setattr(
+            conformance, "FastWavefrontSimulator", _CorruptingSimulator
+        )
+        report = cross_check(small_design())
+        assert "compute_cycles" in report.leg("fast-vs-engine").detail
+
+
+class TestConformanceReportShape:
+    def test_is_frozen(self):
+        report = cross_check(small_design())
+        assert isinstance(report, ConformanceReport)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.design_signature = "x"
