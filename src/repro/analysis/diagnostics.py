@@ -25,7 +25,11 @@ Code blocks:
 * ``SA3xx`` — generated-code lint (index bounds, parameter consistency,
   double-buffer discipline),
 * ``SA4xx`` — differential conformance (:mod:`repro.verify`): fast-sim
-  vs. cycle-accurate engine vs. analytical model vs. golden outputs.
+  vs. cycle-accurate engine vs. analytical model vs. golden outputs,
+* ``SA5xx`` — resilience / graceful degradation (:mod:`repro.resilience`
+  plus the recovery sites it instruments): quarantined cache entries,
+  resubmitted or serially replayed DSE work, degraded simulate backends
+  and external-tool timeouts.
 """
 
 from __future__ import annotations
@@ -211,6 +215,23 @@ VERIFY_CYCLE_MODEL_MISMATCH = register_code(
 )
 VERIFY_LEG_SKIPPED = register_code(
     "SA404", "conformance leg skipped (problem too large for that oracle)"
+)
+
+# --- SA5xx: resilience / graceful degradation ------------------------------
+RESILIENCE_CACHE_QUARANTINED = register_code(
+    "SA501", "corrupt stage-cache entry quarantined and recomputed"
+)
+RESILIENCE_WORKER_RESUBMITTED = register_code(
+    "SA502", "crashed DSE worker task resubmitted"
+)
+RESILIENCE_SERIAL_FALLBACK = register_code(
+    "SA503", "parallel DSE degraded to the bit-identical serial fallback"
+)
+RESILIENCE_TESTBENCH_DEGRADED = register_code(
+    "SA504", "testbench toolchain unavailable; simulate degraded to the fast backend"
+)
+RESILIENCE_TOOL_TIMEOUT = register_code(
+    "SA505", "external tool exceeded its time budget"
 )
 
 

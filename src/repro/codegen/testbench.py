@@ -15,18 +15,41 @@ containing
 :func:`compile_and_run_testbench` builds it with the system C compiler
 and runs it, turning "the generated design is functionally correct" into
 an executable check (the RTL-simulation stand-in of this reproduction).
+
+The compiler and the binary are treated as unreliable external services:
+every ``subprocess.run`` carries a hard ``timeout`` (a hung gcc can no
+longer wedge a synthesis run forever), transient failures are retried
+under a :mod:`repro.resilience` policy, the ``testbench.compile`` /
+``testbench.run`` fault points let the chaos suite rehearse each path,
+and a missing or persistently hung toolchain surfaces as
+:class:`TestbenchUnavailable` carrying a structured ``SA504``/``SA505``
+diagnostic — not a traceback — so the simulate stage can degrade
+gracefully.
 """
 
 from __future__ import annotations
 
 import subprocess
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.diagnostics import (
+    RESILIENCE_TESTBENCH_DEGRADED,
+    RESILIENCE_TOOL_TIMEOUT,
+    Diagnostic,
+    Severity,
+)
 from repro.ir.access import ArrayAccess
 from repro.model.design_point import DesignPoint
 from repro.model.platform import Platform
 from repro.codegen.emitter import CodeWriter
+from repro.resilience.faults import InjectedFault, corrupt_text, maybe_inject
+from repro.resilience.retry import OnRetry, RetryPolicy, call_with_retry
+
+#: Hard per-attempt budgets for the external tool invocations.
+DEFAULT_COMPILE_TIMEOUT = 120.0
+DEFAULT_RUN_TIMEOUT = 600.0
 
 
 def _check_identifier(name: str) -> str:
@@ -311,37 +334,189 @@ def _emit_main(w: CodeWriter, design: DesignPoint, type_of, is_float: bool) -> N
         w.line("return 0;")
 
 
-def compile_and_run_testbench(
-    source: str, *, workdir: Path | None = None, compiler: str = "gcc"
-) -> tuple[bool, str]:
-    """Compile the testbench with the system C compiler and execute it.
+class TestbenchUnavailable(RuntimeError):
+    """The C toolchain cannot deliver a verdict (missing or hung tool).
+
+    Distinct from a *failing* testbench: unavailability means nothing
+    was checked, so callers (the simulate stage) can degrade to another
+    backend instead of reporting a functional failure.
+
+    Attributes:
+        diagnostic: structured ``SA504``/``SA505`` description.
+    """
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    def __init__(self, diagnostic: Diagnostic) -> None:
+        super().__init__(diagnostic.message)
+        self.diagnostic = diagnostic
+
+
+@dataclass(frozen=True)
+class TestbenchRun:
+    """Outcome of one compile-and-execute testbench check.
+
+    Attributes:
+        passed: exit 0 plus the PASS marker.
+        output: combined stdout/stderr of the failing or passing step.
+    """
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    passed: bool
+    output: str
+
+
+def run_testbench(
+    source: str,
+    *,
+    workdir: Path | None = None,
+    compiler: str = "gcc",
+    policy: RetryPolicy | None = None,
+    compile_timeout: float = DEFAULT_COMPILE_TIMEOUT,
+    run_timeout: float = DEFAULT_RUN_TIMEOUT,
+    on_retry: OnRetry | None = None,
+) -> TestbenchRun:
+    """Compile the testbench and execute it, with timeouts and retries.
+
+    Both subprocess invocations carry a hard ``timeout`` and are retried
+    under ``policy`` on transient failures (OS errors, timeouts,
+    injected ``testbench.compile`` / ``testbench.run`` faults).
 
     Args:
         source: C source from :func:`generate_testbench`.
         workdir: directory for artifacts (a temp dir by default).
         compiler: C compiler executable.
+        policy: retry budget (the process default if None).
+        compile_timeout / run_timeout: per-attempt budgets in seconds
+            (``policy.timeout``, when set, overrides both).
+        on_retry: hook fired per retry (event emission).
+
+    Raises:
+        TestbenchUnavailable: the compiler is missing (SA504) or a tool
+            exceeded its budget on every attempt (SA505) — the verdict
+            is "unknown", not "failed".
+    """
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="systolic_tb_") as tmp:
+            return run_testbench(
+                source,
+                workdir=Path(tmp),
+                compiler=compiler,
+                policy=policy,
+                compile_timeout=compile_timeout,
+                run_timeout=run_timeout,
+                on_retry=on_retry,
+            )
+    if policy is not None and policy.timeout is not None:
+        compile_timeout = run_timeout = policy.timeout
+    workdir.mkdir(parents=True, exist_ok=True)
+    src = workdir / "testbench.c"
+    binary = workdir / "testbench"
+    src.write_text(source)
+    transient = (OSError, subprocess.TimeoutExpired, InjectedFault)
+
+    def compile_step() -> subprocess.CompletedProcess:
+        path = src
+        if maybe_inject("testbench.compile") == "corrupt":
+            path = workdir / "testbench_corrupt.c"
+            path.write_text(corrupt_text(source))
+        return subprocess.run(
+            [compiler, "-O2", "-std=c99", "-o", str(binary), str(path), "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=compile_timeout,
+        )
+
+    def run_step() -> subprocess.CompletedProcess:
+        maybe_inject("testbench.run")
+        return subprocess.run(
+            [str(binary)], capture_output=True, text=True, timeout=run_timeout
+        )
+
+    try:
+        build = call_with_retry(
+            compile_step, policy=policy, retry_on=transient, on_retry=on_retry
+        )
+    except FileNotFoundError as exc:
+        raise TestbenchUnavailable(
+            Diagnostic(
+                RESILIENCE_TESTBENCH_DEGRADED,
+                Severity.WARNING,
+                f"C compiler {compiler!r} is not available: {exc}",
+                hint="install gcc, or pass compiler=... / --sim-backend fast",
+            )
+        ) from exc
+    except subprocess.TimeoutExpired as exc:
+        raise TestbenchUnavailable(
+            Diagnostic(
+                RESILIENCE_TOOL_TIMEOUT,
+                Severity.WARNING,
+                f"{compiler} exceeded its {compile_timeout:.0f}s compile budget",
+                hint="raise the timeout, or use --sim-backend fast",
+            )
+        ) from exc
+    except (OSError, InjectedFault) as exc:
+        raise TestbenchUnavailable(
+            Diagnostic(
+                RESILIENCE_TESTBENCH_DEGRADED,
+                Severity.WARNING,
+                f"could not invoke {compiler!r}: {exc}",
+            )
+        ) from exc
+    if build.returncode != 0:
+        return TestbenchRun(False, f"COMPILE ERROR:\n{build.stderr}")
+    try:
+        run = call_with_retry(
+            run_step, policy=policy, retry_on=transient, on_retry=on_retry
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise TestbenchUnavailable(
+            Diagnostic(
+                RESILIENCE_TOOL_TIMEOUT,
+                Severity.WARNING,
+                f"testbench binary exceeded its {run_timeout:.0f}s run budget",
+                hint="raise the timeout, or use --sim-backend fast",
+            )
+        ) from exc
+    except (OSError, InjectedFault) as exc:
+        raise TestbenchUnavailable(
+            Diagnostic(
+                RESILIENCE_TESTBENCH_DEGRADED,
+                Severity.WARNING,
+                f"could not execute the testbench binary: {exc}",
+            )
+        ) from exc
+    output = run.stdout + run.stderr
+    return TestbenchRun(run.returncode == 0 and "TESTBENCH PASS" in output, output)
+
+
+def compile_and_run_testbench(
+    source: str, *, workdir: Path | None = None, compiler: str = "gcc"
+) -> tuple[bool, str]:
+    """Compile the testbench with the system C compiler and execute it.
+
+    Back-compatible wrapper over :func:`run_testbench`: an unavailable
+    toolchain comes back as a failed check whose output is the rendered
+    diagnostic — never a traceback.
 
     Returns:
         (passed, combined output).  ``passed`` requires exit code 0 and
         the PASS marker.
     """
-    if workdir is None:
-        with tempfile.TemporaryDirectory(prefix="systolic_tb_") as tmp:
-            return compile_and_run_testbench(source, workdir=Path(tmp), compiler=compiler)
-    workdir.mkdir(parents=True, exist_ok=True)
-    src = workdir / "testbench.c"
-    binary = workdir / "testbench"
-    src.write_text(source)
-    build = subprocess.run(
-        [compiler, "-O2", "-std=c99", "-o", str(binary), str(src), "-lm"],
-        capture_output=True,
-        text=True,
-    )
-    if build.returncode != 0:
-        return False, f"COMPILE ERROR:\n{build.stderr}"
-    run = subprocess.run([str(binary)], capture_output=True, text=True, timeout=600)
-    output = run.stdout + run.stderr
-    return run.returncode == 0 and "TESTBENCH PASS" in output, output
+    try:
+        outcome = run_testbench(source, workdir=workdir, compiler=compiler)
+    except TestbenchUnavailable as exc:
+        return False, f"TOOLCHAIN UNAVAILABLE:\n{exc.diagnostic.render()}"
+    return outcome.passed, outcome.output
 
 
-__all__ = ["compile_and_run_testbench", "generate_testbench"]
+__all__ = [
+    "DEFAULT_COMPILE_TIMEOUT",
+    "DEFAULT_RUN_TIMEOUT",
+    "TestbenchRun",
+    "TestbenchUnavailable",
+    "compile_and_run_testbench",
+    "generate_testbench",
+    "run_testbench",
+]

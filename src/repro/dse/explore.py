@@ -140,6 +140,8 @@ def phase1(
     *,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    on_retry: Callable[[int, str], None] | None = None,
+    on_degrade: Callable[[str], None] | None = None,
 ) -> Phase1Result:
     """Run the analytical filtering phase on one layer.
 
@@ -152,8 +154,13 @@ def phase1(
             bit-identical finalists and statistics: the parallel path
             evaluates ranked batches concurrently and then *replays* the
             serial branch-and-bound over the batch results in rank order
-            (see :mod:`repro.dse.parallel`).
+            (see :mod:`repro.dse.parallel`).  Crashed workers are
+            resubmitted; past a threshold the affected candidates are
+            tuned serially in the parent — still bit-identical, because
+            each task is a pure function of its candidate.
         progress: optional hook called with (configs consumed, total).
+        on_retry: optional hook per crashed-worker resubmission.
+        on_degrade: optional hook when work falls back to serial.
     """
     start = time.perf_counter()
     candidates = list(
@@ -199,7 +206,11 @@ def phase1(
             phase1_map,
             phase1_pool,
             resolve_jobs,
+            tune_candidate,
         )
+
+        def serial_task(candidate):
+            return tune_candidate(nest, platform, config.include_cover, candidate)
 
         workers = resolve_jobs(jobs)
         consumed = 0
@@ -208,7 +219,14 @@ def phase1(
             for batch in batched(ranked, workers * BATCH_FACTOR):
                 if stopped:
                     break
-                outcomes = phase1_map(pool, (c for _, c in batch), workers)
+                outcomes = phase1_map(
+                    pool,
+                    (c for _, c in batch),
+                    workers,
+                    serial_fn=serial_task,
+                    on_retry=on_retry,
+                    on_degrade=on_degrade,
+                )
                 for (upper_bound, _candidate), outcome in zip(batch, outcomes):
                     if should_stop(upper_bound):
                         stopped = True

@@ -223,6 +223,8 @@ def select_unified_design(
     *,
     jobs: int = 1,
     progress: Callable[[int, int], None] | None = None,
+    on_retry: Callable[[int, str], None] | None = None,
+    on_degrade: Callable[[str], None] | None = None,
 ) -> MultiLayerResult:
     """Two-phase DSE for one unified design across all conv layers.
 
@@ -235,8 +237,11 @@ def select_unified_design(
             fan-out; 1 runs serially, <= 0 means all cores.  The winning
             design is bit-identical for any value: parallel batches are
             replayed through the serial branch-and-bound in rank order
-            (see :mod:`repro.dse.parallel`).
+            (see :mod:`repro.dse.parallel`), and crashed workers are
+            resubmitted / replayed serially by :func:`resilient_map`.
         progress: optional hook called with (configs consumed, total).
+        on_retry: optional hook per crashed-worker resubmission.
+        on_degrade: optional hook when work falls back to serial.
     """
     start = time.perf_counter()
     if isinstance(workloads, Network):
@@ -291,6 +296,7 @@ def select_unified_design(
         from repro.dse.parallel import (
             BATCH_FACTOR,
             batched,
+            evaluate_unified_task,
             resolve_jobs,
             unified_map,
             unified_pool,
@@ -298,6 +304,19 @@ def select_unified_design(
 
         workers = resolve_jobs(jobs)
         pool = unified_pool(workloads, platform, config, workers)
+
+        def serial_task(task):
+            return evaluate_unified_task(workloads, platform, config, task)
+
+        def pooled_map(tasks):
+            return unified_map(
+                pool,
+                tasks,
+                workers,
+                serial_fn=serial_task,
+                on_retry=on_retry,
+                on_degrade=on_degrade,
+            )
     try:
         if pool is not None:
             consumed = 0
@@ -305,7 +324,7 @@ def select_unified_design(
             for batch in batched(ranked, workers * BATCH_FACTOR):
                 if stopped:
                     break
-                outcomes = unified_map(pool, ((c, None) for _, c in batch), workers)
+                outcomes = pooled_map(((c, None) for _, c in batch))
                 for (upper_bound, candidate), outcome in zip(batch, outcomes):
                     if should_stop(upper_bound):
                         stopped = True
@@ -333,7 +352,7 @@ def select_unified_design(
         # evaluations over the pool (order-preserving), then replays the
         # serial argmax, so ties keep breaking toward the earlier finalist.
         if pool is not None:
-            probes = unified_map(pool, ((c, None) for _, c in finalists), workers)
+            probes = pooled_map(((c, None) for _, c in finalists))
         else:
             probes = [
                 _evaluate_config(workloads, candidate, platform, config, None)
@@ -356,10 +375,8 @@ def select_unified_design(
             )
             freqs.append((freq, dsp_util))
         if pool is not None:
-            realized = unified_map(
-                pool,
-                ((c, freq) for (_, c), (freq, _) in zip(finalists, freqs)),
-                workers,
+            realized = pooled_map(
+                ((c, freq) for (_, c), (freq, _) in zip(finalists, freqs))
             )
         else:
             realized = [

@@ -22,23 +22,45 @@ wasted tuning past the stop point.
 
 Workers are plain module-level functions (picklable under every start
 method); pools use the default start method of the host platform.
+
+Workers are also treated as *unreliable*: every task runs through
+:func:`resilient_map`, which resubmits a task whose worker crashed
+(an exception — including an injected ``dse.worker`` fault — or a died
+process) and, past :data:`MAX_RESUBMITS` failures or a broken pool,
+evaluates the task in the parent with the exact same pure function.
+Since a task's result is a pure function of its candidate, recovery is
+bit-identical to an undisturbed run by construction.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Iterator, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.resilience.faults import maybe_inject
 
 T = TypeVar("T")
+R = TypeVar("R")
 
 #: Batch size per pool round, as a multiple of the worker count.  Larger
 #: batches amortize dispatch overhead; smaller ones waste less work past
 #: the branch-and-bound stop point.
 BATCH_FACTOR = 8
 
+#: Times one task is resubmitted to the pool before the parent evaluates
+#: it serially itself (the bit-identical fallback of last resort).
+MAX_RESUBMITS = 2
+
 _PHASE1_STATE: tuple | None = None
 _UNIFIED_STATE: tuple | None = None
+
+OnRetry = Callable[[int, str], None]
+"""Resubmission hook: (failed attempts for this task, reason)."""
+
+OnDegrade = Callable[[str], None]
+"""Serial-fallback hook: called with the reason once per degradation."""
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -54,6 +76,80 @@ def batched(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
         yield items[start : start + size]
 
 
+def resilient_map(
+    pool: ProcessPoolExecutor,
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    serial_fn: Callable[[T], R],
+    on_retry: OnRetry | None = None,
+    on_degrade: OnDegrade | None = None,
+    max_resubmits: int = MAX_RESUBMITS,
+) -> list[R]:
+    """Map ``fn`` over ``items`` on the pool, surviving worker crashes.
+
+    Every item is submitted as its own future (order preserved).  A task
+    that raises — a genuine worker bug, an injected ``dse.worker``
+    fault, or a :class:`BrokenProcessPool` from a died process — is
+    resubmitted up to ``max_resubmits`` times; past that threshold (or
+    once the pool itself is broken) the parent evaluates the item with
+    ``serial_fn``, the same pure computation run in-process.  The
+    returned list is therefore always complete and, because task results
+    are pure functions of their items, bit-identical to a run with no
+    failures at all.
+
+    Args:
+        pool: the executor (may break mid-flight; handled).
+        fn: the worker task (reads process-global pool state).
+        items: work items, order defining the result order.
+        serial_fn: in-parent equivalent of ``fn`` (no pool state, no
+            fault injection — the fallback must not itself be chaos'd).
+        on_retry: hook per resubmission (events/telemetry).
+        on_degrade: hook fired when an item falls back to serial.
+        max_resubmits: per-item resubmission budget.
+    """
+    items = list(items)
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+    except (BrokenProcessPool, RuntimeError) as exc:
+        if on_degrade is not None:
+            on_degrade(f"worker pool unusable at submit time: {exc}")
+        return [serial_fn(item) for item in items]
+    results: list[R] = []
+    pool_broken = False
+    for index, item in enumerate(items):
+        failures = 0
+        future = futures[index]
+        while True:
+            if pool_broken:
+                results.append(serial_fn(item))
+                break
+            try:
+                results.append(future.result())
+                break
+            except BrokenProcessPool as exc:
+                pool_broken = True
+                if on_degrade is not None:
+                    on_degrade(f"worker pool broke: {exc}; serial fallback")
+            except Exception as exc:  # noqa: BLE001 - any worker crash
+                failures += 1
+                if failures > max_resubmits:
+                    if on_degrade is not None:
+                        on_degrade(
+                            f"task {index} failed {failures} times "
+                            f"({type(exc).__name__}: {exc}); serial fallback"
+                        )
+                    results.append(serial_fn(item))
+                    break
+                if on_retry is not None:
+                    on_retry(failures, f"{type(exc).__name__}: {exc}")
+                try:
+                    future = pool.submit(fn, item)
+                except (BrokenProcessPool, RuntimeError):
+                    pool_broken = True
+    return results
+
+
 # ------------------------------------------------------------- phase 1
 
 
@@ -62,13 +158,14 @@ def _phase1_init(nest: Any, platform: Any, include_cover: bool) -> None:
     _PHASE1_STATE = (nest, platform, include_cover)
 
 
-def _phase1_tune(candidate: Any) -> tuple[Any, int] | None:
+def tune_candidate(
+    nest: Any, platform: Any, include_cover: bool, candidate: Any
+) -> tuple[Any, int] | None:
     """Tune one configuration; (evaluation, tilings walked) or None when
-    no tiling fits the BRAM budget."""
+    no tiling fits the BRAM budget.  Pure: both the worker task and the
+    serial fallback run exactly this, so recovery is bit-identical."""
     from repro.dse.tuner import MiddleTuner
 
-    assert _PHASE1_STATE is not None
-    nest, platform, include_cover = _PHASE1_STATE
     tuner = MiddleTuner(
         nest, candidate.mapping, candidate.shape, platform, include_cover=include_cover
     )
@@ -77,6 +174,14 @@ def _phase1_tune(candidate: Any) -> tuple[Any, int] | None:
     except RuntimeError:
         return None
     return result.design.evaluate(platform), result.candidates_evaluated
+
+
+def _phase1_tune(candidate: Any) -> tuple[Any, int] | None:
+    """The pool task: the ``dse.worker`` fault point + the pure tuner."""
+    maybe_inject("dse.worker")
+    assert _PHASE1_STATE is not None
+    nest, platform, include_cover = _PHASE1_STATE
+    return tune_candidate(nest, platform, include_cover, candidate)
 
 
 def phase1_pool(nest: Any, platform: Any, include_cover: bool, jobs: int) -> ProcessPoolExecutor:
@@ -89,12 +194,25 @@ def phase1_pool(nest: Any, platform: Any, include_cover: bool, jobs: int) -> Pro
 
 
 def phase1_map(
-    pool: ProcessPoolExecutor, candidates: Iterable[Any], jobs: int
+    pool: ProcessPoolExecutor,
+    candidates: Iterable[Any],
+    jobs: int,
+    *,
+    serial_fn: Callable[[Any], tuple[Any, int] | None],
+    on_retry: OnRetry | None = None,
+    on_degrade: OnDegrade | None = None,
 ) -> list[tuple[Any, int] | None]:
-    """Evaluate a batch of configurations, preserving order."""
-    candidates = list(candidates)
-    chunksize = max(1, len(candidates) // (jobs * 2) or 1)
-    return list(pool.map(_phase1_tune, candidates, chunksize=chunksize))
+    """Evaluate a batch of configurations, preserving order and
+    surviving worker crashes (see :func:`resilient_map`)."""
+    del jobs  # tasks are submitted individually; no chunking knob left
+    return resilient_map(
+        pool,
+        _phase1_tune,
+        candidates,
+        serial_fn=serial_fn,
+        on_retry=on_retry,
+        on_degrade=on_degrade,
+    )
 
 
 # ------------------------------------------------- unified (multi-layer)
@@ -105,14 +223,23 @@ def _unified_init(workloads: Any, platform: Any, dse: Any) -> None:
     _UNIFIED_STATE = (workloads, platform, dse)
 
 
-def _unified_eval(task: tuple[Any, float | None]) -> Any:
-    """Evaluate one unified-design candidate over every layer."""
+def evaluate_unified_task(
+    workloads: Any, platform: Any, dse: Any, task: tuple[Any, float | None]
+) -> Any:
+    """Evaluate one unified-design candidate over every layer (pure;
+    shared by the worker task and the serial fallback)."""
     from repro.dse.multi_layer import _evaluate_config
 
-    assert _UNIFIED_STATE is not None
-    workloads, platform, dse = _UNIFIED_STATE
     candidate, frequency_mhz = task
     return _evaluate_config(workloads, candidate, platform, dse, frequency_mhz)
+
+
+def _unified_eval(task: tuple[Any, float | None]) -> Any:
+    """The pool task: the ``dse.worker`` fault point + the pure eval."""
+    maybe_inject("dse.worker")
+    assert _UNIFIED_STATE is not None
+    workloads, platform, dse = _UNIFIED_STATE
+    return evaluate_unified_task(workloads, platform, dse, task)
 
 
 def unified_pool(workloads: Any, platform: Any, dse: Any, jobs: int) -> ProcessPoolExecutor:
@@ -128,19 +255,34 @@ def unified_map(
     pool: ProcessPoolExecutor,
     tasks: Iterable[tuple[Any, float | None]],
     jobs: int,
+    *,
+    serial_fn: Callable[[tuple[Any, float | None]], Any],
+    on_retry: OnRetry | None = None,
+    on_degrade: OnDegrade | None = None,
 ) -> list[Any]:
-    """Evaluate (candidate, frequency) tasks, preserving order."""
-    tasks = list(tasks)
-    chunksize = max(1, len(tasks) // (jobs * 2) or 1)
-    return list(pool.map(_unified_eval, tasks, chunksize=chunksize))
+    """Evaluate (candidate, frequency) tasks, preserving order and
+    surviving worker crashes (see :func:`resilient_map`)."""
+    del jobs
+    return resilient_map(
+        pool,
+        _unified_eval,
+        tasks,
+        serial_fn=serial_fn,
+        on_retry=on_retry,
+        on_degrade=on_degrade,
+    )
 
 
 __all__ = [
     "BATCH_FACTOR",
+    "MAX_RESUBMITS",
     "batched",
+    "evaluate_unified_task",
     "phase1_map",
     "phase1_pool",
+    "resilient_map",
     "resolve_jobs",
+    "tune_candidate",
     "unified_map",
     "unified_pool",
 ]

@@ -7,6 +7,8 @@ Usage::
     systolic-synth conv_layer.c --datatype fixed8_16 --cs 0.85 --top-n 10
     systolic-synth --network alexnet -o build/ -j 0
     systolic-synth conv_layer.c --sim-backend both
+    systolic-synth compile conv_layer.c --jobs 4 \\
+        --inject-fault dse.worker:crash:p=0.3 --seed 7
     systolic-synth check conv_layer.c
     systolic-synth check conv_layer.c --json --level design
     systolic-synth verify conv_layer.c
@@ -21,6 +23,15 @@ are bit-identical to serial), expensive stage results are cached under
 ``~/.cache/repro-systolic`` (``--no-cache`` / ``--cache-dir`` override),
 per-stage progress goes to stderr, and ``--trace-json`` records every
 pipeline event as one JSON line.
+
+The flow is chaos-testable: ``--inject-fault point:kind[:p=..]`` activates
+the deterministic fault-injection registry (:mod:`repro.resilience`) with
+``--seed`` seeding its decision streams, and ``--max-retries`` bounds the
+retry budget of every external-tool and cache-I/O call.  Faults and the
+recoveries they trigger are visible as ``FaultInjected`` /
+``StageRetried`` / ``StageDegraded`` events in ``--trace-json`` and as a
+"degradations" section of the report; the synthesized result itself is
+bit-identical to an uninjected run whenever recovery succeeds.
 
 The ``check`` subcommand runs the static-analysis passes only (no
 artifacts written): nest legality, design-point validation,
@@ -112,10 +123,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--sim-backend",
-        choices=["fast", "rtl", "both"],
+        choices=["fast", "rtl", "both", "testbench"],
         help="also execute the winner on a wavefront simulator: fast = "
         "vectorized, rtl = cycle-accurate engine (small nests), both = "
-        "differential conformance (fails on any disagreement)",
+        "differential conformance (fails on any disagreement), testbench "
+        "= compile and run the generated C testbench (degrades to fast "
+        "when no toolchain is available)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos testing: activate a fault-injection spec "
+        "'point:kind[:p=PROB][:times=N][:delay=SECS]', e.g. "
+        "'dse.worker:crash:p=0.3' (repeatable; points: "
+        "cache.read cache.write dse.worker testbench.compile "
+        "testbench.run sim.step; kinds: crash corrupt delay)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault-injection decision streams",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget (attempts) for external tools and cache I/O "
+        "(default 3)",
     )
     parser.add_argument(
         "-q",
@@ -293,6 +331,24 @@ def check_main(argv: list[str]) -> int:
     return result.exit_code
 
 
+def _reset_resilience(prior_env: dict[str, str | None]) -> None:
+    """Undo CLI-scoped chaos/retry configuration and restore the fault env
+    vars to their pre-``main`` values (keeps repeated in-process ``main()``
+    calls — tests, notebooks — independent of each other)."""
+    import os
+
+    from repro.resilience.faults import deactivate
+    from repro.resilience.retry import reset_retries
+
+    deactivate()
+    for var, value in prior_env.items():
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+    reset_retries()
+
+
 def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
     if raw and raw[0] == "check":
@@ -305,6 +361,39 @@ def main(argv: list[str] | None = None) -> int:
     if bool(args.source) == bool(args.network):
         print("error: provide exactly one of SOURCE or --network", file=sys.stderr)
         return 2
+    import os
+
+    from repro.resilience.faults import FAULT_PLAN_ENV_VAR, FAULT_SEED_ENV_VAR
+
+    prior_env = {
+        var: os.environ.get(var)
+        for var in (FAULT_PLAN_ENV_VAR, FAULT_SEED_ENV_VAR)
+    }
+    try:
+        return _configured_main(args)
+    finally:
+        _reset_resilience(prior_env)
+
+
+def _configured_main(args) -> int:
+    if args.inject_fault:
+        from repro.resilience.faults import FaultPlan, activate
+
+        try:
+            plan = FaultPlan.parse(";".join(args.inject_fault), seed=args.seed)
+        except ValueError as exc:
+            print(f"error: --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        # Workers spawned by the DSE pools read the plan back from the
+        # environment, so chaos follows the work across processes.
+        activate(plan, export_env=True)
+    if args.max_retries is not None:
+        if args.max_retries < 1:
+            print("error: --max-retries must be >= 1", file=sys.stderr)
+            return 2
+        from repro.resilience.retry import configure_retries
+
+        configure_retries(max_attempts=args.max_retries)
 
     platform = Platform(
         device=device_by_name(args.device),

@@ -72,6 +72,12 @@ def render_synthesis_report(result) -> str:
     conformance = getattr(result, "conformance", None)
     if conformance is not None:
         lines += ["", conformance.render()]
+    degradations = getattr(result, "degradations", ())
+    if degradations:
+        lines.append("")
+        lines.append("degradations survived (see docs/resilience.md):")
+        for code, reason in degradations:
+            lines.append(f"  [{code}] {reason}")
     stage_seconds = getattr(result, "stage_seconds", ())
     if stage_seconds:
         cached = set(getattr(result, "cache_hits", ()))

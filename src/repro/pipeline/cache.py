@@ -13,9 +13,14 @@ Every cacheable stage result is keyed by a stable SHA-256 over
 
 Payloads are JSON files under ``~/.cache/repro-systolic/<stage>/`` —
 overridable per call (``--cache-dir``), via ``$REPRO_SYSTOLIC_CACHE_DIR``,
-or via ``$XDG_CACHE_HOME``.  Writes are atomic (temp file + rename) so
-concurrent compiles never observe torn entries; a corrupt or unreadable
-entry degrades to a cache miss, never an error.
+or via ``$XDG_CACHE_HOME``.  Writes are atomic (temp file +
+``os.replace``) so concurrent compiles never observe torn entries.  The
+cache is a best-effort accelerator, never a correctness dependency: a
+corrupt or unreadable entry is *quarantined* (moved aside to
+``<key>.json.corrupt`` for post-mortem) and degrades to a cache miss,
+I/O is retried under the default :mod:`repro.resilience` policy, and
+the ``cache.read`` / ``cache.write`` fault points let the chaos suite
+rehearse every one of those paths deterministically.
 """
 
 from __future__ import annotations
@@ -27,6 +32,9 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Any
+
+from repro.resilience.faults import InjectedFault, corrupt_text, maybe_inject
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 _CODE_VERSION: str | None = None
 
@@ -91,10 +99,16 @@ class StageCache:
         hits / misses: per-instance probe statistics.
     """
 
+    #: Retry budget for one cache read/write (I/O is cheap; keep the
+    #: backoff tight so a sick filesystem degrades fast, not slowly).
+    IO_POLICY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.write_failures = 0
 
     @classmethod
     def default(cls) -> "StageCache":
@@ -113,27 +127,88 @@ class StageCache:
         return self.root / stage / f"{key}.json"
 
     def get(self, stage: str, key: str) -> dict[str, Any] | None:
-        """Return the stored payload, or None on miss / corrupt entry."""
+        """Return the stored payload, or None on miss — never raise.
+
+        An unreadable file (I/O error, injected ``cache.read`` crash) is
+        retried under :attr:`IO_POLICY` and then treated as a miss; a
+        file that reads but does not parse is *corrupt* and is moved
+        aside to ``<name>.corrupt`` so the next run recomputes instead
+        of tripping over it again.
+        """
         path = self._path(stage, key)
+
+        def read() -> str:
+            text = path.read_text()
+            if maybe_inject("cache.read") == "corrupt":
+                text = corrupt_text(text)
+            return text
+
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = call_with_retry(
+                read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, InjectedFault):
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.quarantine(stage, key)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.quarantine(stage, key)
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def put(self, stage: str, key: str, payload: dict[str, Any]) -> None:
-        """Atomically persist a payload; IO failures are non-fatal."""
+        """Atomically persist a payload; IO failures are non-fatal.
+
+        The payload lands in a temp file first and is ``os.replace``-d
+        into place, so a concurrent reader (or a crash mid-write) never
+        observes a torn entry.  An injected ``cache.write`` corrupt
+        fault writes garbled text — exercising the read-side quarantine.
+        """
         path = self._path(stage, key)
-        try:
+        text = json.dumps(payload)
+
+        def write() -> None:
+            body = text
+            if maybe_inject("cache.write") == "corrupt":
+                body = corrupt_text(body)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(body)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+
+        try:
+            call_with_retry(
+                write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+            )
+        except (OSError, InjectedFault):
+            self.write_failures += 1
+
+    def quarantine(self, stage: str, key: str) -> Path | None:
+        """Move a corrupt entry aside to ``<name>.corrupt``; returns the
+        quarantine path (None when the entry vanished meanwhile)."""
+        path = self._path(stage, key)
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, target)
         except OSError:
-            pass
+            return None
+        self.quarantined += 1
+        return target
 
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""

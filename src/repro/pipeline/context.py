@@ -45,6 +45,11 @@ class SynthesisResult:
             equality — it holds the simulated output tensor.
         conformance: differential-conformance verdict
             (``sim_backend="both"`` only; excluded from equality).
+        degradations: (SA5xx code, human reason) per graceful-degradation
+            event this run survived — quarantined cache entries, serial
+            DSE fallbacks, testbench downgrades (bookkeeping; excluded
+            from equality so a degraded-but-recovered run still compares
+            bit-identical to an undisturbed one).
     """
 
     evaluation: DesignEvaluation
@@ -61,6 +66,7 @@ class SynthesisResult:
     cache_hits: tuple[str, ...] = field(default=(), compare=False)
     engine_result: EngineResult | None = field(default=None, compare=False)
     conformance: ConformanceReport | None = field(default=None, compare=False)
+    degradations: tuple[tuple[str, str], ...] = field(default=(), compare=False)
 
     @property
     def throughput_gops(self) -> float:
@@ -91,6 +97,7 @@ class SynthesisContext:
             codegen outputs.
         stage_seconds: (stage, wall seconds) per executed stage.
         cache_hits: stages served from the cache.
+        degradations: (SA5xx code, reason) per recovery event so far.
     """
 
     platform: Platform
@@ -114,6 +121,7 @@ class SynthesisContext:
     conformance: ConformanceReport | None = None
     stage_seconds: tuple[tuple[str, float], ...] = ()
     cache_hits: tuple[str, ...] = ()
+    degradations: tuple[tuple[str, str], ...] = ()
 
     def evolve(self, **changes: Any) -> "SynthesisContext":
         """A copy with some fields replaced (stages never mutate)."""
@@ -154,6 +162,7 @@ class SynthesisContext:
             cache_hits=self.cache_hits,
             engine_result=self.engine_result,
             conformance=self.conformance,
+            degradations=self.degradations,
         )
 
 

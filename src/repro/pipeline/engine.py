@@ -22,10 +22,13 @@ from repro.pipeline.context import SynthesisContext
 from repro.pipeline.events import (
     CacheProbe,
     EventBus,
+    FaultInjected,
     Observer,
+    StageDegraded,
     StageFinished,
     StageStarted,
 )
+from repro.resilience import faults
 
 
 @runtime_checkable
@@ -98,45 +101,76 @@ class PipelineEngine:
         self.events = EventBus(observers)
 
     def run(self, ctx: SynthesisContext) -> SynthesisContext:
-        """Execute every stage in order, threading the context through."""
-        total = len(self.stages)
-        for index, stage in enumerate(self.stages):
-            self.events.emit(StageStarted(stage.name, index=index, total=total))
-            start = time.perf_counter()
-            cached = False
-            key: str | None = None
-            if self.cache is not None:
-                parts = stage.cache_parts(ctx)
-                if parts is not None:
-                    key = self.cache.key_for(stage.name, *parts)
-                    payload = self.cache.get(stage.name, key)
-                    self.events.emit(
-                        CacheProbe(stage.name, key=key, hit=payload is not None)
-                    )
-                    if payload is not None:
-                        try:
-                            ctx = stage.load(payload, ctx)
-                            cached = True
-                        except ValueError:
-                            cached = False  # stale/corrupt entry: recompute
-            if not cached:
-                ctx = stage.run(ctx, self.events)
-                if key is not None:
-                    payload = stage.dump(ctx)
-                    if payload is not None:
-                        assert self.cache is not None
-                        self.cache.put(stage.name, key, payload)
-            elapsed = time.perf_counter() - start
-            ctx = ctx.evolve(
-                stage_seconds=ctx.stage_seconds + ((stage.name, elapsed),),
-                cache_hits=ctx.cache_hits + ((stage.name,) if cached else ()),
-            )
-            self.events.emit(
-                StageFinished(
-                    stage.name, seconds=elapsed, cached=cached, info=stage.info(ctx)
+        """Execute every stage in order, threading the context through.
+
+        While the pipeline runs, every fired fault-injection point is
+        surfaced as a :class:`FaultInjected` event attributed to the
+        stage executing at the time, so chaos runs are fully observable
+        in ``--trace-json`` output.
+        """
+        current = {"stage": ""}
+
+        def on_fault(point: str, kind: str) -> None:
+            self.events.emit(FaultInjected(current["stage"], point=point, kind=kind))
+
+        faults.add_listener(on_fault)
+        try:
+            total = len(self.stages)
+            for index, stage in enumerate(self.stages):
+                current["stage"] = stage.name
+                self.events.emit(StageStarted(stage.name, index=index, total=total))
+                start = time.perf_counter()
+                cached = False
+                key: str | None = None
+                if self.cache is not None:
+                    parts = stage.cache_parts(ctx)
+                    if parts is not None:
+                        key = self.cache.key_for(stage.name, *parts)
+                        payload = self.cache.get(stage.name, key)
+                        self.events.emit(
+                            CacheProbe(stage.name, key=key, hit=payload is not None)
+                        )
+                        if payload is not None:
+                            try:
+                                ctx = stage.load(payload, ctx)
+                                cached = True
+                            except (ValueError, KeyError, TypeError) as exc:
+                                # Structurally bad entry: quarantine it so
+                                # the next run recomputes too, and recompute.
+                                self.cache.quarantine(stage.name, key)
+                                reason = f"corrupt cache payload: {exc}"
+                                self.events.emit(
+                                    StageDegraded(
+                                        stage.name,
+                                        code="SA501",
+                                        reason=reason,
+                                        fallback="recompute",
+                                    )
+                                )
+                                ctx = ctx.evolve(
+                                    degradations=ctx.degradations
+                                    + (("SA501", reason),)
+                                )
+                if not cached:
+                    ctx = stage.run(ctx, self.events)
+                    if key is not None:
+                        payload = stage.dump(ctx)
+                        if payload is not None:
+                            assert self.cache is not None
+                            self.cache.put(stage.name, key, payload)
+                elapsed = time.perf_counter() - start
+                ctx = ctx.evolve(
+                    stage_seconds=ctx.stage_seconds + ((stage.name, elapsed),),
+                    cache_hits=ctx.cache_hits + ((stage.name,) if cached else ()),
                 )
-            )
-        return ctx
+                self.events.emit(
+                    StageFinished(
+                        stage.name, seconds=elapsed, cached=cached, info=stage.info(ctx)
+                    )
+                )
+            return ctx
+        finally:
+            faults.remove_listener(on_fault)
 
 
 __all__ = ["PipelineEngine", "Stage", "StageBase"]

@@ -94,6 +94,50 @@ class CacheProbe(PipelineEvent):
     hit: bool = False
 
 
+@dataclass(frozen=True)
+class StageRetried(PipelineEvent):
+    """A stage (or a work item inside it) failed and is being retried.
+
+    Attributes:
+        attempt: how many attempts have failed so far.
+        max_attempts: the retry budget (0 = unbounded / not applicable).
+        reason: what went wrong on the failed attempt.
+    """
+
+    attempt: int = 1
+    max_attempts: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FaultInjected(PipelineEvent):
+    """A fault-injection plan fired at a fault point during this stage.
+
+    Attributes:
+        point: the registered fault point (e.g. ``dse.worker``).
+        kind: ``crash`` | ``corrupt`` | ``delay``.
+    """
+
+    point: str = ""
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class StageDegraded(PipelineEvent):
+    """A stage recovered by switching to a degraded mode.
+
+    Attributes:
+        code: the ``SA5xx`` diagnostic code describing the degradation.
+        reason: what failed.
+        fallback: the mode the stage degraded to (``recompute``,
+            ``serial``, ``fast-backend``, ...).
+    """
+
+    code: str = ""
+    reason: str = ""
+    fallback: str = ""
+
+
 class EventBus:
     """Fans events out to observers; observer errors never kill the run."""
 
@@ -132,6 +176,26 @@ class ProgressPrinter:
         if isinstance(event, StageProgress):
             print(
                 f"[{event.stage}] {event.done}/{event.total} {event.message}".rstrip(),
+                file=self._out(),
+            )
+            return
+        if isinstance(event, StageRetried):
+            budget = f"/{event.max_attempts}" if event.max_attempts else ""
+            print(
+                f"[{event.stage}] retry {event.attempt}{budget}: {event.reason}",
+                file=self._out(),
+            )
+            return
+        if isinstance(event, FaultInjected):
+            print(
+                f"[{event.stage}] fault injected: {event.point} ({event.kind})",
+                file=self._out(),
+            )
+            return
+        if isinstance(event, StageDegraded):
+            print(
+                f"[{event.stage}] degraded to {event.fallback} "
+                f"[{event.code}]: {event.reason}",
                 file=self._out(),
             )
             return
@@ -177,11 +241,14 @@ class JsonlTraceWriter:
 __all__ = [
     "CacheProbe",
     "EventBus",
+    "FaultInjected",
     "JsonlTraceWriter",
     "Observer",
     "PipelineEvent",
     "ProgressPrinter",
+    "StageDegraded",
     "StageFinished",
     "StageProgress",
+    "StageRetried",
     "StageStarted",
 ]

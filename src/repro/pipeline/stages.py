@@ -23,7 +23,7 @@ from repro.pipeline.codecs import (
 )
 from repro.pipeline.context import SynthesisContext
 from repro.pipeline.engine import StageBase
-from repro.pipeline.events import EventBus, StageProgress
+from repro.pipeline.events import EventBus, StageDegraded, StageProgress, StageRetried
 
 
 class ParseStage(StageBase):
@@ -82,24 +82,57 @@ class LegalityStage(StageBase):
 
 class DsePhase1Stage(StageBase):
     """Analytical filtering: enumerate configurations, tune tilings,
-    keep the top-N — fanned out over ``ctx.jobs`` worker processes."""
+    keep the top-N — fanned out over ``ctx.jobs`` worker processes.
+
+    Workers are treated as unreliable: a crashed task is resubmitted
+    (surfaced as :class:`StageRetried` and recorded as SA502) and, past
+    the resubmission budget or a broken pool, replayed serially in the
+    parent (:class:`StageDegraded`, SA503) — bit-identical either way,
+    because each task is a pure function of its candidate."""
 
     name = "dse-phase1"
 
     def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
         from repro.dse.explore import phase1
+        from repro.dse.parallel import MAX_RESUBMITS
 
         assert ctx.nest is not None
+        degradations: list[tuple[str, str]] = []
 
         def progress(done: int, total: int) -> None:
             events.emit(
                 StageProgress(self.name, done=done, total=total, message="configs")
             )
 
+        def on_retry(attempt: int, reason: str) -> None:
+            events.emit(
+                StageRetried(
+                    self.name,
+                    attempt=attempt,
+                    max_attempts=MAX_RESUBMITS + 1,
+                    reason=reason,
+                )
+            )
+            degradations.append(("SA502", reason))
+
+        def on_degrade(reason: str) -> None:
+            events.emit(
+                StageDegraded(self.name, code="SA503", reason=reason, fallback="serial")
+            )
+            degradations.append(("SA503", reason))
+
         result = phase1(
-            ctx.nest, ctx.platform, ctx.config, jobs=ctx.jobs, progress=progress
+            ctx.nest,
+            ctx.platform,
+            ctx.config,
+            jobs=ctx.jobs,
+            progress=progress,
+            on_retry=on_retry,
+            on_degrade=on_degrade,
         )
-        return ctx.evolve(phase1=result)
+        return ctx.evolve(
+            phase1=result, degradations=ctx.degradations + tuple(degradations)
+        )
 
     def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
         return (ctx.nest, ctx.platform, ctx.config, ctx.strict)
@@ -234,7 +267,10 @@ class SimulateStage(StageBase):
     (``ctx.sim_backend``): ``fast`` runs the vectorized simulator,
     ``rtl`` the cycle-accurate engine (small problems only), ``both``
     the full differential-conformance matrix (:mod:`repro.verify`),
-    failing the pipeline on any disagreement."""
+    failing the pipeline on any disagreement, and ``testbench``
+    compiles and executes the generated C testbench with the system
+    toolchain — degrading to ``fast`` with an SA504/SA505 diagnostic
+    when the compiler is missing or hung, instead of raising."""
 
     name = "simulate"
 
@@ -246,10 +282,10 @@ class SimulateStage(StageBase):
         )
         ctx = ctx.evolve(measurement=measurement)
         if ctx.sim_backend is not None:
-            ctx = self._run_wavefront(ctx)
+            ctx = self._run_wavefront(ctx, events)
         return ctx
 
-    def _run_wavefront(self, ctx: SynthesisContext) -> SynthesisContext:
+    def _run_wavefront(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
         from repro.verify.conformance import (
             DEFAULT_ENGINE_ITERATION_LIMIT,
             cross_check,
@@ -262,11 +298,11 @@ class SimulateStage(StageBase):
             conformance = cross_check(design)
             conformance.report.raise_if_errors()
             return ctx.evolve(engine_result=conformance.result, conformance=conformance)
+        if backend == "testbench":
+            return self._run_testbench(ctx, events)
         arrays = synthetic_arrays(design.nest)
         if backend == "fast":
-            from repro.sim.fast import FastWavefrontSimulator
-
-            result = FastWavefrontSimulator(design).run(arrays)
+            result = self._run_fast(ctx, events)
         elif backend == "rtl":
             from repro.sim.engine import SystolicArrayEngine
 
@@ -280,9 +316,77 @@ class SimulateStage(StageBase):
             result = SystolicArrayEngine(design).run(arrays)
         else:
             raise ValueError(
-                f"unknown simulator backend {backend!r} (fast | rtl | both)"
+                f"unknown simulator backend {backend!r} "
+                f"(fast | rtl | both | testbench)"
             )
         return ctx.evolve(engine_result=result)
+
+    def _run_fast(self, ctx: SynthesisContext, events: EventBus):
+        """The fast wavefront simulator, retried on injected ``sim.step``
+        faults (the simulator is pure, so a retry is bit-identical)."""
+        from repro.resilience.faults import InjectedFault
+        from repro.resilience.retry import call_with_retry, current_policy
+        from repro.sim.fast import FastWavefrontSimulator
+        from repro.verify.conformance import synthetic_arrays
+
+        design = ctx.best.design
+        arrays = synthetic_arrays(design.nest)
+        policy = current_policy()
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            events.emit(
+                StageRetried(
+                    self.name,
+                    attempt=attempt,
+                    max_attempts=policy.max_attempts,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+        return call_with_retry(
+            lambda: FastWavefrontSimulator(design).run(arrays),
+            policy=policy,
+            retry_on=(InjectedFault,),
+            on_retry=on_retry,
+        )
+
+    def _run_testbench(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
+        from repro.codegen.testbench import TestbenchUnavailable, run_testbench
+        from repro.resilience.retry import current_policy
+
+        assert ctx.testbench_source is not None
+        policy = current_policy()
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            events.emit(
+                StageRetried(
+                    self.name,
+                    attempt=attempt,
+                    max_attempts=policy.max_attempts,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+        try:
+            outcome = run_testbench(
+                ctx.testbench_source, policy=policy, on_retry=on_retry
+            )
+        except TestbenchUnavailable as exc:
+            diag = exc.diagnostic
+            events.emit(
+                StageDegraded(
+                    self.name, code=diag.code, reason=diag.message, fallback="fast"
+                )
+            )
+            ctx = ctx.evolve(
+                degradations=ctx.degradations + ((diag.code, diag.message),)
+            )
+            return ctx.evolve(engine_result=self._run_fast(ctx, events))
+        if not outcome.passed:
+            raise ValueError(
+                f"generated testbench failed:\n{outcome.output[-2000:]}"
+            )
+        return ctx
 
     def cache_parts(self, ctx: SynthesisContext) -> tuple | None:
         if ctx.sim_backend is not None:

@@ -1,0 +1,172 @@
+"""Retry policies: bounded attempts, exponential backoff, deterministic
+jitter, and a per-attempt timeout budget.
+
+:func:`retrying` is the policy helper applied to every unreliable call
+in the flow — subprocess invocations in :mod:`repro.codegen.testbench`,
+cache I/O in :mod:`repro.pipeline.cache`, wavefront-simulator execution
+in the simulate stage.  Backoff jitter is seeded (a pure function of
+``(seed, attempt)``), so retry schedules — like injected faults — are
+reproducible run to run.
+
+The module-level default policy is what the CLI's ``--max-retries``
+flag adjusts (:func:`configure_retries`); call sites that need their own
+budget pass an explicit :class:`RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+OnRetry = Callable[[int, Exception], None]
+"""Hook called before each re-attempt with (attempt number, error)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry one unreliable operation.
+
+    Attributes:
+        max_attempts: total tries, first included (1 = no retries).
+        base_delay: backoff before attempt 2, doubling per attempt.
+        max_delay: backoff ceiling.
+        jitter: fractional jitter added to each backoff (0.25 = up to
+            +25%), drawn deterministically from ``(seed, attempt)``.
+        timeout: per-attempt time budget in seconds, passed to
+            ``subprocess.run(timeout=...)`` by the call sites that shell
+            out (None = the site's own default).
+        seed: seeds the jitter stream.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (attempt 2 is the first
+        retry).  Deterministic: same policy, same attempt, same delay."""
+        if attempt < 2:
+            return 0.0
+        backoff = min(self.max_delay, self.base_delay * 2.0 ** (attempt - 2))
+        fraction = random.Random(f"{self.seed}:{attempt}").random()
+        return backoff * (1.0 + self.jitter * fraction)
+
+
+#: The process-wide default policy (see :func:`configure_retries`).
+DEFAULT_POLICY = RetryPolicy()
+
+_current = DEFAULT_POLICY
+
+
+def configure_retries(
+    *,
+    max_attempts: int | None = None,
+    base_delay: float | None = None,
+    timeout: float | None = None,
+) -> RetryPolicy:
+    """Adjust the process-wide default policy (CLI ``--max-retries``).
+
+    Only the given fields change; returns the new default.
+    """
+    global _current
+    changes: dict = {}
+    if max_attempts is not None:
+        changes["max_attempts"] = max_attempts
+    if base_delay is not None:
+        changes["base_delay"] = base_delay
+    if timeout is not None:
+        changes["timeout"] = timeout
+    _current = replace(_current, **changes)
+    return _current
+
+
+def current_policy() -> RetryPolicy:
+    """The process-wide default policy in effect."""
+    return _current
+
+
+def reset_retries() -> None:
+    """Restore the built-in default policy (CLI teardown, test isolation)."""
+    global _current
+    _current = DEFAULT_POLICY
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: OnRetry | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` under a retry policy.
+
+    Args:
+        fn: the operation (re-invoked from scratch each attempt).
+        policy: attempt/backoff budget (the process default if None).
+        retry_on: exception types worth another attempt; anything else
+            propagates immediately.
+        on_retry: hook fired before each re-attempt (event emission).
+        sleep: injectable for tests.
+
+    Raises:
+        The last error once every attempt is exhausted.
+    """
+    active = policy if policy is not None else _current
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= active.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = active.delay_for(attempt + 1)
+            if delay > 0:
+                sleep(delay)
+
+
+def retrying(
+    policy: RetryPolicy | None = None,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: OnRetry | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Callable[[Callable[[], T]], T]:
+    """The policy helper: ``retrying(policy)(fn)`` runs ``fn`` with
+    retries — a partial application of :func:`call_with_retry` that call
+    sites can build once and apply to several operations."""
+
+    def runner(fn: Callable[[], T]) -> T:
+        return call_with_retry(
+            fn, policy=policy, retry_on=retry_on, on_retry=on_retry, sleep=sleep
+        )
+
+    return runner
+
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "OnRetry",
+    "RetryPolicy",
+    "call_with_retry",
+    "configure_retries",
+    "current_policy",
+    "reset_retries",
+    "retrying",
+]

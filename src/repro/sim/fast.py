@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.ir.access import ArrayAccess
 from repro.model.design_point import DesignPoint
+from repro.resilience.faults import maybe_inject
 from repro.sim.engine import EngineResult
 from repro.sim.schedule import (
     BlockSpec,
@@ -147,6 +148,7 @@ class FastWavefrontSimulator:
         active_cycles = 0
         blocks = 0
         for block in enumerate_blocks(self.design.tiled, clip=True):
+            maybe_inject("sim.step")  # chaos hook; simulator state is pure
             blocks += 1
             waves = block.waves
             total_waves += waves

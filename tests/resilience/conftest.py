@@ -1,0 +1,36 @@
+"""Chaos-suite isolation: every test leaves the process fault-free.
+
+The suite is also run by CI's ``chaos`` job under a standing
+``REPRO_FAULT_PLAN`` environment plan, so tests that depend on exact
+fault behaviour activate their own plan explicitly (an activated plan
+always wins over the environment) and everything else asserts properties
+that hold with or without background chaos.
+"""
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV_VAR,
+    FAULT_SEED_ENV_VAR,
+    deactivate,
+)
+from repro.resilience.retry import reset_retries
+
+
+@pytest.fixture(autouse=True)
+def _fault_free_process():
+    """Snapshot and restore all process-wide resilience state."""
+    prior = {
+        var: os.environ.get(var)
+        for var in (FAULT_PLAN_ENV_VAR, FAULT_SEED_ENV_VAR)
+    }
+    yield
+    deactivate()
+    reset_retries()
+    for var, value in prior.items():
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value

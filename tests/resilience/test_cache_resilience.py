@@ -1,0 +1,150 @@
+"""Stage-cache resilience: atomic writes, quarantine, injected chaos."""
+
+import json
+import os
+
+from hypothesis import given, strategies as st
+
+from repro.pipeline.cache import StageCache
+from repro.resilience.faults import FaultPlan, injected
+
+PAYLOAD = {"answer": 42, "parts": [1, 2, 3]}
+
+
+def fresh_cache(tmp_path):
+    return StageCache(tmp_path / "cache")
+
+
+class TestAtomicWrites:
+    def test_round_trip(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan()):  # shield any environment chaos
+            cache.put("stage", "k" * 64, PAYLOAD)
+            assert cache.get("stage", "k" * 64) == PAYLOAD
+
+    def test_no_temp_files_survive(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan()):
+            cache.put("stage", "k" * 64, PAYLOAD)
+        leftovers = [p for p in cache.root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_write_failure_is_non_fatal(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan.parse("cache.write:crash")):
+            cache.put("stage", "k" * 64, PAYLOAD)  # must not raise
+        assert cache.write_failures == 1
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) is None  # nothing was stored
+
+
+class TestCorruptEntries:
+    def test_unparseable_entry_is_quarantined_miss(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = cache.root / "stage" / ("k" * 64 + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("{truncated")
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantined = path.with_suffix(".json.corrupt")
+        assert quarantined.read_text() == "{truncated"
+
+    def test_non_dict_payload_is_quarantined(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = cache.root / "stage" / ("k" * 64 + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]))
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_entries_survive_clear(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = cache.root / "stage" / ("k" * 64 + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("junk")
+        with injected(FaultPlan()):
+            cache.get("stage", "k" * 64)
+        cache.clear()
+        assert path.with_suffix(".json.corrupt").exists()  # kept for post-mortem
+
+    def test_injected_write_corruption_degrades_to_recompute(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan.parse("cache.write:corrupt:times=1")):
+            cache.put("stage", "k" * 64, PAYLOAD)  # lands garbled on disk
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) is None  # miss, not a raise
+        assert cache.quarantined == 1
+
+    def test_injected_read_corruption_never_raises(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan()):
+            cache.put("stage", "k" * 64, PAYLOAD)
+        with injected(FaultPlan.parse("cache.read:corrupt")):
+            assert cache.get("stage", "k" * 64) is None
+        # the on-disk entry was moved aside, so a clean read now misses
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) is None
+
+
+class TestRetriedIO:
+    def test_transient_read_crashes_are_retried(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan()):
+            cache.put("stage", "k" * 64, PAYLOAD)
+        # IO_POLICY allows 3 attempts; 2 injected crashes still succeed.
+        with injected(FaultPlan.parse("cache.read:crash:times=2")):
+            assert cache.get("stage", "k" * 64) == PAYLOAD
+
+    def test_persistent_read_crashes_become_misses(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan()):
+            cache.put("stage", "k" * 64, PAYLOAD)
+        with injected(FaultPlan.parse("cache.read:crash")):
+            assert cache.get("stage", "k" * 64) is None
+        assert cache.misses == 1
+
+    def test_transient_write_crashes_are_retried(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        with injected(FaultPlan.parse("cache.write:crash:times=2")):
+            cache.put("stage", "k" * 64, PAYLOAD)
+        assert cache.write_failures == 0
+        with injected(FaultPlan()):
+            assert cache.get("stage", "k" * 64) == PAYLOAD
+
+
+class TestChaosProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        probability=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_cache_api_never_raises_under_any_chaos(self, tmp_path_factory, seed, probability):
+        """The documented contract: whatever the plan, get/put never raise
+        and get returns either the true payload or None."""
+        cache = StageCache(tmp_path_factory.mktemp("chaos"))
+        plan = FaultPlan.parse(
+            f"cache.write:corrupt:p={probability};cache.read:crash:p={probability}",
+            seed=seed,
+        )
+        with injected(plan):
+            cache.put("stage", "k" * 64, PAYLOAD)
+            got = cache.get("stage", "k" * 64)
+        assert got is None or got == PAYLOAD
+
+
+class TestQuarantineDirect:
+    def test_quarantine_moves_the_entry(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = cache.root / "stage" / ("k" * 64 + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("x")
+        target = cache.quarantine("stage", "k" * 64)
+        assert target is not None and target.exists()
+        assert not path.exists()
+
+    def test_quarantine_of_a_missing_entry_is_none(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        assert cache.quarantine("stage", "gone" * 16) is None
+        assert cache.quarantined == 0

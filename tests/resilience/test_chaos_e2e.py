@@ -1,0 +1,104 @@
+"""The ISSUE acceptance scenario, end to end through the CLI.
+
+``compile --jobs 4 --inject-fault dse.worker:crash:p=0.3 --seed 7`` must
+exit 0 with a result bit-identical to the uninjected serial run, and the
+recovery work (retries, degradations) must be visible in ``--trace-json``.
+"""
+
+import json
+
+import pytest
+
+from repro.flow.cli import main
+
+SMALL_SRC = """
+#pragma systolic
+for (o = 0; o < 16; o++)
+  for (i = 0; i < 8; i++)
+    for (c = 0; c < 7; c++)
+      for (r = 0; r < 7; r++)
+        for (p = 0; p < 3; p++)
+          for (q = 0; q < 3; q++)
+            OUT[o][r][c] += W[o][i][p][q] * IN[i][r+p][c+q];
+"""
+
+# Wall-clock bookkeeping legitimately differs between runs.
+BOOKKEEPING_KEYS = {"dse_seconds", "stage_seconds", "cache_hits", "degradations"}
+
+
+def canonical(path):
+    data = json.loads(path.read_text())
+    return {k: v for k, v in data.items() if k not in BOOKKEEPING_KEYS}
+
+
+def trace_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+@pytest.mark.slow
+class TestAcceptanceScenario:
+    def test_chaotic_parallel_run_matches_clean_serial_run(self, tmp_path, capsys):
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        serial_json = tmp_path / "serial.json"
+        chaos_json = tmp_path / "chaos.json"
+        trace = tmp_path / "trace.jsonl"
+
+        base = [
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0",
+            "--top-n", "3", "--no-cache", "--quiet",
+        ]
+        assert main(base + ["--jobs", "1", "--save-result", str(serial_json)]) == 0
+        code = main(base + [
+            "--jobs", "4",
+            "--inject-fault", "dse.worker:crash:p=0.3",
+            "--seed", "7",
+            "--trace-json", str(trace),
+            "--save-result", str(chaos_json),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert canonical(chaos_json) == canonical(serial_json)
+
+        kinds = [e["event"] for e in trace_events(trace)]
+        assert "FaultInjected" in kinds
+        assert "StageRetried" in kinds  # recovery is observable, not silent
+
+    def test_bad_fault_spec_is_a_usage_error(self, tmp_path, capsys):
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        code = main([
+            str(src), "-o", str(tmp_path / "out"),
+            "--inject-fault", "nonsense.point:crash",
+        ])
+        assert code == 2
+        assert "nonsense.point" in capsys.readouterr().err
+
+    def test_max_retries_must_be_positive(self, tmp_path, capsys):
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        code = main([
+            str(src), "-o", str(tmp_path / "out"), "--max-retries", "0",
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_testbench_backend_degrades_but_still_exits_zero(self, tmp_path, capsys):
+        """A dead compiler under --sim-backend testbench downgrades the
+        simulation instead of failing the whole synthesis."""
+        src = tmp_path / "layer.c"
+        src.write_text(SMALL_SRC)
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            str(src), "-o", str(tmp_path / "out"), "--cs", "0.0",
+            "--top-n", "2", "--no-cache", "--quiet",
+            "--sim-backend", "testbench",
+            "--inject-fault", "testbench.compile:crash",
+            "--trace-json", str(trace),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        events = trace_events(trace)
+        degraded = [e for e in events if e["event"] == "StageDegraded"]
+        assert any(e.get("code") == "SA504" for e in degraded)
+        assert "SA504" in out  # the report surfaces the degradation

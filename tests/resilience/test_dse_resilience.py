@@ -1,0 +1,157 @@
+"""Parallel-DSE resilience: resubmission, serial fallback, bit-identity."""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.ir.loop import conv_loop_nest
+from repro.model.platform import Platform
+from repro.dse.explore import DseConfig, phase1
+from repro.dse.parallel import MAX_RESUBMITS, resilient_map
+from repro.resilience.faults import FaultPlan, InjectedFault, activate, deactivate
+
+FAST = DseConfig(min_dsp_utilization=0.0, vector_choices=(2, 4), top_n=3)
+
+
+class FakePool:
+    """A synchronous stand-in for ProcessPoolExecutor.
+
+    ``fail_plan`` maps an item to how many times tasks for it fail
+    before succeeding; ``break_on`` makes a submit raise
+    BrokenProcessPool once reached.
+    """
+
+    def __init__(self, fail_plan=None, break_at_submit=None):
+        self.fail_plan = dict(fail_plan or {})
+        self.break_at_submit = break_at_submit
+        self.submits = 0
+
+    def submit(self, fn, item):
+        self.submits += 1
+        if self.break_at_submit is not None and self.submits >= self.break_at_submit:
+            raise BrokenProcessPool("pool died")
+        future = Future()
+        remaining = self.fail_plan.get(item, 0)
+        if remaining > 0:
+            self.fail_plan[item] = remaining - 1
+            future.set_exception(InjectedFault("dse.worker"))
+        else:
+            future.set_result(fn(item))
+        return future
+
+
+def double(x):
+    return 2 * x
+
+
+class TestResilientMap:
+    def test_clean_run_maps_in_order(self):
+        assert resilient_map(
+            FakePool(), double, [1, 2, 3], serial_fn=double
+        ) == [2, 4, 6]
+
+    def test_crashed_task_is_resubmitted(self):
+        retries = []
+        result = resilient_map(
+            FakePool(fail_plan={2: 1}),
+            double,
+            [1, 2, 3],
+            serial_fn=double,
+            on_retry=lambda n, reason: retries.append((n, reason)),
+        )
+        assert result == [2, 4, 6]
+        assert len(retries) == 1
+        assert "InjectedFault" in retries[0][1]
+
+    def test_exhausted_resubmissions_fall_back_to_serial(self):
+        degraded = []
+        serial_calls = []
+
+        def serial(item):
+            serial_calls.append(item)
+            return double(item)
+
+        result = resilient_map(
+            FakePool(fail_plan={2: MAX_RESUBMITS + 5}),
+            double,
+            [1, 2, 3],
+            serial_fn=serial,
+            on_degrade=degraded.append,
+        )
+        assert result == [2, 4, 6]
+        assert serial_calls == [2]
+        assert len(degraded) == 1
+
+    def test_broken_pool_at_submit_runs_everything_serially(self):
+        degraded = []
+        result = resilient_map(
+            FakePool(break_at_submit=1),
+            double,
+            [1, 2, 3],
+            serial_fn=double,
+            on_degrade=degraded.append,
+        )
+        assert result == [2, 4, 6]
+        assert len(degraded) == 1
+        assert "unusable at submit" in degraded[0]
+
+    def test_broken_pool_mid_flight_finishes_serially(self):
+        class MidwayBrokenPool(FakePool):
+            def submit(self, fn, item):
+                self.submits += 1
+                future = Future()
+                if self.submits >= 3:
+                    future.set_exception(BrokenProcessPool("worker died"))
+                else:
+                    future.set_result(fn(item))
+                return future
+
+        result = resilient_map(
+            MidwayBrokenPool(), double, [1, 2, 3, 4], serial_fn=double
+        )
+        assert result == [2, 4, 6, 8]
+
+
+@pytest.mark.slow
+class TestPhase1UnderChaos:
+    NEST = conv_loop_nest(16, 8, 7, 7, 3, 3, name="small")
+
+    def test_transient_worker_crashes_are_bit_identical(self):
+        platform = Platform()
+        baseline = phase1(self.NEST, platform, FAST, jobs=1)
+        retries = []
+        activate(
+            FaultPlan.parse("dse.worker:crash:times=4", seed=7), export_env=True
+        )
+        try:
+            chaotic = phase1(
+                self.NEST,
+                platform,
+                FAST,
+                jobs=2,
+                on_retry=lambda n, reason: retries.append(n),
+            )
+        finally:
+            deactivate(clear_env=True)
+        assert chaotic == baseline  # elapsed_seconds excluded from equality
+        assert retries  # at least one resubmission actually happened
+
+    def test_persistent_worker_crashes_degrade_to_serial(self):
+        platform = Platform()
+        config = DseConfig(min_dsp_utilization=0.0, vector_choices=(4,), top_n=2)
+        baseline = phase1(self.NEST, platform, config, jobs=1)
+        degraded = []
+        activate(FaultPlan.parse("dse.worker:crash", seed=7), export_env=True)
+        try:
+            chaotic = phase1(
+                self.NEST,
+                platform,
+                config,
+                jobs=2,
+                on_degrade=degraded.append,
+            )
+        finally:
+            deactivate(clear_env=True)
+        assert chaotic == baseline
+        assert degraded  # every candidate fell back to the serial path

@@ -1,0 +1,142 @@
+"""Testbench toolchain resilience: timeouts, retries, SA504/SA505."""
+
+import shutil
+
+import pytest
+
+from repro.codegen.testbench import (
+    DEFAULT_COMPILE_TIMEOUT,
+    DEFAULT_RUN_TIMEOUT,
+    TestbenchUnavailable,
+    compile_and_run_testbench,
+    run_testbench,
+)
+from repro.resilience.faults import FaultPlan, injected
+from repro.resilience.retry import RetryPolicy
+
+HAS_GCC = shutil.which("gcc") is not None
+
+TRIVIAL_PASS = (
+    '#include <stdio.h>\n'
+    'int main(void) { printf("TESTBENCH PASS\\n"); return 0; }\n'
+)
+
+ONE_SHOT = RetryPolicy(max_attempts=1, base_delay=0.0)
+EAGER = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+class TestUnavailableToolchain:
+    def test_missing_compiler_raises_sa504(self, tmp_path):
+        with injected(FaultPlan()):
+            with pytest.raises(TestbenchUnavailable) as excinfo:
+                run_testbench(
+                    TRIVIAL_PASS,
+                    workdir=tmp_path,
+                    compiler="definitely-not-a-compiler-xyz",
+                    policy=ONE_SHOT,
+                )
+        diag = excinfo.value.diagnostic
+        assert diag.code == "SA504"
+        assert "not available" in diag.message
+
+    def test_persistent_injected_compile_crash_raises_sa504(self, tmp_path):
+        with injected(FaultPlan.parse("testbench.compile:crash")):
+            with pytest.raises(TestbenchUnavailable) as excinfo:
+                run_testbench(TRIVIAL_PASS, workdir=tmp_path, policy=EAGER)
+        assert excinfo.value.diagnostic.code == "SA504"
+
+    def test_hung_compiler_raises_sa505(self, tmp_path):
+        fake = tmp_path / "slowcc"
+        fake.write_text("#!/bin/sh\nsleep 30\n")
+        fake.chmod(0o755)
+        with injected(FaultPlan()):
+            with pytest.raises(TestbenchUnavailable) as excinfo:
+                run_testbench(
+                    TRIVIAL_PASS,
+                    workdir=tmp_path / "wd",
+                    compiler=str(fake),
+                    policy=ONE_SHOT,
+                    compile_timeout=0.2,
+                )
+        diag = excinfo.value.diagnostic
+        assert diag.code == "SA505"
+        assert "budget" in diag.message
+
+    def test_wrapper_reports_unavailability_not_a_traceback(self, tmp_path):
+        with injected(FaultPlan.parse("testbench.compile:crash")):
+            passed, output = compile_and_run_testbench(
+                TRIVIAL_PASS, workdir=tmp_path
+            )
+        assert passed is False
+        assert output.startswith("TOOLCHAIN UNAVAILABLE:")
+        assert "SA504" in output
+
+
+@pytest.mark.skipif(not HAS_GCC, reason="no C compiler")
+class TestWithRealToolchain:
+    def test_trivial_program_passes(self, tmp_path):
+        with injected(FaultPlan()):
+            outcome = run_testbench(TRIVIAL_PASS, workdir=tmp_path, policy=ONE_SHOT)
+        assert outcome.passed
+        assert "TESTBENCH PASS" in outcome.output
+
+    def test_transient_compile_crashes_are_retried(self, tmp_path):
+        retries = []
+        with injected(FaultPlan.parse("testbench.compile:crash:times=2")):
+            outcome = run_testbench(
+                TRIVIAL_PASS,
+                workdir=tmp_path,
+                policy=EAGER,
+                on_retry=lambda n, exc: retries.append(n),
+            )
+        assert outcome.passed
+        assert retries == [1, 2]
+
+    def test_transient_run_crashes_are_retried(self, tmp_path):
+        with injected(FaultPlan.parse("testbench.run:crash:times=1")):
+            outcome = run_testbench(TRIVIAL_PASS, workdir=tmp_path, policy=EAGER)
+        assert outcome.passed
+
+    def test_corrupted_source_fails_the_check_not_the_flow(self, tmp_path):
+        with injected(FaultPlan.parse("testbench.compile:corrupt")):
+            outcome = run_testbench(TRIVIAL_PASS, workdir=tmp_path, policy=ONE_SHOT)
+        assert not outcome.passed
+        assert "COMPILE ERROR" in outcome.output
+
+    def test_failing_testbench_is_a_verdict_not_unavailability(self, tmp_path):
+        failing = '#include <stdio.h>\nint main(void) { return 1; }\n'
+        with injected(FaultPlan()):
+            outcome = run_testbench(failing, workdir=tmp_path, policy=ONE_SHOT)
+        assert not outcome.passed
+
+    def test_policy_timeout_overrides_step_budgets(self, tmp_path):
+        hang = '#include <unistd.h>\nint main(void) { sleep(30); return 0; }\n'
+        with injected(FaultPlan()):
+            with pytest.raises(TestbenchUnavailable) as excinfo:
+                run_testbench(
+                    hang,
+                    workdir=tmp_path,
+                    policy=RetryPolicy(max_attempts=1, timeout=1.0),
+                )
+        assert excinfo.value.diagnostic.code == "SA505"
+
+
+class TestHardTimeouts:
+    def test_every_subprocess_call_carries_a_timeout(self):
+        """Mutation guard: no subprocess.run in the testbench module may
+        omit ``timeout=`` (a hung tool must never hang the flow)."""
+        import inspect
+
+        import repro.codegen.testbench as module
+
+        source = inspect.getsource(module)
+        calls = source.count("subprocess.run(")
+        assert calls >= 2
+        # every call site names a timeout within its argument list
+        chunks = source.split("subprocess.run(")[1:]
+        for chunk in chunks:
+            assert "timeout=" in chunk.split(")")[0] or "timeout=" in chunk[:300]
+
+    def test_default_budgets_are_sane(self):
+        assert 0 < DEFAULT_COMPILE_TIMEOUT <= DEFAULT_RUN_TIMEOUT
+        assert DEFAULT_RUN_TIMEOUT <= 3600
