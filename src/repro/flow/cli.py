@@ -13,6 +13,8 @@ Usage::
     systolic-synth check conv_layer.c --json --level design
     systolic-synth verify conv_layer.c
     systolic-synth verify design.json --json
+    systolic-synth serve --port 8451 --workers 4 --journal jobs.jsonl
+    systolic-synth submit conv_layer.c --url http://127.0.0.1:8451 --follow
 
 Reads a restricted-C program (or a built-in network), runs the two-phase
 DSE through the staged pipeline engine, and writes the generated OpenCL
@@ -38,6 +40,18 @@ artifacts written): nest legality, design-point validation,
 generated-code lint.  It exits 0 when the program is clean, 1 when
 diagnostics carry errors, 2 on usage errors — and never with a traceback
 for a malformed input.
+
+The ``serve`` subcommand runs the flow as a long-lived daemon
+(:mod:`repro.service`): a bounded, fair-share admission queue in front
+of a synthesis worker pool, request coalescing by content fingerprint,
+live progress streaming over HTTP, Prometheus ``/metrics``, and a
+journal that makes SIGTERM lossless — running jobs finish, queued jobs
+are re-admitted by the next ``serve`` on the same ``--journal``.
+``submit`` is the matching client: it posts a C file (or saved design)
+to a running server and, with ``--follow``, renders the streamed
+pipeline events like a local compile would.  ``--inject-fault`` on the
+server side also accepts the service's own fault points
+(``service.queue``, ``service.worker``) for chaos-testing the daemon.
 
 The ``verify`` subcommand runs the differential-conformance matrix
 (:mod:`repro.verify`) over a design — either a saved design-point JSON
@@ -139,7 +153,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "'point:kind[:p=PROB][:times=N][:delay=SECS]', e.g. "
         "'dse.worker:crash:p=0.3' (repeatable; points: "
         "cache.read cache.write dse.worker testbench.compile "
-        "testbench.run sim.step; kinds: crash corrupt delay)",
+        "testbench.run sim.step service.queue service.worker; "
+        "kinds: crash corrupt delay)",
     )
     parser.add_argument(
         "--seed",
@@ -228,6 +243,331 @@ def build_verify_arg_parser() -> argparse.ArgumentParser:
         help="accept a C file without '#pragma systolic'",
     )
     return parser
+
+
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth serve",
+        description="Run the synthesis flow as a long-lived HTTP daemon "
+        "with request coalescing, backpressure and progress streaming.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8451, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="synthesis worker threads"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission bound; a full queue answers 429",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="fair-share rate limit: submissions per second per client "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="fair-share burst size (default: max(1, --rate))",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="JSONL",
+        help="accepted-work ledger; a restarted serve on the same journal "
+        "resumes every job SIGTERM interrupted",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="DSE worker processes inside each synthesis (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed stage cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="stage cache directory (default ~/.cache/repro-systolic)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos testing: same specs as compile, plus the service "
+        "points 'service.queue' (admission) and 'service.worker' "
+        "(synthesis attempts)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault-injection decision streams",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget for faulted synthesis attempts (default 3)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def build_submit_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth submit",
+        description="Submit a nest to a running synthesis server.",
+    )
+    parser.add_argument(
+        "source", help="C file with a '#pragma systolic' nest, or a saved "
+        "design-point JSON"
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8451", help="server base URL"
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's pipeline events until it finishes "
+        "(reconnects automatically)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="DIR",
+        help="wait for the result and write the generated artifacts here",
+    )
+    parser.add_argument("--priority", type=int, default=0, help="queue priority")
+    parser.add_argument(
+        "--client-id",
+        default=None,
+        help="fair-share identity (default: this connection's address)",
+    )
+    parser.add_argument("--device", default="arria10_gt1150", help="target FPGA")
+    parser.add_argument(
+        "--datatype", default="float32", help="float32 | fixed8_16 | fixed16"
+    )
+    parser.add_argument(
+        "--cs", type=float, default=0.8, help="minimum DSP utilization (Eq. 12 c_s)"
+    )
+    parser.add_argument("--top-n", type=int, default=14, help="phase-2 finalist count")
+    parser.add_argument(
+        "--clock", type=float, default=280.0, help="phase-1 assumed clock (MHz)"
+    )
+    parser.add_argument(
+        "--sim-backend",
+        choices=["fast", "rtl", "both", "testbench"],
+        help="also execute the winner on a wavefront simulator",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="how long to wait for the result with --output (seconds)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: the flow as a daemon."""
+    args = build_serve_arg_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    import os
+    import signal
+    import threading
+
+    from repro.resilience.faults import FAULT_PLAN_ENV_VAR, FAULT_SEED_ENV_VAR
+
+    prior_env = {
+        var: os.environ.get(var)
+        for var in (FAULT_PLAN_ENV_VAR, FAULT_SEED_ENV_VAR)
+    }
+    if args.inject_fault:
+        from repro.resilience.faults import FaultPlan, activate
+
+        try:
+            plan = FaultPlan.parse(";".join(args.inject_fault), seed=args.seed)
+        except ValueError as exc:
+            print(f"error: --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        activate(plan, export_env=True)
+    if args.max_retries is not None:
+        if args.max_retries < 1:
+            print("error: --max-retries must be >= 1", file=sys.stderr)
+            return 2
+        from repro.resilience.retry import configure_retries
+
+        configure_retries(max_attempts=args.max_retries)
+
+    from repro.service.http import run_server, shutdown_server
+    from repro.service.jobs import JobManager
+
+    cache: bool | str = not args.no_cache
+    if args.cache_dir:
+        cache = args.cache_dir
+    manager = JobManager(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache=cache,
+        rate=args.rate,
+        burst=args.burst,
+        journal=args.journal,
+        pipeline_jobs=args.jobs,
+    )
+    try:
+        server = run_server(
+            manager, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        _reset_resilience(prior_env)
+        return 2
+    stopping = threading.Event()
+
+    def on_signal(signum, frame):
+        stopping.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(
+        f"systolic-synth serve: listening on http://{args.host}:{server.port} "
+        f"({args.workers} workers, queue depth {args.queue_depth}"
+        + (f", journal {args.journal}" if args.journal else "")
+        + ")",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        while not stopping.wait(0.2):
+            pass
+        print(
+            "systolic-synth serve: draining (running jobs finish, queued "
+            "jobs stay journaled)...",
+            file=sys.stderr,
+            flush=True,
+        )
+        shutdown_server(server)
+        stats = manager.stats()
+        print(
+            f"systolic-synth serve: drained; {stats['done']} done, "
+            f"{stats['failed']} failed, {stats['cancelled']} cancelled",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 0
+    finally:
+        _reset_resilience(prior_env)
+
+
+def submit_main(argv: list[str]) -> int:
+    """The ``submit`` subcommand: client of a running server."""
+    args = build_submit_arg_parser().parse_args(argv)
+    from repro.service.client import ServiceClient, ServiceError
+
+    path = Path(args.source)
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    options = {
+        "device": args.device,
+        "datatype": args.datatype,
+        "cs": args.cs,
+        "top_n": args.top_n,
+        "clock": args.clock,
+    }
+    if args.sim_backend:
+        options["sim_backend"] = args.sim_backend
+    body: dict = {"name": path.stem, "options": options}
+    if path.suffix == ".json":
+        import json as _json
+
+        body["design"] = _json.loads(path.read_text())
+    else:
+        try:
+            body["source"] = path.read_text()
+        except UnicodeDecodeError:
+            print(f"error: {path} is not a text file", file=sys.stderr)
+            return 2
+    client = ServiceClient(args.url, client_id=args.client_id)
+    try:
+        job = client.submit(priority=args.priority, **body)
+    except ServiceError as exc:
+        hint = ""
+        if exc.status == 429 and exc.retry_after:
+            hint = f" (retry in {exc.retry_after:.0f}s)"
+        print(f"error: {exc.message}{hint}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job['id']} {job['state']}"
+          + (f" (coalesced onto {job['primary']})" if job["coalesced"] else ""))
+    if args.follow:
+        from repro.pipeline import events as ev
+
+        printer = ev.ProgressPrinter(sys.stderr)
+        try:
+            for event in client.events(job["id"]):
+                kind = event.get("event")
+                if kind == "JobFinished":
+                    print(f"job {job['id']} {event.get('state')}"
+                          + (f": {event['error']}" if event.get("error") else ""))
+                elif kind in ("JobQueued", "JobStarted", "JobCoalesced", "JobRequeued"):
+                    print(f"[{kind}] {event.get('id', '')}", file=sys.stderr)
+                else:
+                    typed = ev.event_from_dict(event)
+                    if typed is not None:
+                        printer(typed)
+        except ServiceError as exc:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 1
+    if args.output:
+        try:
+            status = client.wait(job["id"], timeout=args.timeout)
+        except (ServiceError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if status["state"] != "done":
+            print(
+                f"error: job {job['id']} {status['state']}"
+                + (f": {status['error']}" if status.get("error") else ""),
+                file=sys.stderr,
+            )
+            return 1
+        from repro.model.serialize import result_from_dict
+
+        result = result_from_dict(status["result"])
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "kernel.cl").write_text(result.kernel_source)
+        (out_dir / "host.cpp").write_text(result.host_source)
+        (out_dir / "testbench.c").write_text(result.testbench_source)
+        (out_dir / "driver.c").write_text(result.driver_source)
+        (out_dir / "opencl_shim.h").write_text(OPENCL_SHIM)
+        (out_dir / "report.txt").write_text(render_synthesis_report(result) + "\n")
+        print(f"artifacts written to {out_dir}/")
+    elif not args.follow:
+        print(f"poll with: GET {args.url}/v1/jobs/{job['id']}")
+    return 0
 
 
 def verify_main(argv: list[str]) -> int:
@@ -355,6 +695,10 @@ def main(argv: list[str] | None = None) -> int:
         return check_main(raw[1:])
     if raw and raw[0] == "verify":
         return verify_main(raw[1:])
+    if raw and raw[0] == "serve":
+        return serve_main(raw[1:])
+    if raw and raw[0] == "submit":
+        return submit_main(raw[1:])
     if raw and raw[0] == "compile":
         raw = raw[1:]  # explicit subcommand name for the default action
     args = build_arg_parser().parse_args(raw)
@@ -494,8 +838,12 @@ if __name__ == "__main__":  # pragma: no cover
 __all__ = [
     "build_arg_parser",
     "build_check_arg_parser",
+    "build_serve_arg_parser",
+    "build_submit_arg_parser",
     "build_verify_arg_parser",
     "check_main",
     "main",
+    "serve_main",
+    "submit_main",
     "verify_main",
 ]

@@ -305,6 +305,10 @@ def result_to_dict(result: Any) -> dict[str, Any]:
         "configs_enumerated": result.configs_enumerated,
         "configs_tuned": result.configs_tuned,
         "dse_seconds": result.dse_seconds,
+        # Excluded from equality on the dataclass, but part of the run's
+        # observable history — a saved result must keep its degradation
+        # trail for post-mortems.
+        "degradations": [list(entry) for entry in getattr(result, "degradations", ())],
     }
     engine_result = getattr(result, "engine_result", None)
     if engine_result is not None:
@@ -339,6 +343,10 @@ def result_from_dict(data: dict[str, Any]) -> Any:
             configs_enumerated=data["configs_enumerated"],
             configs_tuned=data["configs_tuned"],
             dse_seconds=data["dse_seconds"],
+            degradations=tuple(
+                (str(code), str(reason))
+                for code, reason in data.get("degradations", [])
+            ),
             engine_result=(
                 engine_result_from_dict(data["engine_result"])
                 if "engine_result" in data

@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -109,6 +110,11 @@ class StageCache:
         self.misses = 0
         self.quarantined = 0
         self.write_failures = 0
+        # One instance may be shared by many worker threads (the service's
+        # worker pool runs pipelines concurrently over a single cache);
+        # serialize entry I/O so the quarantine/recompute path and the
+        # statistics counters stay consistent under concurrency.
+        self._lock = threading.RLock()
 
     @classmethod
     def default(cls) -> "StageCache":
@@ -143,28 +149,29 @@ class StageCache:
                 text = corrupt_text(text)
             return text
 
-        try:
-            text = call_with_retry(
-                read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
-            )
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, InjectedFault):
-            self.misses += 1
-            return None
-        try:
-            payload = json.loads(text)
-        except ValueError:
-            self.quarantine(stage, key)
-            self.misses += 1
-            return None
-        if not isinstance(payload, dict):
-            self.quarantine(stage, key)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+        with self._lock:
+            try:
+                text = call_with_retry(
+                    read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+                )
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, InjectedFault):
+                self.misses += 1
+                return None
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                self.quarantine(stage, key)
+                self.misses += 1
+                return None
+            if not isinstance(payload, dict):
+                self.quarantine(stage, key)
+                self.misses += 1
+                return None
+            self.hits += 1
+            return payload
 
     def put(self, stage: str, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist a payload; IO failures are non-fatal.
@@ -191,24 +198,26 @@ class StageCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
 
-        try:
-            call_with_retry(
-                write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
-            )
-        except (OSError, InjectedFault):
-            self.write_failures += 1
+        with self._lock:
+            try:
+                call_with_retry(
+                    write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+                )
+            except (OSError, InjectedFault):
+                self.write_failures += 1
 
     def quarantine(self, stage: str, key: str) -> Path | None:
         """Move a corrupt entry aside to ``<name>.corrupt``; returns the
         quarantine path (None when the entry vanished meanwhile)."""
         path = self._path(stage, key)
         target = path.with_suffix(path.suffix + ".corrupt")
-        try:
-            os.replace(path, target)
-        except OSError:
-            return None
-        self.quarantined += 1
-        return target
+        with self._lock:
+            try:
+                os.replace(path, target)
+            except OSError:
+                return None
+            self.quarantined += 1
+            return target
 
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""

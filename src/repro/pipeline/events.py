@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, IO, Iterable
 
@@ -138,17 +139,71 @@ class StageDegraded(PipelineEvent):
     fallback: str = ""
 
 
+#: ``event`` discriminator -> class, for rehydrating streamed events.
+EVENT_TYPES: dict[str, type[PipelineEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        StageStarted,
+        StageFinished,
+        StageProgress,
+        CacheProbe,
+        StageRetried,
+        FaultInjected,
+        StageDegraded,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> PipelineEvent | None:
+    """Rebuild a typed event from its :meth:`PipelineEvent.to_dict` form.
+
+    The inverse of the JSONL trace / service-stream wire format.  Unknown
+    discriminators (service lifecycle records, events from a newer
+    server) and malformed payloads return None rather than raising —
+    stream consumers skip what they cannot type.
+    """
+    cls = EVENT_TYPES.get(str(data.get("event")))
+    if cls is None:
+        return None
+    fields = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {key: value for key, value in data.items() if key in fields}
+    try:
+        return cls(**kwargs)
+    except TypeError:
+        return None
+
+
 class EventBus:
-    """Fans events out to observers; observer errors never kill the run."""
+    """Fans events out to observers; observer errors never kill the run.
+
+    Subscribe/unsubscribe are thread-safe: the service's streaming
+    endpoint attaches one observer per live connection while pipeline
+    worker threads emit concurrently, so the observer list is mutated
+    under a lock and ``emit`` iterates a snapshot (an observer added or
+    removed mid-emit takes effect from the next event on).
+    """
 
     def __init__(self, observers: Iterable[Observer] = ()) -> None:
         self._observers = list(observers)
+        self._lock = threading.Lock()
 
     def subscribe(self, observer: Observer) -> None:
-        self._observers.append(observer)
+        with self._lock:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        """Detach an observer; unknown observers are ignored (a stream
+        torn down twice must not raise)."""
+        with self._lock:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass
 
     def emit(self, event: PipelineEvent) -> None:
-        for observer in self._observers:
+        with self._lock:
+            observers = tuple(self._observers)
+        for observer in observers:
             try:
                 observer(event)
             except Exception:  # noqa: BLE001 - observers are best-effort
@@ -240,9 +295,11 @@ class JsonlTraceWriter:
 
 __all__ = [
     "CacheProbe",
+    "EVENT_TYPES",
     "EventBus",
     "FaultInjected",
     "JsonlTraceWriter",
+    "event_from_dict",
     "Observer",
     "PipelineEvent",
     "ProgressPrinter",

@@ -12,6 +12,8 @@ point                boundary
 ``testbench.compile``invoking the system C compiler on the testbench
 ``testbench.run``    executing the compiled testbench binary
 ``sim.step``         one block step of a wavefront simulator run
+``service.queue``    admitting a job into the synthesis service's queue
+``service.worker``   one job execution inside a service worker thread
 ==================== =====================================================
 
 Three fault *kinds* cover the failure modes worth rehearsing:
@@ -61,6 +63,8 @@ FAULT_POINTS: tuple[str, ...] = (
     "testbench.compile",
     "testbench.run",
     "sim.step",
+    "service.queue",
+    "service.worker",
 )
 
 FAULT_KINDS: tuple[str, ...] = ("crash", "corrupt", "delay")

@@ -1,0 +1,225 @@
+"""Stdlib client for the synthesis service.
+
+:class:`ServiceClient` speaks the small JSON API of
+:mod:`repro.service.http` over ``urllib`` — submit, poll, cancel, scrape
+— and follows the chunked progress stream with automatic reconnection:
+every event carries its sequence number, so a dropped connection resumes
+with ``?from=<last seq + 1>`` under the process retry policy
+(:mod:`repro.resilience`) and the caller sees each event exactly once.
+
+Errors mirror the server's admission contract: any non-2xx answer raises
+:class:`ServiceError` carrying the HTTP status and the server's
+``error`` text, so CLI code can distinguish a 400 (fix your program)
+from a 429 (back off and resubmit).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Iterator
+
+from repro.resilience.retry import RetryPolicy, current_policy
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the service; ``status`` is the HTTP code."""
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One service endpoint.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8451`` (no trailing slash
+            needed).
+        client_id: fair-share identity sent as ``X-Client-Id``; None
+            lets the server key on the peer address.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        if self.client_id:
+            request.add_header("X-Client-Id", self.client_id)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode())
+            except ValueError:
+                message = detail.decode(errors="replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                exc.code,
+                message,
+                retry_after=float(retry_after) if retry_after else None,
+            ) from exc
+
+    # ----------------------------------------------------------------- api
+
+    def submit(
+        self,
+        *,
+        source: str | None = None,
+        design: dict[str, Any] | None = None,
+        name: str | None = None,
+        priority: int = 0,
+        options: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """POST /v1/jobs; returns the job status dict (id, state, ...)."""
+        body: dict[str, Any] = {"priority": priority}
+        if source is not None:
+            body["source"] = source
+        if design is not None:
+            body["design"] = design
+        if name is not None:
+            body["name"] = name
+        if options:
+            body["options"] = options
+        return self._request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str, *, result: bool = False) -> dict[str, Any]:
+        suffix = "?result=1" if result else ""
+        return self._request("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode()
+
+    # ------------------------------------------------------------ streaming
+
+    def events(
+        self,
+        job_id: str,
+        *,
+        from_seq: int = 0,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Iterator[dict[str, Any]]:
+        """Follow a job's progress stream, reconnecting on drops.
+
+        Yields each event dict exactly once, in sequence order, ending
+        after the ``JobFinished`` event.  A broken connection re-opens
+        the stream at ``?from=<next seq>`` under ``policy`` (the process
+        default when None); the retry budget resets whenever the stream
+        makes progress, so a long job with several blips still completes.
+        """
+        active = policy if policy is not None else current_policy()
+        next_seq = from_seq
+        failures = 0
+        while True:
+            made_progress = False
+            try:
+                for event in self._stream_once(job_id, next_seq):
+                    made_progress = True
+                    next_seq = int(event.get("seq", next_seq)) + 1
+                    yield event
+                    if event.get("event") == "JobFinished":
+                        return
+                # stream closed without JobFinished: the job was already
+                # terminal server-side (replay complete) — confirm and stop
+                status = self.status(job_id)
+                if status["state"] in ("done", "failed", "cancelled"):
+                    return
+            except ServiceError:
+                raise  # 404 etc. — not a transport blip
+            except (OSError, ValueError) as exc:
+                if made_progress:
+                    failures = 0
+                failures += 1
+                if failures >= active.max_attempts:
+                    raise ServiceError(
+                        0, f"event stream lost after {failures} attempts: {exc}"
+                    ) from exc
+                delay = active.delay_for(failures + 1)
+                if delay > 0:
+                    sleep(delay)
+
+    def _stream_once(self, job_id: str, from_seq: int) -> Iterator[dict[str, Any]]:
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events?from={from_seq}"
+        )
+        if self.client_id:
+            request.add_header("X-Client-Id", self.client_id)
+        try:
+            # no timeout here: the server keepalives idle streams, and a
+            # stuck connection surfaces as an OSError the retry loop owns
+            with urllib.request.urlopen(request, timeout=None) as response:
+                # urllib decodes the chunked framing transparently
+                for raw in response:
+                    line = raw.decode().strip()
+                    if not line or line.startswith(":"):
+                        continue  # keepalive
+                    yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode())
+            except ValueError:
+                message = detail.decode(errors="replace")
+            raise ServiceError(exc.code, message) from exc
+
+    # ---------------------------------------------------------- conveniences
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the status with the
+        result payload embedded (``?result=1``)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id, result=True)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {status['state']}")
+            time.sleep(poll)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,297 @@
+"""The stdlib-only HTTP face of the synthesis service.
+
+A :class:`ThreadingHTTPServer` wrapping one :class:`JobManager`:
+
+====== ============================ ===========================================
+Method Path                         Meaning
+====== ============================ ===========================================
+POST   /v1/jobs                     submit (JSON body) → 202 + job status
+GET    /v1/jobs                     list jobs (most recent last)
+GET    /v1/jobs/{id}                job status; ``?result=1`` embeds the
+                                    full synthesis result payload
+GET    /v1/jobs/{id}/events         live progress stream — chunked JSONL of
+                                    the typed pipeline events; ``?from=N``
+                                    resumes after sequence number N
+DELETE /v1/jobs/{id}                cancel
+GET    /healthz                     liveness + instantaneous counters
+GET    /metrics                     Prometheus text exposition
+====== ============================ ===========================================
+
+Admission refusals map straight from the exception contract in
+:mod:`repro.service.queue`: :class:`BadRequest` → 400,
+:class:`QueueFull`/:class:`RateLimited` → 429 (with ``Retry-After``),
+:class:`Draining` → 503.  An injected ``service.queue`` fault surfaces as
+a 503 so chaos runs look like a briefly unhealthy server, not a crash.
+
+The event stream is plain HTTP/1.1 chunked transfer encoding — one JSON
+object per line, terminated by a ``JobFinished`` event — so the stdlib
+client (``urllib``) can follow it with nothing but ``readline()``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.resilience.faults import InjectedFault
+from repro.service.jobs import JobManager
+from repro.service.queue import AdmissionError
+
+#: Submission bodies above this size are refused outright (413).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: How long one streaming poll waits for a new event before sending a
+#: keepalive comment-line (keeps intermediaries from timing the stream out).
+STREAM_POLL_SECONDS = 5.0
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the manager lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-synth"
+
+    # quiet by default; the daemon's own logging is the journal + metrics
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------ plumbing
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        retry_after: float | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        return json.loads(raw)
+
+    def _client_id(self) -> str:
+        """Fair-share identity: an explicit header beats the peer address
+        (so load generators can emulate distinct tenants)."""
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    # ------------------------------------------------------------- routing
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        parsed = urlparse(self.path)
+        if parsed.path != "/v1/jobs":
+            self._send_json(404, {"error": f"no such resource: {parsed.path}"})
+            return
+        try:
+            payload = self._read_body()
+        except ValueError as exc:
+            self._send_json(400, {"error": f"unreadable body: {exc}"})
+            return
+        priority = 0
+        if isinstance(payload, dict):
+            try:
+                priority = int(payload.get("priority", 0))
+            except (TypeError, ValueError):
+                self._send_json(400, {"error": "'priority' must be an integer"})
+                return
+        try:
+            job = self.manager.submit(
+                payload, client=self._client_id(), priority=priority
+            )
+        except AdmissionError as exc:
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+            return
+        except InjectedFault as exc:
+            self._send_json(503, {"error": f"injected fault: {exc}"})
+            return
+        self._send_json(202, job.to_dict())
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parsed.path == "/healthz":
+            stats = self.manager.stats()
+            stats["status"] = "draining" if stats["draining"] else "ok"
+            self._send_json(200, stats)
+            return
+        if parsed.path == "/metrics":
+            self._send_text(
+                200,
+                self.manager.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if parsed.path == "/v1/jobs":
+            self._send_json(
+                200, {"jobs": [job.to_dict() for job in self.manager.jobs()]}
+            )
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.manager.get(parts[2])
+            if job is None:
+                self._send_json(404, {"error": f"no such job: {parts[2]}"})
+                return
+            include_result = query.get("result", ["0"])[0] not in ("0", "false", "")
+            self._send_json(200, job.to_dict(include_result=include_result))
+            return
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "events":
+            self._stream_events(parts[2], query)
+            return
+        self._send_json(404, {"error": f"no such resource: {parsed.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.manager.cancel(parts[2])
+            if job is None:
+                self._send_json(404, {"error": f"no such job: {parts[2]}"})
+                return
+            self._send_json(200, job.to_dict())
+            return
+        self._send_json(404, {"error": "DELETE only supports /v1/jobs/{id}"})
+
+    # ------------------------------------------------------------ streaming
+
+    def _stream_events(self, job_id: str, query: dict[str, list[str]]) -> None:
+        source = self.manager.event_source(job_id)
+        job = self.manager.get(job_id)
+        if source is None or job is None:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        try:
+            after = int(query.get("from", ["0"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "'from' must be an integer"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        try:
+            while True:
+                events = self.manager.wait_events(
+                    source, after, timeout=STREAM_POLL_SECONDS
+                )
+                if not events:
+                    # the job may have finished before we subscribed, or the
+                    # stream may simply be idle mid-stage
+                    current = self.manager.get(job_id)
+                    if current is None or (
+                        current.state.terminal and len(source.events) <= after
+                    ):
+                        break
+                    self._write_chunk(b": keepalive\n")
+                    continue
+                for event in events:
+                    self._write_chunk(
+                        (json.dumps(event, sort_keys=True) + "\n").encode()
+                    )
+                after += len(events)
+                if any(e.get("event") == "JobFinished" for e in events):
+                    break
+            self._write_chunk(b"")  # terminal zero-length chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a JobManager."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        manager: JobManager,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def run_server(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Start the manager and serve it on a background thread.
+
+    Args:
+        port: 0 picks an ephemeral port (tests); the bound port is on the
+            returned server's ``.port``.
+
+    Returns:
+        The live server; stop it with :func:`shutdown_server`.
+    """
+    server = ServiceServer((host, port), manager, verbose=verbose)
+    manager.start()
+    thread = threading.Thread(
+        target=server.serve_forever, name="synth-http", daemon=True
+    )
+    thread.start()
+    server._serve_thread = thread  # type: ignore[attr-defined]
+    return server
+
+
+def shutdown_server(server: ServiceServer, timeout: float | None = 30.0) -> None:
+    """Graceful stop: drain the manager (running jobs finish, queued jobs
+    stay journaled), then close the listener."""
+    server.manager.drain(timeout=timeout)
+    server.shutdown()
+    server.server_close()
+    thread = getattr(server, "_serve_thread", None)
+    if thread is not None:
+        thread.join(5.0)
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceHandler",
+    "ServiceServer",
+    "run_server",
+    "shutdown_server",
+]

@@ -142,6 +142,29 @@ class TestResultRoundTrip:
         with pytest.raises(ValueError, match="malformed"):
             result_from_dict(data)
 
+    def test_degradations_round_trip(self, result, tmp_path):
+        # degradations carry compare=False, so equality can't catch a codec
+        # that drops them — assert on the field itself.
+        import dataclasses
+
+        degraded = dataclasses.replace(
+            result,
+            degradations=(("SA501", "corrupt cache payload"), ("SA503", "serial")),
+        )
+        wire = json.loads(json.dumps(result_to_dict(degraded)))
+        assert result_from_dict(wire).degradations == degraded.degradations
+        path = tmp_path / "degraded.json"
+        save_result(degraded, path)
+        assert load_result(path).degradations == degraded.degradations
+        assert json.loads(path.read_text())["degradations"] == [
+            ["SA501", "corrupt cache payload"], ["SA503", "serial"],
+        ]
+
+    def test_degradations_default_for_old_payloads(self, result):
+        data = result_to_dict(result)
+        del data["degradations"]  # payload saved before the field existed
+        assert result_from_dict(data).degradations == ()
+
 
 class TestEngineResultRoundTrip:
     @pytest.fixture(scope="class")

@@ -183,3 +183,61 @@ class TestStrictModeThroughPipeline:
         bare = SMALL_SRC.replace("#pragma systolic\n", "")
         with pytest.raises(ValueError, match="pragma"):
             compile_c_source(bare, Platform(), FAST)
+
+
+class TestConcurrentAccess:
+    """The service's worker pool shares one StageCache across threads;
+    entry I/O and the quarantine path must hold up under concurrency."""
+
+    def test_concurrent_readers_and_writers_never_raise(self, tmp_path):
+        import threading
+
+        cache = StageCache(tmp_path)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for n in range(40):
+                    key = f"{'0' * 62}{(n % 4):02d}"
+                    cache.put("stage", key, {"worker": worker, "n": n})
+                    payload = cache.get("stage", key)
+                    assert payload is None or isinstance(payload, dict)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for n in range(4):
+            key = f"{'0' * 62}{n:02d}"
+            payload = cache.get("stage", key)
+            assert payload is not None and payload["n"] % 4 == n
+
+    def test_concurrent_quarantine_moves_the_entry_exactly_once(self, tmp_path):
+        import threading
+
+        cache = StageCache(tmp_path)
+        key = "ab" * 32
+        path = cache._path("stage", key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+
+        results = []
+        barrier = threading.Barrier(6)
+
+        def probe():
+            barrier.wait()
+            results.append(cache.get("stage", key))
+
+        threads = [threading.Thread(target=probe) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [None] * 6
+        assert cache.quarantined == 1  # one mover; the rest saw a miss
+        assert path.with_suffix(".json.corrupt").exists()
+        assert not path.exists()

@@ -199,3 +199,82 @@ class TestContext:
         evolved = ctx.evolve(jobs=8)
         assert ctx.jobs == 1
         assert evolved.jobs == 8
+
+
+class TestEventBusFanOut:
+    """Multi-subscriber fan-out: the service's streaming endpoint attaches
+    one observer per live connection, so the bus must deliver every event
+    to every subscriber and tolerate churn while a pipeline runs."""
+
+    def test_every_subscriber_sees_every_event_in_order(self):
+        buffers = [[], [], []]
+        bus = EventBus([buffers[0].append])
+        bus.subscribe(buffers[1].append)
+        bus.subscribe(buffers[2].append)
+        events = [StageStarted("a"), StageProgress("a", done=1, total=2),
+                  StageFinished("a", seconds=0.1)]
+        for event in events:
+            bus.emit(event)
+        assert buffers[0] == buffers[1] == buffers[2] == events
+
+    def test_unsubscribe_stops_delivery_without_disturbing_others(self):
+        stays, leaves = [], []
+        bus = EventBus()
+        bus.subscribe(stays.append)
+        bus.subscribe(leaves.append)
+        bus.emit(StageStarted("a"))
+        bus.unsubscribe(leaves.append)
+        bus.emit(StageStarted("b"))
+        assert [e.stage for e in stays] == ["a", "b"]
+        assert [e.stage for e in leaves] == ["a"]
+        bus.unsubscribe(leaves.append)  # double-detach is a no-op
+        bus.emit(StageStarted("c"))
+        assert [e.stage for e in stays] == ["a", "b", "c"]
+
+    def test_one_failing_subscriber_does_not_starve_the_rest(self):
+        seen = []
+
+        def bomb(event):
+            raise RuntimeError("subscriber crash")
+
+        bus = EventBus([bomb])
+        bus.subscribe(seen.append)
+        bus.emit(StageStarted("a"))
+        assert [e.stage for e in seen] == ["a"]
+
+    def test_engine_run_fans_out_identically_to_parallel_subscribers(self):
+        first, second = [], []
+        engine = PipelineEngine([NamedStage("a"), NamedStage("b")])
+        engine.events.subscribe(first.append)
+        engine.events.subscribe(second.append)
+        engine.run(make_ctx())
+        assert first == second
+        assert [type(e).__name__ for e in first] == [
+            "StageStarted", "StageFinished", "StageStarted", "StageFinished",
+        ]
+
+    def test_concurrent_subscribe_and_emit_is_safe(self):
+        import threading
+
+        bus = EventBus()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    sink = [].append
+                    bus.subscribe(sink)
+                    bus.unsubscribe(sink)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for n in range(2000):
+                bus.emit(StageStarted("s", index=n))
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
