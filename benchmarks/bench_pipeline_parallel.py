@@ -12,6 +12,7 @@ import os
 import tempfile
 import time
 
+from _record import record_bench
 from repro.model.platform import Platform
 from repro.nn.models import alexnet
 from repro.dse.explore import DseConfig, phase1
@@ -86,6 +87,7 @@ def run_pipeline_parallel() -> ExperimentResult:
 
 def test_pipeline_parallel(exhibit):
     result = exhibit(run_pipeline_parallel)
+    record_bench(result, "pipeline")
     assert result.metrics["warm_seconds"] < result.metrics["cold_seconds"]
     assert result.metrics["warm_speedup"] > 1.0
     if os.cpu_count() and os.cpu_count() > 1:

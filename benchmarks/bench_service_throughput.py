@@ -14,6 +14,7 @@ import tempfile
 import threading
 import time
 
+from _record import record_bench
 from repro.experiments.common import ExperimentResult
 from repro.service.client import ServiceClient
 from repro.service.http import run_server, shutdown_server
@@ -140,6 +141,7 @@ def run_service_throughput() -> ExperimentResult:
 
 def test_service_throughput(exhibit):
     result = exhibit(run_service_throughput)
+    record_bench(result, "service")
     assert result.metrics["throughput_jobs_per_s"] > 0
     assert result.metrics["p99_seconds"] >= result.metrics["p50_seconds"]
     assert result.metrics["coalesce_ratio"] > 0

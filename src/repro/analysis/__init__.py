@@ -17,12 +17,17 @@ build on the framework:
   protocol), checked without a compiler?
 * :mod:`repro.analysis.check` — the combined ``systolic-synth check``
   pipeline and the :func:`check_design` machine-readable API.
+* :mod:`repro.analysis.program` — the SA6xx whole-program concurrency
+  and determinism analyzer that lints the flow's *own* sources
+  (``systolic-synth lint``; see ``docs/static_analysis.md``).
 
 Only the diagnostics framework is imported eagerly: the pass modules
 pull in the front end and the model layer, which themselves use this
 package's diagnostics, so they are resolved lazily (PEP 562) to keep
 the import graph acyclic.
 """
+
+from typing import Any
 
 from repro.analysis.diagnostics import (
     CODE_CATALOG,
@@ -45,12 +50,20 @@ _LAZY = {
     "run_checks": "repro.analysis.check",
     "check_design": "repro.analysis.check",
     "CheckResult": "repro.analysis.check",
+    "analyze_program": "repro.analysis.program",
+    "AnalyzeOptions": "repro.analysis.program",
+    "ProgramAnalysis": "repro.analysis.program",
+    "build_model": "repro.analysis.program",
 }
 
 __all__ = [
     "AnalysisReport",
+    "AnalyzeOptions",
     "CODE_CATALOG",
     "CheckResult",
+    "ProgramAnalysis",
+    "analyze_program",
+    "build_model",
     "Diagnostic",
     "DiagnosticError",
     "Severity",
@@ -68,7 +81,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

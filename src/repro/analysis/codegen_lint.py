@@ -29,6 +29,7 @@ templates the intervals are tight (the hottest access peaks at
 from __future__ import annotations
 
 import re
+from typing import TYPE_CHECKING
 
 from repro.analysis.diagnostics import (
     LINT_DEFINE_MISMATCH,
@@ -43,6 +44,11 @@ from repro.analysis.diagnostics import (
     Severity,
     SourceSpan,
 )
+
+if TYPE_CHECKING:
+    # Type-only: this pass lints text without a compiler and stays off
+    # the model layer's import graph at runtime.
+    from repro.model.design_point import DesignPoint
 
 _DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)\s+(.+?)\s*$")
 _DECL_RE = re.compile(
@@ -67,7 +73,7 @@ class _Unknown(Exception):
 class _IntervalEvaluator:
     """Interval arithmetic over ``+ - * ( )``, integers, and symbols."""
 
-    def __init__(self, defines: dict[str, int], env: dict[str, tuple[int, int]]):
+    def __init__(self, defines: dict[str, int], env: dict[str, tuple[int, int]]) -> None:
         self.defines = defines
         self.env = env
 
@@ -351,7 +357,7 @@ def _check_double_buffering(
 
 def lint_against_design(
     source: str,
-    design,
+    design: DesignPoint,
     *,
     filename: str | None = None,
 ) -> AnalysisReport:

@@ -18,6 +18,7 @@ of the DSE code paths — :mod:`repro.dse.explore` and
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 
 from repro.analysis.diagnostics import (
     DESIGN_BLOCK_EXCEEDS_TRIPCOUNT,
@@ -167,7 +168,7 @@ def check_design_point(design: DesignPoint, platform: Platform) -> AnalysisRepor
 
 
 def verify_design_points(
-    designs, platform: Platform, *, context: str = "DSE result"
+    designs: Iterable[DesignPoint], platform: Platform, *, context: str = "DSE result"
 ) -> AnalysisReport:
     """Validate a batch of design points into one combined report.
 

@@ -19,6 +19,8 @@ Entry points:
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.analysis.diagnostics import (
     NEST_MISSING_PRAGMA,
     NEST_NO_FEASIBLE_MAPPING,
@@ -55,7 +57,7 @@ def _check_subscript_terms(
     report: AnalysisReport,
     array: str,
     dim: int,
-    terms,
+    terms: list[tuple[str, int]],
     constant: int,
     span: SourceSpan | None,
     *,
@@ -114,7 +116,10 @@ def _check_subscript_terms(
 
 
 def _check_structure_and_reuse(
-    report: AnalysisReport, nest: LoopNest, *, span_of=None
+    report: AnalysisReport,
+    nest: LoopNest,
+    *,
+    span_of: Callable[[str], SourceSpan | None] | None = None,
 ) -> None:
     """IR-level checks shared by the AST and LoopNest entry points.
 

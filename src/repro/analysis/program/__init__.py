@@ -1,0 +1,60 @@
+"""Whole-program concurrency & determinism analysis (the SA6xx family).
+
+Where the rest of :mod:`repro.analysis` checks the *inputs and outputs*
+of the synthesis flow (user C, design points, generated code), this
+package checks the flow's **own Python source**: the concurrent layer —
+the service worker pool, the HTTP threads, the process-pool DSE, the
+lock-guarded stage cache — whose correctness the bit-identical-replay
+contract silently depends on.
+
+Three layers:
+
+* :mod:`repro.analysis.program.model` — the shared program model: every
+  module under a package root parsed to ASTs, with a class/function
+  index, best-effort type inference, a call graph, lock-acquisition
+  facts (``with lock:`` regions and manual ``acquire()`` calls) and
+  thread/process-spawn facts;
+* the passes — :mod:`~repro.analysis.program.locks` (SA601 lock-order
+  inversion, SA603 blocking-under-lock, SA604 exception-unsafe manual
+  acquire), :mod:`~repro.analysis.program.shared_state` (SA602
+  unguarded shared state) and :mod:`~repro.analysis.program.determinism`
+  (SA605 nondeterminism inside replay-critical paths), each a small
+  object over the shared model;
+* :mod:`repro.analysis.program.baseline` — the suppression baseline and
+  ratchet: known findings are checked in, CI fails only on *new* ones.
+
+Entry points: :func:`analyze_program` (library) and
+``systolic-synth lint`` (CLI).  See ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.program.analyze import (
+    DEFAULT_PASSES,
+    AnalyzeOptions,
+    ProgramAnalysis,
+    analyze_program,
+)
+from repro.analysis.program.baseline import (
+    Baseline,
+    BaselineDelta,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.program.framework import Finding, ProgramPass
+from repro.analysis.program.model import ProgramModel, build_model
+
+__all__ = [
+    "AnalyzeOptions",
+    "Baseline",
+    "BaselineDelta",
+    "DEFAULT_PASSES",
+    "Finding",
+    "ProgramAnalysis",
+    "ProgramModel",
+    "ProgramPass",
+    "analyze_program",
+    "apply_baseline",
+    "build_model",
+    "load_baseline",
+    "write_baseline",
+]

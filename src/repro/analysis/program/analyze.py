@@ -1,0 +1,136 @@
+"""The ``analyze_program`` entry point tying model, passes and report.
+
+Typical library use::
+
+    from repro.analysis.program import analyze_program
+
+    analysis = analyze_program("src/repro")
+    for finding in analysis.findings:
+        print(finding.diagnostic.render())
+
+``analysis.report`` is a plain :class:`~repro.analysis.diagnostics.
+AnalysisReport`, so JSON serialization and caret rendering come for
+free; :meth:`ProgramAnalysis.render` adds per-file source lookup so
+carets work across the whole analyzed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.program.determinism import DeterminismPass
+from repro.analysis.program.framework import Finding, ProgramPass, relative_file
+from repro.analysis.program.locks import (
+    BlockingUnderLockPass,
+    LockOrderPass,
+    UnsafeAcquirePass,
+)
+from repro.analysis.program.model import ProgramModel, build_model
+from repro.analysis.program.shared_state import SharedStatePass
+
+#: Factories for the default pass lineup, in emission order.
+DEFAULT_PASSES: tuple[Callable[[], ProgramPass], ...] = (
+    LockOrderPass,
+    SharedStatePass,
+    BlockingUnderLockPass,
+    UnsafeAcquirePass,
+    DeterminismPass,
+)
+
+
+@dataclass
+class AnalyzeOptions:
+    """Knobs for :func:`analyze_program`.
+
+    Attributes:
+        select: code prefixes to keep (``("SA6",)`` keeps the family,
+            ``("SA602", "SA603")`` narrows to two passes).
+        package: dotted package name of the root (auto-detected when
+            None).
+        passes: pass factories to run (defaults to the full lineup).
+    """
+
+    select: tuple[str, ...] = ("SA6",)
+    package: str | None = None
+    passes: Sequence[Callable[[], ProgramPass]] = DEFAULT_PASSES
+
+
+@dataclass
+class ProgramAnalysis:
+    """The result of one whole-program analysis run."""
+
+    model: ProgramModel
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def report(self) -> AnalysisReport:
+        """The findings as a standard diagnostics report."""
+        return AnalysisReport(f.diagnostic for f in self.findings)
+
+    def render(self) -> str:
+        """Terminal rendering with per-file caret excerpts."""
+        sources: dict[str, str] = {}
+        for module in self.model.modules.values():
+            sources[relative_file(self.model, str(module.path))] = module.source
+        lines = []
+        for finding in self.findings:
+            span = finding.diagnostic.span
+            source = sources.get(span.filename) if span and span.filename else None
+            lines.append(finding.diagnostic.render(source))
+        lines.append(
+            f"{len(self.findings)} finding(s)"
+            if self.findings
+            else "no issues found"
+        )
+        return "\n".join(lines)
+
+
+def _sort_key(finding: Finding) -> tuple[str, int, str]:
+    span = finding.diagnostic.span
+    return (
+        span.filename or "" if span else "",
+        span.line if span else 0,
+        finding.key,
+    )
+
+
+def analyze_program(
+    root: Path | str, options: AnalyzeOptions | None = None
+) -> ProgramAnalysis:
+    """Build the program model for ``root`` and run the selected passes.
+
+    Args:
+        root: directory of Python sources (e.g. ``src/repro``).
+        options: selection and pass configuration.
+
+    Raises:
+        FileNotFoundError: when ``root`` does not exist.
+    """
+    options = options or AnalyzeOptions()
+    model = build_model(root, package=options.package)
+    findings: list[Finding] = []
+    for factory in options.passes:
+        instance = factory()
+        if options.select and not any(
+            instance.code.startswith(prefix) for prefix in options.select
+        ):
+            continue
+        for finding in instance.run(model):
+            if options.select and not any(
+                finding.code.startswith(prefix) for prefix in options.select
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=_sort_key)
+    return ProgramAnalysis(model=model, findings=findings)
+
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "AnalyzeOptions",
+    "ProgramAnalysis",
+    "analyze_program",
+]

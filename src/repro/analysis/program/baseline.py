@@ -1,0 +1,116 @@
+"""The suppression baseline and CI ratchet for SA6xx findings.
+
+A baseline is a checked-in JSON file of finding *keys*
+(``{code}:{relfile}:{scope}:{detail}`` — no line numbers, so unrelated
+edits do not invalidate it).  Applying a baseline to a fresh analysis
+splits the findings three ways:
+
+* **new** — findings whose key is not in the baseline: these fail CI;
+* **suppressed** — known findings matched by the baseline: reported in
+  summaries but never fatal;
+* **stale** — baseline keys that no longer match anything: the debt was
+  paid down, and ``systolic-synth lint --write-baseline`` (or hand
+  editing) should remove them so the ratchet only ever tightens.
+
+The on-disk format is deliberately diff-friendly: a sorted list of key
+strings under a ``"suppressions"`` field, one per line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.program.framework import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed finding keys."""
+
+    keys: frozenset[str] = frozenset()
+    path: Path | None = None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.keys
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass
+class BaselineDelta:
+    """The result of matching an analysis against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *new* findings appeared (the ratchet holds)."""
+        return not self.new
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        ValueError: when the file exists but is not a valid baseline.
+    """
+    path = Path(path)
+    if not path.exists():
+        return Baseline(path=path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("suppressions"), list):
+        raise ValueError(f"{path}: expected {{'suppressions': [...]}}")
+    keys = data["suppressions"]
+    bad = [k for k in keys if not isinstance(k, str)]
+    if bad:
+        raise ValueError(f"{path}: non-string suppression keys: {bad[:3]}")
+    return Baseline(keys=frozenset(keys), path=path)
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> Baseline:
+    """Write a baseline suppressing exactly ``findings``; returns it."""
+    keys = sorted({f.key for f in findings})
+    path = Path(path)
+    payload = {"version": BASELINE_VERSION, "suppressions": keys}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return Baseline(keys=frozenset(keys), path=path)
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline) -> BaselineDelta:
+    """Split ``findings`` into new/suppressed against ``baseline``."""
+    delta = BaselineDelta()
+    seen: set[str] = set()
+    for finding in findings:
+        seen.add(finding.key)
+        if finding.key in baseline:
+            delta.suppressed.append(finding)
+        else:
+            delta.new.append(finding)
+    delta.stale = sorted(k for k in baseline.keys if k not in seen)
+    return delta
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineDelta",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

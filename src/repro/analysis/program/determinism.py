@@ -1,0 +1,219 @@
+"""SA605: nondeterminism inside replay-critical code paths.
+
+The reproduction's contract is bit-identical ``SynthesisResult``\\ s:
+stage outputs are content-fingerprinted and replayed from cache, so any
+value that differs between two runs of the same input silently breaks
+replay equivalence.  This pass computes the set of **replay-critical
+functions** — everything reachable (through the resolved call graph)
+from the synthesis stages' ``run`` methods and from fingerprint/cache
+code — and flags, inside them:
+
+* calls to wall-clock/RNG/entropy sources (``time.time``,
+  ``datetime.now``, ``random.*``, ``os.urandom``, ``uuid.uuid4``, …);
+* iteration over *unordered* collections: ``set()``/``frozenset()``
+  results and unsorted directory listings (``os.listdir``, ``glob``,
+  ``Path.iterdir``/``glob``/``scandir``) — hash randomization and
+  filesystem order make both differ across runs.
+
+Monotonic timing (``time.perf_counter``/``monotonic``/``process_time``)
+is exempt: it feeds metrics, not artifacts.  ``dict`` iteration is
+insertion-ordered in modern Python and therefore deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import CONCURRENCY_NONDETERMINISM
+from repro.analysis.program.framework import Finding, ProgramPass, make_finding
+from repro.analysis.program.model import FunctionInfo, ProgramModel, dotted_name
+
+#: Call targets (resolved qualname or raw dotted text) whose results
+#: differ between runs on identical inputs.
+NONDETERMINISTIC_CALLS: dict[str, str] = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.now": "wall-clock time",
+    "datetime.utcnow": "wall-clock time",
+    "random.random": "unseeded randomness",
+    "random.randint": "unseeded randomness",
+    "random.randrange": "unseeded randomness",
+    "random.choice": "unseeded randomness",
+    "random.choices": "unseeded randomness",
+    "random.shuffle": "unseeded randomness",
+    "random.sample": "unseeded randomness",
+    "random.uniform": "unseeded randomness",
+    "random.Random": "randomness (seed it explicitly)",
+    "os.urandom": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUIDs",
+    "uuid.uuid4": "random UUIDs",
+    "numpy.random.rand": "unseeded randomness",
+    "numpy.random.randn": "unseeded randomness",
+    "numpy.random.random": "unseeded randomness",
+    "np.random.rand": "unseeded randomness",
+    "np.random.randn": "unseeded randomness",
+    "np.random.random": "unseeded randomness",
+    "id": "interpreter object identity",
+}
+
+#: Unordered-producing calls: iterating their result is order-unstable.
+_UNORDERED_PRODUCERS = frozenset({"set", "frozenset"})
+_FS_LISTING_METHODS = frozenset({"listdir", "scandir", "iterdir", "glob", "rglob"})
+
+#: Method names whose defining classes mark replay-critical roots.
+_ROOT_METHOD_NAMES = frozenset({"run", "dump", "load"})
+
+
+def _is_stage_class(model: ProgramModel, qualname: str) -> bool:
+    """True when the class derives (transitively) from a ``*Stage*``."""
+    seen: set[str] = set()
+    queue = [qualname]
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        if current.rsplit(".", 1)[-1] in ("StageBase", "Stage"):
+            return True
+        info = model.classes.get(current)
+        if info is not None:
+            queue.extend(info.bases)
+    return False
+
+
+def default_roots(model: ProgramModel) -> set[str]:
+    """Replay-critical entry points: stage ``run``/``dump``/``load``
+    methods plus every function with ``fingerprint`` in its name."""
+    roots: set[str] = set()
+    for fn in model.iter_functions():
+        if "fingerprint" in fn.name:
+            roots.add(fn.qualname)
+        if (
+            fn.cls is not None
+            and fn.name in _ROOT_METHOD_NAMES
+            and _is_stage_class(model, fn.cls)
+        ):
+            roots.add(fn.qualname)
+    return roots
+
+
+def reachable_from(model: ProgramModel, roots: Iterable[str]) -> set[str]:
+    """Function qualnames reachable from ``roots`` via resolved calls."""
+    seen: set[str] = set()
+    stack = [r for r in roots if r in model.functions]
+    while stack:
+        qualname = stack.pop()
+        if qualname in seen:
+            continue
+        seen.add(qualname)
+        fn = model.functions[qualname]
+        for call in fn.calls:
+            if call.callee in model.functions and call.callee not in seen:
+                stack.append(call.callee)
+    return seen
+
+
+class DeterminismPass(ProgramPass):
+    """SA605: nondeterministic operations in replay-critical paths."""
+
+    code = CONCURRENCY_NONDETERMINISM
+    name = "determinism-lint"
+
+    def __init__(self, extra_roots: Iterable[str] = ()) -> None:
+        self.extra_roots = tuple(extra_roots)
+
+    def run(self, model: ProgramModel) -> list[Finding]:
+        roots = default_roots(model)
+        roots.update(self.extra_roots)
+        critical = reachable_from(model, roots)
+        findings: list[Finding] = []
+        for qualname in sorted(critical):
+            fn = model.functions[qualname]
+            findings.extend(self._check_calls(model, fn))
+            findings.extend(self._check_iteration(model, fn))
+        return findings
+
+    def _check_calls(self, model: ProgramModel, fn: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for call in fn.calls:
+            source = NONDETERMINISTIC_CALLS.get(
+                call.callee or ""
+            ) or NONDETERMINISTIC_CALLS.get(call.raw)
+            if source is None:
+                continue
+            findings.append(
+                make_finding(
+                    model,
+                    code=self.code,
+                    message=(
+                        f"`{call.raw}()` injects {source} into a replay-critical "
+                        f"path — reruns of the same input will not be "
+                        f"bit-identical"
+                    ),
+                    fn=fn,
+                    node=call.node,
+                    detail=call.raw,
+                    hint="derive the value from the stage inputs (or thread a "
+                    "seeded RNG / fixed timestamp through the context)",
+                )
+            )
+        return findings
+
+    def _check_iteration(self, model: ProgramModel, fn: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(fn.node):
+            iter_expr: ast.expr | None = None
+            if isinstance(node, ast.For):
+                iter_expr = node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                iter_expr = node.generators[0].iter
+            if iter_expr is None:
+                continue
+            reason = self._unordered_reason(iter_expr)
+            if reason is None:
+                continue
+            findings.append(
+                make_finding(
+                    model,
+                    code=self.code,
+                    message=(
+                        f"iteration over {reason} in a replay-critical path — "
+                        f"the visit order differs between runs"
+                    ),
+                    fn=fn,
+                    node=iter_expr,
+                    detail=f"iter:{reason}",
+                    hint="wrap the iterable in sorted(...)",
+                )
+            )
+        return findings
+
+    def _unordered_reason(self, expr: ast.expr) -> str | None:
+        """Why iterating ``expr`` is order-unstable, or None."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if not isinstance(expr, ast.Call):
+            return None
+        raw = dotted_name(expr.func)
+        if raw is None:
+            return None
+        if raw in _UNORDERED_PRODUCERS:
+            return f"an unsorted `{raw}(...)`"
+        method = raw.rsplit(".", 1)[-1]
+        if method in _FS_LISTING_METHODS:
+            return f"an unsorted `{raw}(...)` directory listing"
+        return None
+
+
+__all__ = [
+    "NONDETERMINISTIC_CALLS",
+    "DeterminismPass",
+    "default_roots",
+    "reachable_from",
+]

@@ -1,0 +1,123 @@
+"""The SA6xx pass framework: findings, keys, and the pass protocol.
+
+A pass is a small object with a ``code`` and a ``run(model)`` method
+returning :class:`Finding`\\ s.  A finding wraps an ordinary
+:class:`~repro.analysis.diagnostics.Diagnostic` (so all rendering/JSON
+machinery applies unchanged) plus a **stable suppression key** that
+survives unrelated edits to the file: the key is built from the code,
+the file path relative to the analysis root, the enclosing scope's
+qualname and a pass-chosen detail string — *never* from line numbers.
+The baseline ratchet (:mod:`repro.analysis.program.baseline`) matches
+on these keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity, SourceSpan
+
+if TYPE_CHECKING:
+    from repro.analysis.program.model import FunctionInfo, ProgramModel
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One pass finding: a diagnostic plus its stable suppression key.
+
+    Attributes:
+        diagnostic: the rendered-facing diagnostic (code, span, message).
+        key: ``{code}:{relfile}:{scope}:{detail}`` — line-independent,
+            used by the baseline ratchet.
+        scope: qualname of the enclosing function/method (or module).
+        detail: pass-chosen discriminator (lock pair, attribute name, …)
+            keeping distinct findings in one scope distinct.
+    """
+
+    diagnostic: Diagnostic
+    key: str
+    scope: str
+    detail: str
+
+    @property
+    def code(self) -> str:
+        return self.diagnostic.code
+
+
+def span_of(node: ast.AST, filename: str | None = None) -> SourceSpan | None:
+    """A :class:`SourceSpan` for an AST node (None if unlocated)."""
+    line = getattr(node, "lineno", None)
+    if line is None:
+        return None
+    column = getattr(node, "col_offset", 0) + 1
+    end_line = getattr(node, "end_lineno", None)
+    end_column = getattr(node, "end_col_offset", None)
+    return SourceSpan(
+        line=line,
+        column=column,
+        end_line=end_line,
+        end_column=end_column if end_column is None else max(column, end_column),
+        filename=filename,
+    )
+
+
+def relative_file(model: "ProgramModel", filename: str) -> str:
+    """``filename`` relative to the analysis root (POSIX separators)."""
+    try:
+        return Path(filename).relative_to(model.root).as_posix()
+    except ValueError:
+        return Path(filename).name
+
+
+def make_finding(
+    model: "ProgramModel",
+    *,
+    code: str,
+    message: str,
+    fn: "FunctionInfo",
+    node: ast.AST,
+    detail: str,
+    severity: Severity = Severity.WARNING,
+    hint: str | None = None,
+) -> Finding:
+    """Build a finding anchored at ``node`` inside function ``fn``."""
+    relfile = relative_file(model, fn.filename)
+    span = span_of(node, filename=relfile)
+    diagnostic = Diagnostic(
+        code=code, severity=severity, message=message, span=span, hint=hint
+    )
+    return Finding(
+        diagnostic=diagnostic,
+        key=f"{code}:{relfile}:{fn.qualname}:{detail}",
+        scope=fn.qualname,
+        detail=detail,
+    )
+
+
+class ProgramPass:
+    """Base class for SA6xx passes.
+
+    Subclasses set :attr:`code` (the primary diagnostic code emitted,
+    used by ``--select`` prefix filtering) and implement :meth:`run`.
+    """
+
+    #: Primary diagnostic code this pass emits (e.g. ``"SA601"``).
+    code: str = ""
+    #: Human-readable pass name for ``--list-passes`` style output.
+    name: str = ""
+
+    def run(self, model: "ProgramModel") -> list[Finding]:
+        """Analyze the model; return findings (possibly empty)."""
+        raise NotImplementedError
+
+
+__all__ = [
+    "Finding",
+    "ProgramPass",
+    "make_finding",
+    "relative_file",
+    "span_of",
+]

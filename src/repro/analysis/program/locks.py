@@ -1,0 +1,353 @@
+"""Lock-discipline passes: SA601, SA603 and SA604.
+
+All three work off the lock facts of the shared model:
+
+* **SA601** builds the *acquires-while-holding* graph — a directed edge
+  ``L -> M`` whenever some function acquires lock ``M`` (directly, or
+  transitively through a resolved call) while holding lock ``L`` — and
+  flags every edge that participates in a cycle.  Two threads running
+  the two sides of a cycle in opposite orders deadlock.
+* **SA603** flags *blocking operations* performed while a lock is held:
+  ``time.sleep``, ``subprocess`` invocations, thread/process ``join``,
+  event waits on objects other than the held condition, and calls into
+  known-blocking helpers (``repro.resilience.retry.call_with_retry``
+  sleeps between attempts), directly or transitively.
+* **SA604** flags manual ``lock.acquire()`` calls whose release is not
+  exception-safe (no matching ``release()`` in a ``finally`` block) —
+  an exception between acquire and release leaks the lock forever.
+
+Only *resolved* lock identities (``Class.attr``) feed the SA601 graph;
+heuristic ``?.name`` locks would make cycle reports unfalsifiable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import (
+    CONCURRENCY_BLOCKING_UNDER_LOCK,
+    CONCURRENCY_LOCK_ORDER,
+    CONCURRENCY_UNSAFE_ACQUIRE,
+)
+from repro.analysis.program.framework import Finding, ProgramPass, make_finding
+from repro.analysis.program.model import (
+    REENTRANT_KINDS,
+    CallSite,
+    FunctionInfo,
+    ProgramModel,
+    Region,
+    dotted_name,
+)
+
+#: Callable qualnames that block the calling thread.
+BLOCKING_QUALNAMES = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen.wait",
+        "subprocess.Popen.communicate",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "repro.resilience.retry.call_with_retry",
+    }
+)
+
+#: ``<recv>.<method>()`` method names that block when the receiver is a
+#: thread, process or queue.  ``join`` needs receiver filtering (string
+#: join is everywhere); ``wait`` is excluded for the held condition.
+_BLOCKING_METHODS = frozenset({"join", "wait", "get", "result"})
+
+#: Receiver name fragments that make a ``.join()``/``.get()`` plausible
+#: as a thread/process/queue operation rather than a str/dict one.
+_CONCURRENT_RECEIVER_HINTS = (
+    "thread", "worker", "proc", "process", "pool", "queue", "future", "task",
+)
+
+
+def _held_regions(fn: FunctionInfo, site: CallSite) -> list[Region]:
+    """Regions of ``fn`` whose body lexically contains ``site``."""
+    return [region for region in fn.regions if site in region.calls]
+
+
+class LockOrderPass(ProgramPass):
+    """SA601: lock-order inversion via cycles in the holds-graph."""
+
+    code = CONCURRENCY_LOCK_ORDER
+    name = "lock-order-inversion"
+
+    def run(self, model: ProgramModel) -> list[Finding]:
+        findings: list[Finding] = []
+        summaries = _LockSummaries(model)
+        # edge -> list of (fn, node, holder, acquired, via-call-or-direct)
+        edges: dict[tuple[str, str], list[tuple[FunctionInfo, ast.AST, str]]] = {}
+        for fn in model.iter_functions():
+            for region in fn.regions:
+                holder = region.lock
+                if not holder.resolved:
+                    continue
+                for acq in region.acquires:
+                    if not acq.resolved or acq.lock == holder.lock:
+                        continue
+                    edges.setdefault((holder.lock, acq.lock), []).append(
+                        (fn, acq.node, "directly")
+                    )
+                for call in region.calls:
+                    if call.callee is None:
+                        continue
+                    for inner in summaries.locks_of(call.callee):
+                        if inner == holder.lock:
+                            continue
+                        edges.setdefault((holder.lock, inner), []).append(
+                            (fn, call.node, f"via {call.raw}()")
+                        )
+        graph: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+        reported: set[str] = set()
+        for (src, dst), sites in sorted(edges.items()):
+            if not _reaches(graph, dst, src):
+                continue  # edge not on any cycle
+            for fn, node, how in sites:
+                finding = make_finding(
+                    model,
+                    code=self.code,
+                    message=(
+                        f"lock-order inversion: `{dst}` is acquired {how} while "
+                        f"holding `{src}`, but elsewhere the locks are taken in "
+                        f"the opposite order — two threads can deadlock"
+                    ),
+                    fn=fn,
+                    node=node,
+                    detail=f"{src}->{dst}",
+                    hint="pick one global acquisition order for these locks",
+                )
+                if finding.key not in reported:
+                    reported.add(finding.key)
+                    findings.append(finding)
+        findings.extend(self._self_deadlocks(model))
+        return findings
+
+    def _self_deadlocks(self, model: ProgramModel) -> list[Finding]:
+        """Re-acquiring a held non-reentrant lock in the same function."""
+        findings: list[Finding] = []
+        for fn in model.iter_functions():
+            for region in fn.regions:
+                holder = region.lock
+                kind = holder.kind or model.lock_kind(holder.lock)
+                if not holder.resolved or kind in REENTRANT_KINDS or kind is None:
+                    continue
+                for acq in region.acquires:
+                    if acq.resolved and acq.lock == holder.lock and acq.raw == holder.raw:
+                        findings.append(
+                            make_finding(
+                                model,
+                                code=self.code,
+                                message=(
+                                    f"`{acq.raw}` is a non-reentrant {kind} and is "
+                                    f"re-acquired while already held — this thread "
+                                    f"deadlocks against itself"
+                                ),
+                                fn=fn,
+                                node=acq.node,
+                                detail=f"{holder.lock}->{holder.lock}",
+                                hint="use threading.RLock, or restructure to "
+                                "acquire once",
+                            )
+                        )
+        return findings
+
+
+class _LockSummaries:
+    """Memoized per-function transitive lock-acquisition summaries."""
+
+    def __init__(self, model: ProgramModel) -> None:
+        self.model = model
+        self._cache: dict[str, frozenset[str]] = {}
+        self._visiting: set[str] = set()
+
+    def locks_of(self, qualname: str) -> frozenset[str]:
+        """Resolved lock ids acquired by ``qualname`` or its callees."""
+        cached = self._cache.get(qualname)
+        if cached is not None:
+            return cached
+        if qualname in self._visiting:
+            return frozenset()  # break call-graph cycles conservatively
+        fn = self.model.functions.get(qualname)
+        if fn is None:
+            return frozenset()
+        self._visiting.add(qualname)
+        try:
+            locks = {site.lock for site in fn.acquires if site.resolved}
+            for call in fn.calls:
+                if call.callee is not None:
+                    locks.update(self.locks_of(call.callee))
+            result = frozenset(locks)
+        finally:
+            self._visiting.discard(qualname)
+        self._cache[qualname] = result
+        return result
+
+
+def _reaches(graph: dict[str, set[str]], src: str, dst: str) -> bool:
+    """DFS reachability of ``dst`` from ``src`` in the holds-graph."""
+    seen: set[str] = set()
+    stack = [src]
+    while stack:
+        node = stack.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.get(node, ()))
+    return False
+
+
+class BlockingUnderLockPass(ProgramPass):
+    """SA603: blocking operations inside a held-lock region."""
+
+    code = CONCURRENCY_BLOCKING_UNDER_LOCK
+    name = "blocking-under-lock"
+
+    def __init__(self, blocking: Iterable[str] = BLOCKING_QUALNAMES) -> None:
+        self.blocking = frozenset(blocking)
+        self._cache: dict[str, str | None] = {}
+        self._visiting: set[str] = set()
+
+    def run(self, model: ProgramModel) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in model.iter_functions():
+            for region in fn.regions:
+                for call in region.calls:
+                    why = self._why_blocking(model, region, call)
+                    if why is None:
+                        continue
+                    findings.append(
+                        make_finding(
+                            model,
+                            code=self.code,
+                            message=(
+                                f"{why} while holding `{region.lock.raw}` — every "
+                                f"other thread contending for the lock stalls "
+                                f"behind it"
+                            ),
+                            fn=fn,
+                            node=call.node,
+                            detail=f"{region.lock.lock}:{call.raw}",
+                            hint="move the blocking operation outside the locked "
+                            "region (snapshot state under the lock, then block)",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------ matching
+
+    def _why_blocking(
+        self, model: ProgramModel, region: Region, call: CallSite
+    ) -> str | None:
+        """A human-readable reason when ``call`` blocks, else None."""
+        if call.callee in self.blocking or call.raw in self.blocking:
+            return f"`{call.raw}()` blocks"
+        method = call.raw.rsplit(".", 1)[-1]
+        if "." in call.raw and method in _BLOCKING_METHODS:
+            recv = call.raw.rsplit(".", 1)[0]
+            if method == "wait":
+                if recv == region.lock.raw:
+                    return None  # waiting on the held condition releases it
+                kind = self._receiver_lock_kind(model, call)
+                if kind == "Condition":
+                    return None
+                return f"`{call.raw}()` blocks waiting"
+            if any(hint in recv.lower() for hint in _CONCURRENT_RECEIVER_HINTS):
+                return f"`{call.raw}()` blocks"
+            return None
+        if call.callee is not None:
+            inner = self._transitive_reason(model, call.callee)
+            if inner is not None:
+                return f"`{call.raw}()` blocks ({inner})"
+        return None
+
+    def _receiver_lock_kind(self, model: ProgramModel, call: CallSite) -> str | None:
+        """Lock kind of a ``<recv>.wait()`` receiver, when resolvable."""
+        func = call.node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = dotted_name(func.value)
+        if recv is None or not recv.startswith("self."):
+            return None
+        attr = recv.split(".", 1)[1]
+        for owner in model.lock_attr_owners.get(attr, []):
+            return model.classes[owner].lock_attrs.get(attr)
+        return None
+
+    def _transitive_reason(self, model: ProgramModel, qualname: str) -> str | None:
+        """Reason string when ``qualname`` transitively hits a known
+        blocking qualname (resolved calls only; heuristics stay local)."""
+        cached = self._cache.get(qualname, "" )
+        if cached != "":
+            return cached
+        if qualname in self._visiting:
+            return None
+        fn = model.functions.get(qualname)
+        if fn is None:
+            return None
+        self._visiting.add(qualname)
+        reason: str | None = None
+        try:
+            for call in fn.calls:
+                target = call.callee or call.raw
+                if target in self.blocking:
+                    reason = f"it calls `{target}`"
+                    break
+                if call.callee is not None:
+                    inner = self._transitive_reason(model, call.callee)
+                    if inner is not None:
+                        reason = f"it calls `{call.callee}`, which blocks"
+                        break
+        finally:
+            self._visiting.discard(qualname)
+        self._cache[qualname] = reason
+        return reason
+
+
+class UnsafeAcquirePass(ProgramPass):
+    """SA604: manual ``acquire()`` without an exception-safe release."""
+
+    code = CONCURRENCY_UNSAFE_ACQUIRE
+    name = "unsafe-manual-acquire"
+
+    def run(self, model: ProgramModel) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in model.iter_functions():
+            for manual in fn.manual_acquires:
+                if manual.exception_safe:
+                    continue
+                findings.append(
+                    make_finding(
+                        model,
+                        code=self.code,
+                        message=(
+                            f"`{manual.site.raw}.acquire()` has no matching "
+                            f"`release()` in a `finally` block — an exception "
+                            f"in between leaks the lock permanently"
+                        ),
+                        fn=fn,
+                        node=manual.site.node,
+                        detail=manual.site.raw,
+                        hint=f"use `with {manual.site.raw}:` or wrap the "
+                        "critical section in try/finally",
+                    )
+                )
+        return findings
+
+
+__all__ = [
+    "BLOCKING_QUALNAMES",
+    "BlockingUnderLockPass",
+    "LockOrderPass",
+    "UnsafeAcquirePass",
+]

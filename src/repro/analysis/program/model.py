@@ -1,0 +1,813 @@
+"""The shared program model behind every SA6xx pass.
+
+One :class:`ProgramModel` is built per analysis run: every ``*.py`` file
+under a package root is parsed with :mod:`ast` and indexed into
+
+* modules (dotted name, source text, import table),
+* classes (attribute types inferred from ``__init__``-style assignments,
+  the subset of attributes that are synchronization primitives),
+* functions/methods (one :class:`FunctionInfo` each) carrying
+  **lock facts** — every ``with lock:`` region with the calls and nested
+  acquisitions lexically inside it, plus manual ``acquire()`` sites —
+  a best-effort **call graph** (``self.method``, ``self.attr.method``
+  through inferred attribute types, module-level and imported callables),
+  and **spawn facts** (``threading.Thread(target=...)`` and friends).
+
+Inference is deliberately shallow and syntactic: parameter annotations,
+constructor assignments (``x = ClassName(...)``), attribute reads of
+known-typed attributes, and container element types from annotated
+assignments (``self._threads: list[threading.Thread]``).  Anything the
+model cannot resolve stays unresolved — passes treat unresolved facts
+conservatively (no finding) rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+#: Constructors (by qualified name) that create synchronization
+#: primitives, mapped to the primitive's kind.  Conditions are backed by
+#: an RLock by default, so re-acquiring one on the same thread is legal.
+LOCK_CONSTRUCTORS: dict[str, str] = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+    "threading.Semaphore": "Semaphore",
+    "threading.BoundedSemaphore": "Semaphore",
+    "multiprocessing.Lock": "Lock",
+    "multiprocessing.RLock": "RLock",
+    "multiprocessing.Condition": "Condition",
+}
+
+#: Lock kinds that a single thread may legally re-acquire.
+REENTRANT_KINDS = frozenset({"RLock", "Condition"})
+
+#: Constructors that spawn concurrent execution.
+SPAWN_CONSTRUCTORS = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "multiprocessing.Process",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+@dataclass
+class LockSite:
+    """One lock acquisition (a ``with`` entry or a manual ``acquire()``).
+
+    Attributes:
+        lock: canonical lock identity — ``<class qualname>.<attr>`` when
+            the owner resolved, else ``?.<attr>`` / ``?.<name>``.
+        kind: ``Lock`` / ``RLock`` / ``Condition`` / ``Semaphore`` or
+            None when unresolved.
+        raw: the source text of the lock expression (``self._lock``).
+        node: the acquiring AST node (for spans).
+        via: ``"with"`` or ``"acquire"``.
+    """
+
+    lock: str
+    kind: str | None
+    raw: str
+    node: ast.AST
+    via: str = "with"
+
+    @property
+    def resolved(self) -> bool:
+        return not self.lock.startswith("?.")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function.
+
+    Attributes:
+        callee: resolved callee qualname (``repro.x.Cls.meth``) or None.
+        raw: dotted source text of the callee expression.
+        node: the Call node (for spans).
+    """
+
+    callee: str | None
+    raw: str
+    node: ast.Call
+
+
+@dataclass
+class Region:
+    """One ``with lock:`` region and everything lexically inside it."""
+
+    lock: LockSite
+    calls: list[CallSite] = field(default_factory=list)
+    acquires: list[LockSite] = field(default_factory=list)
+    #: raw receiver texts of ``<recv>.wait(...)`` calls inside the
+    #: region — waiting on the held condition releases it, so such calls
+    #: are not "blocking under the lock".
+    waited: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ManualAcquire:
+    """A bare ``lock.acquire()`` statement plus its release discipline."""
+
+    site: LockSite
+    exception_safe: bool
+
+
+@dataclass
+class SpawnSite:
+    """A thread/process creation, with its target when resolvable."""
+
+    constructor: str
+    target: str | None
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the analyzed program."""
+
+    qualname: str
+    name: str
+    module: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    filename: str
+    calls: list[CallSite] = field(default_factory=list)
+    regions: list[Region] = field(default_factory=list)
+    acquires: list[LockSite] = field(default_factory=list)
+    manual_acquires: list[ManualAcquire] = field(default_factory=list)
+    spawns: list[SpawnSite] = field(default_factory=list)
+    #: (attr, node, "read"|"write", held-locks or None) accesses of
+    #: ``self.<attr>`` — the raw material of the SA602 pass.  The held
+    #: field is a comma-joined string of every lock id held at the
+    #: access site (innermost last), or None outside any region.
+    self_accesses: list[tuple[str, ast.AST, str, str | None]] = field(
+        default_factory=list
+    )
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def is_init(self) -> bool:
+        return self.name in ("__init__", "__new__", "__post_init__")
+
+
+@dataclass
+class ClassInfo:
+    """One class: attribute types, lock attributes, methods."""
+
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    lock_attrs: dict[str, str] = field(default_factory=dict)  # attr -> kind
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+class ProgramModel:
+    """Whole-program index shared by every pass."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: lock attr name -> class qualnames declaring it (for the
+        #: unique-attribute fallback resolution).
+        self.lock_attr_owners: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------- queries
+
+    def source_of(self, filename: str) -> str | None:
+        """Source text of an analyzed file (for caret excerpts)."""
+        for module in self.modules.values():
+            if str(module.path) == filename:
+                return module.source
+        return None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+    def lock_kind(self, lock: str) -> str | None:
+        """Kind of a canonical lock id, when its owner class is known."""
+        owner, _, attr = lock.rpartition(".")
+        info = self.classes.get(owner)
+        if info is None:
+            return None
+        return info.lock_attrs.get(attr)
+
+    def resolve_method(self, cls: str, name: str) -> FunctionInfo | None:
+        """A method by class qualname, following single-level bases."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            queue.extend(info.bases)
+        return None
+
+
+def module_name_for(path: Path, root: Path, package: str | None) -> str:
+    """Dotted module name of ``path`` relative to the package root."""
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    prefix = [package] if package else []
+    return ".".join(prefix + parts) if (prefix or parts) else (package or "")
+
+
+def detect_package(root: Path) -> str | None:
+    """The dotted package name of ``root`` (walks up ``__init__.py``)."""
+    if not (root / "__init__.py").is_file():
+        return None
+    parts = [root.name]
+    current = root.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    return ".".join(reversed(parts))
+
+
+def build_model(root: Path | str, package: str | None = None) -> ProgramModel:
+    """Parse and index every ``*.py`` under ``root``.
+
+    Args:
+        root: package directory (e.g. ``src/repro``) or any directory of
+            Python files.
+        package: dotted package name of ``root``; auto-detected from
+            ``__init__.py`` files when omitted.
+
+    Raises:
+        FileNotFoundError: when ``root`` does not exist.
+    """
+    root = Path(root).resolve()
+    if not root.exists():
+        raise FileNotFoundError(f"no such analysis root: {root}")
+    if package is None:
+        package = detect_package(root)
+    model = ProgramModel(root)
+    paths = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+    for path in paths:
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue  # unreadable/unparsable files are out of scope
+        name = module_name_for(path, root if root.is_dir() else root.parent, package)
+        module = ModuleInfo(name=name, path=path, source=source, tree=tree)
+        module.imports = _collect_imports(tree)
+        model.modules[name] = module
+    for module in model.modules.values():
+        _index_module(model, module)
+    for module in model.modules.values():
+        _analyze_module(model, module)
+    return model
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Local name -> qualified target for top-level imports."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+# --------------------------------------------------------------- indexing
+
+
+def _index_module(model: ProgramModel, module: ModuleInfo) -> None:
+    """First pass: register classes, methods and module functions."""
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                qualname=f"{module.name}.{node.name}" if module.name else node.name,
+                name=node.name,
+                module=module.name,
+                node=node,
+            )
+            for base in node.bases:
+                raw = dotted_name(base)
+                if raw is not None:
+                    cls.bases.append(_resolve_name(model, module, raw) or raw)
+            model.classes[cls.qualname] = cls
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = FunctionInfo(
+                        qualname=f"{cls.qualname}.{item.name}",
+                        name=item.name,
+                        module=module.name,
+                        cls=cls.qualname,
+                        node=item,
+                        filename=str(module.path),
+                    )
+                    cls.methods[item.name] = fn
+                    model.functions[fn.qualname] = fn
+            _infer_class_attrs(model, module, cls)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{module.name}.{node.name}" if module.name else node.name
+            model.functions[qual] = FunctionInfo(
+                qualname=qual,
+                name=node.name,
+                module=module.name,
+                cls=None,
+                node=node,
+                filename=str(module.path),
+            )
+    for cls in model.classes.values():
+        for attr, kind in cls.lock_attrs.items():
+            model.lock_attr_owners.setdefault(attr, []).append(cls.qualname)
+
+
+def _infer_class_attrs(model: ProgramModel, module: ModuleInfo, cls: ClassInfo) -> None:
+    """Infer ``self.attr`` types from assignments in every method."""
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if annotation is not None and attr not in cls.attr_types:
+                resolved = _resolve_annotation(model, module, annotation)
+                if resolved is not None:
+                    cls.attr_types[attr] = resolved
+            if isinstance(value, ast.Call):
+                raw = dotted_name(value.func)
+                if raw is None:
+                    continue
+                qual = _resolve_name(model, module, raw) or raw
+                if qual in LOCK_CONSTRUCTORS:
+                    cls.lock_attrs[attr] = LOCK_CONSTRUCTORS[qual]
+                    cls.attr_types.setdefault(attr, qual)
+                elif qual in model.classes and attr not in cls.attr_types:
+                    cls.attr_types[attr] = qual
+
+
+def _resolve_name(model: ProgramModel, module: ModuleInfo, raw: str) -> str | None:
+    """Resolve a dotted source name through the module's import table."""
+    head, _, rest = raw.partition(".")
+    target = module.imports.get(head)
+    if target is not None:
+        return f"{target}.{rest}" if rest else target
+    local = f"{module.name}.{head}" if module.name else head
+    if local in model.classes or local in model.functions:
+        return f"{local}.{rest}" if rest else local
+    return None
+
+
+def _resolve_annotation(
+    model: ProgramModel, module: ModuleInfo, annotation: ast.expr
+) -> str | None:
+    """Best-effort type from an annotation: plain names, ``list[T]``,
+    ``dict[K, V]`` (the value type), ``T | None`` optionals."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                return _resolve_annotation(model, module, side)
+        return None
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        inner = annotation.slice
+        if base in ("list", "List", "set", "Set", "frozenset", "tuple", "Tuple"):
+            elem = inner.elts[0] if isinstance(inner, ast.Tuple) and inner.elts else inner
+            resolved = _resolve_annotation(model, module, elem)
+            return f"{base}[{resolved}]" if resolved else None
+        if base in ("dict", "Dict") and isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+            resolved = _resolve_annotation(model, module, inner.elts[1])
+            return f"dict[{resolved}]" if resolved else None
+        if base in ("Optional",):
+            return _resolve_annotation(model, module, inner)
+        return None
+    raw = dotted_name(annotation)
+    if raw is None:
+        return None
+    return _resolve_name(model, module, raw) or raw
+
+
+# --------------------------------------------------------- function facts
+
+
+def element_type(container: str | None) -> str | None:
+    """``list[T]`` / ``set[T]`` / ``dict[V]`` -> ``T``/``V``."""
+    if container is None or "[" not in container:
+        return None
+    return container[container.index("[") + 1 : -1] or None
+
+
+class _FunctionAnalyzer(ast.NodeVisitor):
+    """Single traversal of one function body collecting all lock/call
+    facts, with a running local-variable type environment."""
+
+    def __init__(
+        self, model: ProgramModel, module: ModuleInfo, fn: FunctionInfo
+    ) -> None:
+        self.model = model
+        self.module = module
+        self.fn = fn
+        self.cls = model.classes.get(fn.cls) if fn.cls else None
+        self.env: dict[str, str] = {}
+        self.region_stack: list[Region] = []
+        self._seed_params()
+
+    # ------------------------------------------------------------- typing
+
+    def _seed_params(self) -> None:
+        args = self.fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                resolved = _resolve_annotation(self.model, self.module, arg.annotation)
+                if resolved is not None:
+                    self.env[arg.arg] = resolved
+        if self.cls is not None and (args.posonlyargs or args.args):
+            first = (args.posonlyargs or args.args)[0].arg
+            self.env.setdefault(first, self.cls.qualname)
+
+    def _type_of(self, node: ast.expr) -> str | None:
+        """Best-effort static type of an expression."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._type_of(node.value)
+            info = self.model.classes.get(base) if base else None
+            if info is not None:
+                return info.attr_types.get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func)
+            if raw is None:
+                return None
+            qual = _resolve_name(self.model, self.module, raw) or raw
+            if qual in self.model.classes or qual in LOCK_CONSTRUCTORS:
+                return qual
+            # dict.get(...) on a typed dict attribute yields the value type
+            if raw.endswith(".get") and isinstance(node.func, ast.Attribute):
+                return element_type(self._type_of(node.func.value))
+            return None
+        if isinstance(node, ast.Subscript):
+            return element_type(self._type_of(node.value))
+        return None
+
+    # ------------------------------------------------------ lock identity
+
+    def _lock_site(self, node: ast.expr, via: str) -> LockSite | None:
+        """Canonical lock identity of an expression, or None when the
+        expression cannot be a synchronization primitive."""
+        raw = dotted_name(node) or "<expr>"
+        if isinstance(node, ast.Attribute):
+            owner_type = self._type_of(node.value)
+            info = self.model.classes.get(owner_type) if owner_type else None
+            if info is not None and node.attr in info.lock_attrs:
+                return LockSite(
+                    lock=f"{info.qualname}.{node.attr}",
+                    kind=info.lock_attrs[node.attr],
+                    raw=raw,
+                    node=node,
+                    via=via,
+                )
+            owners = self.model.lock_attr_owners.get(node.attr, [])
+            if info is None and len(owners) == 1:
+                owner = owners[0]
+                return LockSite(
+                    lock=f"{owner}.{node.attr}",
+                    kind=self.model.classes[owner].lock_attrs[node.attr],
+                    raw=raw,
+                    node=node,
+                    via=via,
+                )
+            if node.attr.lower().endswith(("lock", "cond", "condition", "mutex")):
+                return LockSite(
+                    lock=f"?.{node.attr}", kind=None, raw=raw, node=node, via=via
+                )
+            return None
+        if isinstance(node, ast.Name):
+            inferred = self.env.get(node.id)
+            if inferred in LOCK_CONSTRUCTORS:
+                return LockSite(
+                    lock=f"?.{node.id}",
+                    kind=LOCK_CONSTRUCTORS[inferred],
+                    raw=raw,
+                    node=node,
+                    via=via,
+                )
+            if node.id.lower().endswith(("lock", "cond", "condition", "mutex")):
+                return LockSite(
+                    lock=f"?.{node.id}", kind=None, raw=raw, node=node, via=via
+                )
+        return None
+
+    # ------------------------------------------------------------ visitors
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.fn.node:
+            return  # nested defs are separate scopes; skip conservatively
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_write_targets(node.targets)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            inferred = self._type_of(node.value)
+            if inferred is not None:
+                self.env[node.targets[0].id] = inferred
+            elif isinstance(node.value, (ast.Set, ast.SetComp)):
+                self.env[node.targets[0].id] = "set"
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_write_targets([node.target])
+        if isinstance(node.target, ast.Name):
+            resolved = _resolve_annotation(self.model, self.module, node.annotation)
+            if resolved is not None:
+                self.env[node.target.id] = resolved
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._record_write_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            elem = element_type(self._type_of(node.iter))
+            if elem is not None:
+                self.env[node.target.id] = elem
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        sites = []
+        for item in node.items:
+            site = self._lock_site(item.context_expr, via="with")
+            if site is not None:
+                sites.append(site)
+        for site in sites:
+            self._record_acquire(site)
+            region = Region(lock=site)
+            self.region_stack.append(region)
+            self.fn.regions.append(region)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in sites:
+            self.region_stack.pop()
+        # context expressions themselves may contain calls
+        for item in node.items:
+            self.visit(item.context_expr)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_name(node.func) or "<call>"
+        callee = self._resolve_callee(node)
+        site = CallSite(callee=callee, raw=raw, node=node)
+        self.fn.calls.append(site)
+        for region in self.region_stack:
+            region.calls.append(site)
+        if raw.endswith(".wait") and isinstance(node.func, ast.Attribute):
+            recv = dotted_name(node.func.value)
+            if recv is not None:
+                for region in self.region_stack:
+                    region.waited.add(recv)
+        if raw.endswith(".acquire") and isinstance(node.func, ast.Attribute):
+            lock = self._lock_site(node.func.value, via="acquire")
+            if lock is not None:
+                self._record_acquire(lock)
+        qual = _resolve_name(self.model, self.module, raw) or raw
+        if qual in SPAWN_CONSTRUCTORS:
+            target = None
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target_raw = dotted_name(kw.value)
+                    if target_raw is not None:
+                        target = self._resolve_callee_raw(target_raw)
+            self.fn.spawns.append(
+                SpawnSite(constructor=qual, target=target, node=node)
+            )
+        # record mutating method calls on self attributes as writes
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
+            recv = node.func.value
+            if (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+            ):
+                self._record_self_access(recv.attr, node, "write")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self._record_self_access(node.attr, node, "read")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ recording
+
+    def _record_acquire(self, site: LockSite) -> None:
+        self.fn.acquires.append(site)
+        for region in self.region_stack:
+            region.acquires.append(site)
+        if site.via == "acquire":
+            self.fn.manual_acquires.append(
+                ManualAcquire(site=site, exception_safe=self._released_safely(site))
+            )
+
+    def _released_safely(self, site: LockSite) -> bool:
+        """True when a matching ``release()`` on the same raw expression
+        appears in a ``finally`` block of this function."""
+        for node in ast.walk(self.fn.node):
+            if not isinstance(node, (ast.Try,)):
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "release"
+                        and dotted_name(call.func.value) == site.raw.rsplit(".acquire", 1)[0]
+                    ):
+                        return True
+        return False
+
+    def _record_write_targets(self, targets: list[ast.expr]) -> None:
+        for target in targets:
+            for node in self._unpack_targets(target):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    self._record_self_access(node.attr, node, "write")
+                elif isinstance(node, ast.Subscript):
+                    base = node.value
+                    if (
+                        isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "self"
+                    ):
+                        self._record_self_access(base.attr, node, "write")
+
+    def _unpack_targets(self, target: ast.expr) -> list[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            result: list[ast.expr] = []
+            for elt in target.elts:
+                result.extend(self._unpack_targets(elt))
+            return result
+        return [target]
+
+    def _record_self_access(self, attr: str, node: ast.AST, mode: str) -> None:
+        held = (
+            ",".join(region.lock.lock for region in self.region_stack)
+            if self.region_stack
+            else None
+        )
+        self.fn.self_accesses.append((attr, node, mode, held))
+
+    # ------------------------------------------------------------ resolution
+
+    def _resolve_callee(self, node: ast.Call) -> str | None:
+        raw = dotted_name(node.func)
+        if raw is None:
+            return None
+        return self._resolve_callee_raw(raw)
+
+    def _resolve_callee_raw(self, raw: str) -> str | None:
+        head, _, rest = raw.partition(".")
+        # self.method() / self.attr.method()
+        if head == "self" and self.cls is not None:
+            if "." not in rest:
+                method = self.model.resolve_method(self.cls.qualname, rest)
+                return method.qualname if method else None
+            attr, _, meth = rest.partition(".")
+            attr_type = self.cls.attr_types.get(attr)
+            if attr_type is not None and "." not in meth:
+                base = element_type(attr_type) or attr_type
+                method = self.model.resolve_method(base, meth)
+                return method.qualname if method else None
+            return None
+        # typed local variable: var.method()
+        if head in self.env and rest and "." not in rest:
+            base = element_type(self.env[head]) or self.env[head]
+            method = self.model.resolve_method(base, rest)
+            if method is not None:
+                return method.qualname
+        qual = _resolve_name(self.model, self.module, raw)
+        if qual is None:
+            return None
+        if qual in self.model.functions:
+            return qual
+        # ClassName(...) constructor -> __init__ facts are indexed per class
+        if qual in self.model.classes:
+            method = self.model.resolve_method(qual, "__init__")
+            return method.qualname if method else qual
+        # module.Class.method reference
+        owner, _, meth = qual.rpartition(".")
+        if owner in self.model.classes:
+            method = self.model.resolve_method(owner, meth)
+            return method.qualname if method else None
+        return None
+
+
+#: Method names whose invocation mutates the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "add", "discard", "setdefault", "appendleft", "popleft",
+    }
+)
+
+
+def _analyze_module(model: ProgramModel, module: ModuleInfo) -> None:
+    """Second pass: collect per-function facts (types are all indexed)."""
+    for fn in model.functions.values():
+        if fn.module != module.name:
+            continue
+        analyzer = _FunctionAnalyzer(model, module, fn)
+        for stmt in fn.node.body:
+            analyzer.visit(stmt)
+
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "LOCK_CONSTRUCTORS",
+    "LockSite",
+    "ManualAcquire",
+    "ModuleInfo",
+    "ProgramModel",
+    "REENTRANT_KINDS",
+    "Region",
+    "SPAWN_CONSTRUCTORS",
+    "SpawnSite",
+    "build_model",
+    "detect_package",
+    "dotted_name",
+    "element_type",
+    "module_name_for",
+]

@@ -1,0 +1,200 @@
+"""SA602: lock-guarded attributes accessed without the owning lock.
+
+The ownership inference mirrors RacerD-style "majority lock" reasoning,
+scoped to classes that *declare* a synchronization primitive (owning a
+lock is the statement of concurrent intent):
+
+1. For every ``self.<attr>`` access the model records the set of lock
+   regions lexically open at the access site.  The **owning lock** of an
+   attribute is the class's own lock under which most of its guarded
+   accesses happen.
+2. An attribute is **guarded** when at least one write *and* the
+   majority of all non-``__init__`` accesses happen under the owning
+   lock — attributes that are freely accessed everywhere carry no
+   locking convention to violate.
+3. Every remaining access without the owning lock held is a finding,
+   unless it is excused: construction (``__init__`` and friends) is
+   single-threaded, and private helpers that are *only ever called with
+   the lock held* (a fixpoint over the in-class call graph) inherit the
+   caller's lock.
+
+Reads are reported as well as writes: a guarded flag read outside the
+lock is the classic check-then-act race (see ``JobManager.submit``'s
+``_draining`` test, the motivating real finding for this pass).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import CONCURRENCY_UNGUARDED_STATE
+from repro.analysis.program.framework import Finding, ProgramPass, make_finding
+from repro.analysis.program.model import ClassInfo, FunctionInfo, ProgramModel
+
+
+@dataclass
+class _Access:
+    fn: FunctionInfo
+    node: ast.AST
+    mode: str  # "read" | "write"
+    held: frozenset[str]  # canonical lock ids open at the site
+
+
+def _held_set(held: str | None) -> frozenset[str]:
+    return frozenset(held.split(",")) if held else frozenset()
+
+
+class SharedStatePass(ProgramPass):
+    """SA602: unguarded access to a lock-guarded attribute."""
+
+    code = CONCURRENCY_UNGUARDED_STATE
+    name = "unguarded-shared-state"
+
+    #: Minimum fraction of non-init accesses that must be lock-guarded
+    #: before the attribute is considered to have a locking convention.
+    majority = 0.5
+
+    def run(self, model: ProgramModel) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in sorted(model.classes.values(), key=lambda c: c.qualname):
+            if not cls.lock_attrs:
+                continue
+            findings.extend(self._check_class(model, cls))
+        return findings
+
+    # ----------------------------------------------------------- per class
+
+    def _check_class(self, model: ProgramModel, cls: ClassInfo) -> list[Finding]:
+        own_locks = {f"{cls.qualname}.{attr}" for attr in cls.lock_attrs}
+        accesses: dict[str, list[_Access]] = {}
+        for method in cls.methods.values():
+            for attr, node, mode, held in method.self_accesses:
+                if attr in cls.lock_attrs:
+                    continue  # the locks themselves are not shared state
+                accesses.setdefault(attr, []).append(
+                    _Access(fn=method, node=node, mode=mode, held=_held_set(held))
+                )
+        locked_only = self._locked_only_methods(model, cls, own_locks)
+        # Functions that *manually* acquire a lock create no region in
+        # the model (the held extent is dynamic), so their accesses are
+        # excused wholesale rather than misreported as unguarded — SA604
+        # polices the manual-acquire discipline itself.
+        manual: dict[str, set[str]] = {}
+        for method in cls.methods.values():
+            for acq in method.acquires:
+                if acq.via == "acquire":
+                    manual.setdefault(method.name, set()).add(acq.lock)
+        findings: list[Finding] = []
+        for attr, sites in sorted(accesses.items()):
+            owner = self._owning_lock(sites, own_locks)
+            if owner is None:
+                continue
+            for site in sites:
+                if site.fn.is_init:
+                    continue
+                if owner in site.held:
+                    continue
+                if site.fn.name in locked_only.get(owner, set()):
+                    continue
+                if owner in manual.get(site.fn.name, set()):
+                    continue
+                verb = "written" if site.mode == "write" else "read"
+                findings.append(
+                    make_finding(
+                        model,
+                        code=self.code,
+                        message=(
+                            f"`self.{attr}` is guarded by `{owner}` elsewhere "
+                            f"in {cls.name} but is {verb} here without it — "
+                            f"concurrent threads can observe or corrupt "
+                            f"intermediate state"
+                        ),
+                        fn=site.fn,
+                        node=site.node,
+                        detail=f"{attr}:{site.mode}",
+                        hint=f"hold `{owner.rsplit('.', 1)[-1]}` around this "
+                        f"{site.mode}, or document why the access is safe",
+                    )
+                )
+        return findings
+
+    def _owning_lock(
+        self, sites: list[_Access], own_locks: set[str]
+    ) -> str | None:
+        """The class lock that guards this attribute, if any.
+
+        Requires at least one guarded *write* and a guarded majority of
+        all non-init accesses; otherwise the attribute has no locking
+        convention and nothing is reported.
+        """
+        relevant = [s for s in sites if not s.fn.is_init]
+        if not relevant:
+            return None
+        counts: Counter[str] = Counter()
+        guarded_writes = 0
+        for site in relevant:
+            held_own = site.held & own_locks
+            for lock in held_own:
+                counts[lock] += 1
+            if site.mode == "write" and held_own:
+                guarded_writes += 1
+        if not counts or guarded_writes == 0:
+            return None
+        owner, guarded = counts.most_common(1)[0]
+        if guarded / len(relevant) < self.majority:
+            return None
+        return owner
+
+    def _locked_only_methods(
+        self, model: ProgramModel, cls: ClassInfo, own_locks: set[str]
+    ) -> dict[str, set[str]]:
+        """lock id -> private method names only ever called with it held.
+
+        Fixpoint over the in-class call graph: a private method is
+        "locked-only" for lock L when every in-class call to it happens
+        either inside an L region or from another locked-only method.
+        Public methods never qualify (external callers are unknown).
+        """
+        result: dict[str, set[str]] = {}
+        for lock in own_locks:
+            # call sites: callee method name -> list of (caller, held?)
+            callers: dict[str, list[tuple[str, bool]]] = {}
+            for method in cls.methods.values():
+                held_calls = set()
+                for region in method.regions:
+                    if region.lock.lock == lock:
+                        held_calls.update(id(c.node) for c in region.calls)
+                for call in method.calls:
+                    if call.callee is None or not call.callee.startswith(
+                        cls.qualname + "."
+                    ):
+                        continue
+                    name = call.callee.rsplit(".", 1)[-1]
+                    callers.setdefault(name, []).append(
+                        (method.name, id(call.node) in held_calls)
+                    )
+            candidates = {
+                name
+                for name, method in cls.methods.items()
+                if name.startswith("_")
+                and not name.startswith("__")
+                and name in callers
+            }
+            changed = True
+            while changed:
+                changed = False
+                for name in sorted(candidates):
+                    ok = all(
+                        held or caller in candidates
+                        for caller, held in callers.get(name, [])
+                    )
+                    if not ok:
+                        candidates.discard(name)
+                        changed = True
+            result[lock] = candidates
+        return result
+
+
+__all__ = ["SharedStatePass"]

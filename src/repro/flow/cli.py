@@ -671,6 +671,134 @@ def check_main(argv: list[str]) -> int:
     return result.exit_code
 
 
+def build_lint_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth lint",
+        description="Whole-program concurrency & determinism analysis "
+        "(the SA6xx passes) over the flow's own Python sources.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src/repro",
+        help="package directory to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="keep findings whose code starts with PREFIX (repeatable; "
+        "default SA6)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppression baseline: known findings listed in FILE are "
+        "reported but not fatal; only NEW findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE to suppress exactly the current "
+        "findings, then exit 0 (the ratchet update path)",
+    )
+    parser.add_argument(
+        "--package",
+        default=None,
+        help="dotted package name of ROOT (auto-detected by default)",
+    )
+    return parser
+
+
+def lint_main(argv: list[str]) -> int:
+    """The ``lint`` subcommand: SA6xx static analysis + baseline ratchet."""
+    args = build_lint_arg_parser().parse_args(argv)
+    import json
+
+    from repro.analysis.program import (
+        AnalyzeOptions,
+        analyze_program,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.program.baseline import Baseline
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: no such analysis root: {root}", file=sys.stderr)
+        return 2
+    select = tuple(args.select) if args.select else ("SA6",)
+    analysis = analyze_program(
+        root, AnalyzeOptions(select=select, package=args.package)
+    )
+    if args.write_baseline:
+        baseline = write_baseline(args.baseline, analysis.findings)
+        print(
+            f"wrote {args.baseline}: {len(baseline)} suppression(s) "
+            f"from {len(analysis.findings)} finding(s)"
+        )
+        return 0
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else Baseline()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    delta = apply_baseline(analysis.findings, baseline)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "root": str(root),
+                    "select": list(select),
+                    "ok": delta.ok,
+                    "findings": [
+                        {"key": f.key, **f.diagnostic.to_dict()}
+                        for f in analysis.findings
+                    ],
+                    "new": [f.key for f in delta.new],
+                    "suppressed": [f.key for f in delta.suppressed],
+                    "stale": delta.stale,
+                },
+                indent=2,
+            )
+        )
+        return delta.exit_code
+    sources = {
+        str(module.path): module.source
+        for module in analysis.model.modules.values()
+    }
+
+    def render(findings) -> None:
+        for finding in findings:
+            span = finding.diagnostic.span
+            source = None
+            if span is not None and span.filename is not None:
+                source = sources.get(str(analysis.model.root / span.filename))
+            print(finding.diagnostic.render(source))
+
+    render(delta.new)
+    if delta.suppressed:
+        print(f"{len(delta.suppressed)} known finding(s) suppressed by baseline")
+    for key in delta.stale:
+        print(f"stale baseline entry (no longer found): {key}")
+    if delta.new:
+        print(f"{len(delta.new)} new finding(s)")
+    else:
+        print("no new findings")
+    return delta.exit_code
+
+
 def _reset_resilience(prior_env: dict[str, str | None]) -> None:
     """Undo CLI-scoped chaos/retry configuration and restore the fault env
     vars to their pre-``main`` values (keeps repeated in-process ``main()``
@@ -699,6 +827,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(raw[1:])
     if raw and raw[0] == "submit":
         return submit_main(raw[1:])
+    if raw and raw[0] == "lint":
+        return lint_main(raw[1:])
     if raw and raw[0] == "compile":
         raw = raw[1:]  # explicit subcommand name for the default action
     args = build_arg_parser().parse_args(raw)

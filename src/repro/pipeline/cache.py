@@ -111,9 +111,11 @@ class StageCache:
         self.quarantined = 0
         self.write_failures = 0
         # One instance may be shared by many worker threads (the service's
-        # worker pool runs pipelines concurrently over a single cache);
-        # serialize entry I/O so the quarantine/recompute path and the
-        # statistics counters stay consistent under concurrency.
+        # worker pool runs pipelines concurrently over a single cache).
+        # Entry I/O itself needs no mutual exclusion — writes land
+        # atomically via os.replace — so the lock guards only the
+        # statistics counters and quarantine bookkeeping, never I/O
+        # (blocking with it held would stall every worker: SA603).
         self._lock = threading.RLock()
 
     @classmethod
@@ -149,29 +151,31 @@ class StageCache:
                 text = corrupt_text(text)
             return text
 
+        # The retried read (which sleeps between attempts) runs *outside*
+        # the lock: writers land entries atomically via os.replace, so a
+        # concurrent reader never needs mutual exclusion against them.
+        # The lock only guards the statistics counters.
+        try:
+            text = call_with_retry(
+                read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+            )
+        except (OSError, InjectedFault):
+            with self._lock:
+                self.misses += 1
+            return None
+        payload: Any
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict):
+            self.quarantine(stage, key)
+            with self._lock:
+                self.misses += 1
+            return None
         with self._lock:
-            try:
-                text = call_with_retry(
-                    read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
-                )
-            except FileNotFoundError:
-                self.misses += 1
-                return None
-            except (OSError, InjectedFault):
-                self.misses += 1
-                return None
-            try:
-                payload = json.loads(text)
-            except ValueError:
-                self.quarantine(stage, key)
-                self.misses += 1
-                return None
-            if not isinstance(payload, dict):
-                self.quarantine(stage, key)
-                self.misses += 1
-                return None
             self.hits += 1
-            return payload
+        return payload
 
     def put(self, stage: str, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist a payload; IO failures are non-fatal.
@@ -198,12 +202,16 @@ class StageCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
 
-        with self._lock:
-            try:
-                call_with_retry(
-                    write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
-                )
-            except (OSError, InjectedFault):
+        # Like get(): the write (atomic via temp file + os.replace, and
+        # sleeping between retry attempts) happens outside the lock so a
+        # slow or faulted filesystem cannot stall every other worker
+        # thread; only the failure counter needs the lock.
+        try:
+            call_with_retry(
+                write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
+            )
+        except (OSError, InjectedFault):
+            with self._lock:
                 self.write_failures += 1
 
     def quarantine(self, stage: str, key: str) -> Path | None:

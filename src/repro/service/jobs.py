@@ -355,8 +355,12 @@ class JobManager:
         and hand back what never started (it stays journaled, so a
         restarted manager picks it up).  Returns the requeued jobs."""
         with self._lock:
+            # The flag flip and the queue drain must be one atomic step:
+            # draining outside the lock would race submit(), which checks
+            # the flag and pushes under it — a push landing between the
+            # two would be accepted but never run (a silently lost job).
             self._draining = True
-        requeued = self._queue.drain()
+            requeued = self._queue.drain()
         for job in requeued:
             self._emit(job, {"event": "JobRequeued", "id": job.id})
         self._stop.set()
@@ -372,7 +376,8 @@ class JobManager:
 
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._lock:
+            return self._draining
 
     # ----------------------------------------------------------- admission
 
@@ -400,8 +405,11 @@ class JobManager:
                 carrying its HTTP status.
             InjectedFault: an active ``service.queue`` chaos plan fired.
         """
-        if self._draining:
-            raise Draining("server is draining; resubmit to the restarted instance")
+        with self._lock:
+            if self._draining:
+                raise Draining(
+                    "server is draining; resubmit to the restarted instance"
+                )
         maybe_inject("service.queue")
         if admission and self._buckets is not None:
             wait = self._buckets.try_acquire(client)
@@ -418,6 +426,15 @@ class JobManager:
             raise BadRequest(str(exc)) from exc
         fingerprint = request.fingerprint()
         with self._lock:
+            # Authoritative drain re-check: the early test above is only a
+            # fast path, and drain() may have flipped the flag while we
+            # were parsing the payload.  drain() flips and empties the
+            # queue under this same lock, so once we are past this point
+            # our push cannot land in an already-drained queue.
+            if self._draining:
+                raise Draining(
+                    "server is draining; resubmit to the restarted instance"
+                )
             self.metrics.inc("jobs_submitted_total")
             job = Job(
                 job_id or secrets.token_hex(8),

@@ -1,0 +1,1 @@
+"""Tests for the SA6xx whole-program analyzer (repro.analysis.program)."""

@@ -1,0 +1,27 @@
+"""Shared fixtures: the corpus is parsed once per test session."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.program import analyze_program, build_model
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="session")
+def corpus_model():
+    """The program model of the checked-in fixture corpus."""
+    return build_model(CORPUS)
+
+
+@pytest.fixture(scope="session")
+def corpus_analysis():
+    """A full default-pass analysis of the fixture corpus."""
+    return analyze_program(CORPUS)
+
+
+@pytest.fixture(scope="session")
+def corpus_keys(corpus_analysis):
+    """All finding keys over the corpus, as a set."""
+    return {f.key for f in corpus_analysis.findings}

@@ -1,0 +1,61 @@
+"""SA603 corpus: blocking work under a held lock (and safe patterns).
+
+Analyzed as data by the tests — never imported or executed.
+"""
+
+import subprocess
+import threading
+import time
+
+
+class Stalls:
+    """Trigger: sleeps, subprocesses and joins while holding the lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def naps_under_lock(self) -> None:
+        with self._lock:
+            time.sleep(0.1)
+
+    def shells_under_lock(self) -> None:
+        with self._lock:
+            subprocess.run(["true"], check=False)
+
+    def naps_transitively(self) -> None:
+        with self._lock:
+            self._backoff()
+
+    def _backoff(self) -> None:
+        time.sleep(0.2)
+
+    def joins_under_lock(self, worker_thread: threading.Thread) -> None:
+        with self._lock:
+            worker_thread.join()
+
+
+class Fine:
+    """Clean: blocking happens outside the lock; waiting on the held
+    condition releases it; string joins are not thread joins."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._pending = 0
+
+    def naps_outside(self) -> None:
+        time.sleep(0.1)
+        with self._lock:
+            self._pending += 1
+
+    def drains(self) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    def waits_on_own_condition(self) -> None:
+        with self._cond:
+            self._cond.wait()
+
+    def formats_under_lock(self, sep: str, parts: "list[str]") -> str:
+        with self._lock:
+            return sep.join(parts)

@@ -1,0 +1,48 @@
+"""SA605 corpus: nondeterminism inside replay-critical stage code.
+
+Analyzed as data by the tests — never imported or executed.
+"""
+
+import random
+import time
+
+
+class StageBase:
+    """Mimics the pipeline's stage protocol: ``run`` methods of
+    subclasses are replay-critical roots."""
+
+    def run(self, ctx: dict) -> dict:
+        raise NotImplementedError
+
+
+class StampStage(StageBase):
+    """Trigger: wall-clock, RNG and set-order all leak into the output."""
+
+    def run(self, ctx: dict) -> dict:
+        ctx["stamp"] = time.time()
+        ctx["jitter"] = random.random()
+        for name in set(ctx):
+            ctx[name + "_seen"] = True
+        return ctx
+
+
+class PureStage(StageBase):
+    """Clean: monotonic timing is metrics-only; iteration is sorted."""
+
+    def run(self, ctx: dict) -> dict:
+        started = time.perf_counter()
+        for name in sorted(set(ctx)):
+            ctx[name + "_seen"] = True
+        ctx["elapsed"] = time.perf_counter() - started
+        return ctx
+
+
+def fingerprint_inputs(values: "list[str]") -> str:
+    """A fingerprint-named root with nothing nondeterministic inside."""
+    return "|".join(str(v) for v in values)
+
+
+def helper_outside_critical_paths() -> float:
+    """Clean: nondeterminism outside any replay-critical root is fine
+    (this function is unreachable from the stage/fingerprint roots)."""
+    return time.time()

@@ -1,0 +1,87 @@
+"""SA601 corpus: lock-order inversions (and orders that are fine).
+
+Analyzed as data by the tests — never imported or executed.
+"""
+
+import threading
+
+
+class Inverted:
+    """Trigger: two methods take the same pair in opposite orders."""
+
+    def __init__(self) -> None:
+        self.alpha_lock = threading.Lock()
+        self.beta_lock = threading.Lock()
+
+    def forward(self) -> None:
+        with self.alpha_lock:
+            with self.beta_lock:
+                pass
+
+    def backward(self) -> None:
+        with self.beta_lock:
+            with self.alpha_lock:
+                pass
+
+
+class Transitive:
+    """Trigger: the inversion hides behind a method call."""
+
+    def __init__(self) -> None:
+        self.outer_lock = threading.Lock()
+        self.inner_lock = threading.Lock()
+
+    def take_inner(self) -> None:
+        with self.inner_lock:
+            pass
+
+    def hold_outer(self) -> None:
+        with self.outer_lock:
+            self.take_inner()
+
+    def hold_inner_then_outer(self) -> None:
+        with self.inner_lock:
+            with self.outer_lock:
+                pass
+
+
+class SelfDeadlock:
+    """Trigger: re-acquiring a held non-reentrant Lock."""
+
+    def __init__(self) -> None:
+        self.gate_lock = threading.Lock()
+
+    def reenter(self) -> None:
+        with self.gate_lock:
+            with self.gate_lock:
+                pass
+
+
+class Ordered:
+    """Clean: both methods honour one global order."""
+
+    def __init__(self) -> None:
+        self.first_lock = threading.Lock()
+        self.second_lock = threading.Lock()
+
+    def one(self) -> None:
+        with self.first_lock:
+            with self.second_lock:
+                pass
+
+    def two(self) -> None:
+        with self.first_lock:
+            with self.second_lock:
+                pass
+
+
+class ReentrantOk:
+    """Clean: RLocks may legally be re-acquired by their holder."""
+
+    def __init__(self) -> None:
+        self.gate_lock = threading.RLock()
+
+    def reenter(self) -> None:
+        with self.gate_lock:
+            with self.gate_lock:
+                pass

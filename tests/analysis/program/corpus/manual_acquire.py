@@ -1,0 +1,38 @@
+"""SA604 corpus: manual acquire()/release() discipline.
+
+Analyzed as data by the tests — never imported or executed.
+"""
+
+import threading
+
+
+class Leaky:
+    """Trigger: an exception between acquire and release leaks the lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def unsafe(self) -> None:
+        self._lock.acquire()
+        self.value += 1
+        self._lock.release()
+
+
+class Careful:
+    """Clean: try/finally release, or the with-statement."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def safe(self) -> None:
+        self._lock.acquire()
+        try:
+            self.value += 1
+        finally:
+            self._lock.release()
+
+    def managed(self) -> None:
+        with self._lock:
+            self.value += 1

@@ -1,0 +1,59 @@
+"""SA602 corpus: attributes with a locking convention, honoured or not.
+
+Analyzed as data by the tests — never imported or executed.
+"""
+
+import threading
+
+
+class Racy:
+    """Trigger: ``count`` is guarded everywhere except ``leak``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+
+    def leak(self) -> int:
+        self.count = -1
+        return self.count
+
+
+class Guarded:
+    """Clean: every access is under the lock, directly or through a
+    private helper that is only ever called with the lock held."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.total += 1
+            self._note()
+
+    def _note(self) -> None:
+        self.total += 2
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self.total
+
+
+class Unconventional:
+    """Clean (for SA602): no access is ever guarded, so there is no
+    locking convention to violate — the lock guards something else."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.free = 0
+
+    def poke(self) -> None:
+        self.free += 1

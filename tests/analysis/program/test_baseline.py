@@ -1,0 +1,92 @@
+"""The suppression baseline: ratchet semantics, persistence, errors."""
+
+import json
+
+import pytest
+
+from repro.analysis.program import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.program.baseline import Baseline
+
+
+class TestPersistence:
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_write_then_load_round_trips(self, tmp_path, corpus_analysis):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, corpus_analysis.findings)
+        loaded = load_baseline(path)
+        assert loaded.keys == written.keys
+        assert len(loaded) == len(corpus_analysis.findings)
+
+    def test_format_is_sorted_and_diff_friendly(self, tmp_path, corpus_analysis):
+        path = tmp_path / "base.json"
+        write_baseline(path, corpus_analysis.findings)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["suppressions"] == sorted(data["suppressions"])
+
+    def test_invalid_files_raise_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text('{"suppressions": "oops"}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text('{"suppressions": [1, 2]}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestRatchet:
+    def test_full_baseline_suppresses_everything(self, tmp_path, corpus_analysis):
+        path = tmp_path / "base.json"
+        baseline = write_baseline(path, corpus_analysis.findings)
+        delta = apply_baseline(corpus_analysis.findings, baseline)
+        assert delta.ok
+        assert delta.exit_code == 0
+        assert not delta.new
+        assert len(delta.suppressed) == len(corpus_analysis.findings)
+        assert delta.stale == []
+
+    def test_new_findings_fail_the_ratchet(self, corpus_analysis):
+        partial = Baseline(keys=frozenset(f.key for f in corpus_analysis.findings[1:]))
+        delta = apply_baseline(corpus_analysis.findings, partial)
+        assert not delta.ok
+        assert delta.exit_code == 1
+        assert [f.key for f in delta.new] == [corpus_analysis.findings[0].key]
+
+    def test_fixed_findings_surface_as_stale(self, corpus_analysis):
+        extra = "SA601:gone.py:gone.Cls.meth:a->b"
+        baseline = Baseline(
+            keys=frozenset({extra, *(f.key for f in corpus_analysis.findings)})
+        )
+        delta = apply_baseline(corpus_analysis.findings, baseline)
+        assert delta.ok  # stale entries never fail the run
+        assert delta.stale == [extra]
+
+    def test_keys_survive_line_shifts(self, tmp_path):
+        """The whole point of line-free keys: prepending unrelated code
+        must not invalidate the suppression baseline."""
+        from repro.analysis.program import analyze_program
+
+        from .conftest import CORPUS
+
+        source = (CORPUS / "manual_acquire.py").read_text()
+        original = tmp_path / "v1"
+        shifted = tmp_path / "v2"
+        for root, text in (
+            (original, source),
+            (shifted, "# shifted\n" * 20 + source),
+        ):
+            root.mkdir()
+            (root / "manual_acquire.py").write_text(text)
+        before = {f.key for f in analyze_program(original).findings}
+        after = {f.key for f in analyze_program(shifted).findings}
+        assert before and before == after

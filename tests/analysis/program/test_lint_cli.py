@@ -1,0 +1,90 @@
+"""The ``systolic-synth lint`` subcommand: formats, baseline, exits."""
+
+import json
+
+from repro.flow.cli import main
+
+from .conftest import CORPUS
+
+
+class TestExitCodes:
+    def test_findings_without_baseline_exit_1(self, capsys):
+        assert main(["lint", str(CORPUS)]) == 1
+        out = capsys.readouterr().out
+        assert "new finding(s)" in out
+
+    def test_full_baseline_exits_0(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["lint", str(CORPUS), "--baseline", str(base), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(CORPUS), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed by baseline" in out
+        assert "no new findings" in out
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        assert "no such analysis root" in capsys.readouterr().err
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", str(CORPUS), "--write-baseline"]) == 2
+        assert "--write-baseline requires" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(["lint", str(CORPUS), "--baseline", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_filters_codes(self, capsys):
+        assert main(["lint", str(CORPUS), "--select", "SA604", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {f["code"] for f in payload["findings"]}
+        assert codes == {"SA604"}
+
+    def test_clean_select_exits_0(self, capsys):
+        # no SA601 findings live in the shared_state corpus file alone
+        assert (
+            main(
+                [
+                    "lint",
+                    str(CORPUS / "shared_state.py"),
+                    "--select",
+                    "SA601",
+                ]
+            )
+            == 0
+        )
+        assert "no new findings" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, capsys):
+        assert main(["lint", str(CORPUS), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["root"] == str(CORPUS)
+        assert payload["new"] and payload["suppressed"] == []
+        sample = payload["findings"][0]
+        assert {"key", "code", "severity", "message", "span"} <= set(sample)
+
+    def test_text_format_renders_carets(self, capsys):
+        assert main(["lint", str(CORPUS), "--select", "SA604"]) == 1
+        out = capsys.readouterr().out
+        assert "^" in out  # caret excerpt under the offending line
+        assert "[SA604]" in out
+
+
+class TestRatchetFlow:
+    def test_stale_entries_are_reported_but_not_fatal(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        main(["lint", str(CORPUS), "--baseline", str(base), "--write-baseline"])
+        capsys.readouterr()
+        data = json.loads(base.read_text())
+        data["suppressions"].append("SA601:gone.py:gone.C.m:a->b")
+        base.write_text(json.dumps(data))
+        assert main(["lint", str(CORPUS), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out

@@ -1,0 +1,79 @@
+"""The shared program model: indexing, lock facts, call resolution."""
+
+from repro.analysis.program.model import build_model
+
+
+class TestIndexing:
+    def test_every_corpus_module_is_indexed(self, corpus_model):
+        names = set(corpus_model.modules)
+        assert {
+            "blocking",
+            "determinism",
+            "lock_order",
+            "manual_acquire",
+            "shared_state",
+        } <= names
+
+    def test_classes_and_methods_are_registered(self, corpus_model):
+        cls = corpus_model.classes["shared_state.Racy"]
+        assert set(cls.methods) == {"__init__", "bump", "reset", "leak"}
+        assert "shared_state.Racy.bump" in corpus_model.functions
+
+    def test_package_detection_from_init_files(self, tmp_path):
+        pkg = tmp_path / "mypkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("def f():\n    pass\n")
+        model = build_model(pkg)
+        assert "mypkg.mod.f" in model.functions
+
+
+class TestLockFacts:
+    def test_lock_constructors_classify_attributes(self, corpus_model):
+        ordered = corpus_model.classes["lock_order.Ordered"]
+        assert ordered.lock_attrs == {"first_lock": "Lock", "second_lock": "Lock"}
+        reentrant = corpus_model.classes["lock_order.ReentrantOk"]
+        assert reentrant.lock_attrs == {"gate_lock": "RLock"}
+
+    def test_with_regions_record_nested_acquires(self, corpus_model):
+        fn = corpus_model.functions["lock_order.Inverted.forward"]
+        outer = fn.regions[0]
+        assert outer.lock.lock == "lock_order.Inverted.alpha_lock"
+        nested = [a.lock for a in outer.acquires]
+        assert nested == ["lock_order.Inverted.beta_lock"]
+
+    def test_manual_acquire_release_discipline(self, corpus_model):
+        unsafe = corpus_model.functions["manual_acquire.Leaky.unsafe"]
+        assert [m.exception_safe for m in unsafe.manual_acquires] == [False]
+        safe = corpus_model.functions["manual_acquire.Careful.safe"]
+        assert [m.exception_safe for m in safe.manual_acquires] == [True]
+
+    def test_self_accesses_carry_all_held_locks(self, corpus_model):
+        bump = corpus_model.functions["shared_state.Racy.bump"]
+        held = {
+            (attr, mode): held
+            for attr, _node, mode, held in bump.self_accesses
+            if attr == "count"
+        }
+        assert held[("count", "write")] == "shared_state.Racy._lock"
+        leak = corpus_model.functions["shared_state.Racy.leak"]
+        modes = {(a, m, h) for a, _n, m, h in leak.self_accesses if a == "count"}
+        assert ("count", "write", None) in modes
+        assert ("count", "read", None) in modes
+
+
+class TestCallResolution:
+    def test_self_method_calls_resolve(self, corpus_model):
+        fn = corpus_model.functions["lock_order.Transitive.hold_outer"]
+        callees = {c.callee for c in fn.calls}
+        assert "lock_order.Transitive.take_inner" in callees
+
+    def test_region_calls_are_scoped_to_the_region(self, corpus_model):
+        fn = corpus_model.functions["blocking.Stalls.naps_under_lock"]
+        region = fn.regions[0]
+        assert [c.raw for c in region.calls] == ["time.sleep"]
+
+    def test_waits_on_the_held_condition_are_recorded(self, corpus_model):
+        fn = corpus_model.functions["blocking.Fine.waits_on_own_condition"]
+        region = fn.regions[0]
+        assert "self._cond" in region.waited

@@ -1,0 +1,126 @@
+"""Golden-finding tests: each SA6xx pass triggers on its known-race
+corpus snippet and stays silent on the known-clean counterpart."""
+
+
+def keys_for(corpus_keys, code):
+    return {k for k in corpus_keys if k.startswith(code + ":")}
+
+
+class TestLockOrderSA601:
+    def test_direct_inversion_is_flagged_both_ways(self, corpus_keys):
+        sa601 = keys_for(corpus_keys, "SA601")
+        assert (
+            "SA601:lock_order.py:lock_order.Inverted.forward:"
+            "lock_order.Inverted.alpha_lock->lock_order.Inverted.beta_lock"
+        ) in sa601
+        assert (
+            "SA601:lock_order.py:lock_order.Inverted.backward:"
+            "lock_order.Inverted.beta_lock->lock_order.Inverted.alpha_lock"
+        ) in sa601
+
+    def test_transitive_inversion_through_a_call_is_flagged(self, corpus_keys):
+        assert (
+            "SA601:lock_order.py:lock_order.Transitive.hold_outer:"
+            "lock_order.Transitive.outer_lock->lock_order.Transitive.inner_lock"
+        ) in corpus_keys
+
+    def test_self_deadlock_on_nonreentrant_lock(self, corpus_keys):
+        assert any(
+            "SelfDeadlock" in k and k.startswith("SA601:") for k in corpus_keys
+        )
+
+    def test_consistent_order_and_rlocks_stay_clean(self, corpus_keys):
+        assert not any("Ordered" in k for k in corpus_keys)
+        assert not any("ReentrantOk" in k for k in corpus_keys)
+
+
+class TestSharedStateSA602:
+    def test_unguarded_write_and_read_are_flagged(self, corpus_keys):
+        assert (
+            "SA602:shared_state.py:shared_state.Racy.leak:count:write"
+        ) in corpus_keys
+        assert (
+            "SA602:shared_state.py:shared_state.Racy.leak:count:read"
+        ) in corpus_keys
+
+    def test_guarded_class_with_locked_only_helper_stays_clean(self, corpus_keys):
+        assert not any("Guarded" in k for k in corpus_keys)
+
+    def test_attribute_without_a_convention_stays_clean(self, corpus_keys):
+        assert not any("Unconventional" in k for k in corpus_keys)
+
+    def test_manual_acquire_functions_are_excused(self, corpus_keys):
+        # Careful.safe writes under a manual acquire -> not SA602's case
+        assert not any(k.startswith("SA602:manual_acquire") for k in corpus_keys)
+
+
+class TestBlockingSA603:
+    def test_sleep_subprocess_join_under_lock(self, corpus_keys):
+        sa603 = keys_for(corpus_keys, "SA603")
+        tails = {k.rsplit(":", 1)[-1] for k in sa603}
+        assert {"time.sleep", "subprocess.run", "worker_thread.join"} <= tails
+
+    def test_transitive_blocking_through_a_helper(self, corpus_keys):
+        assert (
+            "SA603:blocking.py:blocking.Stalls.naps_transitively:"
+            "blocking.Stalls._lock:self._backoff"
+        ) in corpus_keys
+
+    def test_safe_patterns_stay_clean(self, corpus_keys):
+        assert not any("Fine" in k for k in corpus_keys)
+
+
+class TestUnsafeAcquireSA604:
+    def test_bare_acquire_without_finally_is_flagged(self, corpus_keys):
+        assert (
+            "SA604:manual_acquire.py:manual_acquire.Leaky.unsafe:self._lock"
+        ) in corpus_keys
+
+    def test_try_finally_and_with_stay_clean(self, corpus_keys):
+        assert not any(
+            k.startswith("SA604:") and "Careful" in k for k in corpus_keys
+        )
+
+
+class TestDeterminismSA605:
+    def test_wallclock_rng_and_set_iteration_in_stage_run(self, corpus_keys):
+        sa605 = keys_for(corpus_keys, "SA605")
+        in_stamp = {k for k in sa605 if "StampStage" in k}
+        assert any(k.endswith(":time.time") for k in in_stamp)
+        assert any(k.endswith(":random.random") for k in in_stamp)
+        assert any("iter:" in k for k in in_stamp)
+
+    def test_sorted_iteration_and_monotonic_timing_stay_clean(self, corpus_keys):
+        assert not any("PureStage" in k for k in corpus_keys)
+
+    def test_nondeterminism_outside_critical_paths_is_ignored(self, corpus_keys):
+        assert not any("helper_outside_critical_paths" in k for k in corpus_keys)
+
+    def test_fingerprint_roots_are_analyzed_but_clean(self, corpus_analysis):
+        from repro.analysis.program.determinism import default_roots
+
+        roots = default_roots(corpus_analysis.model)
+        assert "determinism.fingerprint_inputs" in roots
+        assert not any(
+            "fingerprint_inputs" in f.key for f in corpus_analysis.findings
+        )
+
+
+class TestSelection:
+    def test_select_narrows_to_one_pass(self):
+        from repro.analysis.program import AnalyzeOptions, analyze_program
+
+        from .conftest import CORPUS
+
+        narrowed = analyze_program(CORPUS, AnalyzeOptions(select=("SA604",)))
+        assert narrowed.findings
+        assert {f.code for f in narrowed.findings} == {"SA604"}
+
+    def test_findings_are_sorted_and_stable(self, corpus_analysis):
+        keys = [f.key for f in corpus_analysis.findings]
+        from .conftest import CORPUS
+
+        from repro.analysis.program import analyze_program
+
+        again = analyze_program(CORPUS)
+        assert [f.key for f in again.findings] == keys

@@ -1,0 +1,67 @@
+"""Mutation-reachability audit: every registered SA6xx code must be
+*provably emittable* — demonstrated by the checked-in corpus — and the
+analyzer must run clean over the real tree against the real baseline.
+This mirrors PR 1's checker-fuzz discipline: a diagnostic nobody can
+trigger is dead weight, and one that fires on the shipped tree without a
+baseline entry means the ratchet is already broken at commit time."""
+
+from pathlib import Path
+
+from repro.analysis.diagnostics import CODE_CATALOG
+from repro.analysis.program import (
+    DEFAULT_PASSES,
+    analyze_program,
+    apply_baseline,
+    load_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def sa6_codes():
+    return {code for code in CODE_CATALOG if code.startswith("SA6")}
+
+
+class TestEveryCodeIsEmittable:
+    def test_corpus_exercises_every_registered_sa6_code(self, corpus_analysis):
+        emitted = {f.code for f in corpus_analysis.findings}
+        assert emitted == sa6_codes(), (
+            "every SA6xx code needs a corpus snippet that triggers it; "
+            f"missing: {sorted(sa6_codes() - emitted)}"
+        )
+
+    def test_every_default_pass_owns_a_registered_code(self):
+        for factory in DEFAULT_PASSES:
+            instance = factory()
+            assert instance.code in CODE_CATALOG
+            assert instance.code.startswith("SA6")
+            assert instance.name
+
+    def test_every_sa6_code_has_a_default_pass(self):
+        owned = {factory().code for factory in DEFAULT_PASSES}
+        assert sa6_codes() <= owned
+
+    def test_findings_carry_wellformed_keys_and_spans(self, corpus_analysis):
+        for finding in corpus_analysis.findings:
+            code, relfile, scope, _detail = finding.key.split(":", 3)
+            assert code == finding.code
+            assert relfile.endswith(".py")
+            assert scope == finding.scope
+            assert finding.diagnostic.span is not None
+            assert finding.diagnostic.span.line >= 1
+
+
+class TestRealTreeRatchet:
+    def test_src_repro_is_clean_against_the_checked_in_baseline(self):
+        """The CI static-analysis gate, as a tier-1 test: any new SA6xx
+        finding in src/repro must be fixed (preferred) or deliberately
+        added to .sa6-baseline.json in the same change."""
+        analysis = analyze_program(REPO_ROOT / "src" / "repro")
+        baseline = load_baseline(REPO_ROOT / ".sa6-baseline.json")
+        delta = apply_baseline(analysis.findings, baseline)
+        assert delta.ok, "new SA6xx findings:\n" + "\n".join(
+            f.diagnostic.render() for f in delta.new
+        )
+        assert not delta.stale, (
+            "baseline entries were fixed - remove them: " + ", ".join(delta.stale)
+        )

@@ -241,3 +241,49 @@ class TestConcurrentAccess:
         assert cache.quarantined == 1  # one mover; the rest saw a miss
         assert path.with_suffix(".json.corrupt").exists()
         assert not path.exists()
+
+
+class TestLockNarrowing:
+    """Regression for the SA603 finding: entry I/O must happen outside
+    ``StageCache._lock``.  The retried read/write path sleeps between
+    attempts, so holding the lock across it serialized every worker
+    thread behind one sick filesystem operation."""
+
+    def test_get_is_not_blocked_by_an_inflight_put(self, tmp_path, monkeypatch):
+        import threading
+
+        import repro.pipeline.cache as cache_module
+
+        cache = StageCache(tmp_path)
+        warm_key = "aa" * 32
+        cache.put("stage", warm_key, {"v": 1})
+
+        entered = threading.Event()
+        release = threading.Event()
+        real = cache_module.call_with_retry
+
+        def parked(fn, **kwargs):
+            if fn.__name__ == "write":
+                entered.set()
+                release.wait(10.0)  # park the writer mid-I/O
+            return real(fn, **kwargs)
+
+        monkeypatch.setattr(cache_module, "call_with_retry", parked)
+        writer = threading.Thread(
+            target=cache.put, args=("stage", "bb" * 32, {"v": 2}), daemon=True
+        )
+        writer.start()
+        assert entered.wait(10.0)
+
+        result = {}
+        reader = threading.Thread(
+            target=lambda: result.update(got=cache.get("stage", warm_key)),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(5.0)
+        stuck = reader.is_alive()
+        release.set()  # free the writer before asserting, win or lose
+        writer.join(10.0)
+        assert not stuck, "get() queued behind an in-flight put() (lock held over I/O)"
+        assert result["got"] == {"v": 1}

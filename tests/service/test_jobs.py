@@ -339,3 +339,36 @@ class TestMetricsRendering:
         ):
             assert needle in text, needle
         assert text.endswith("\n")
+
+
+class TestDrainSubmitRace:
+    """Regression for the SA602 finding: ``submit`` used to read
+    ``_draining`` outside the lock and ``drain`` emptied the queue
+    outside it, so a submission racing a drain could be accepted into a
+    queue that had already been swept — a silently lost job."""
+
+    def test_drain_arriving_mid_submit_is_refused(self, monkeypatch):
+        mgr = JobManager(workers=1, queue_depth=8, cache=None)  # not started
+        real = JobRequest.fingerprint
+        fired = []
+
+        def drain_between_check_and_push(self):
+            # Runs after submit()'s fast-path drain check but before the
+            # locked push — the exact race window.
+            if not fired:
+                fired.append(True)
+                mgr.drain(timeout=1.0)
+            return real(self)
+
+        monkeypatch.setattr(JobRequest, "fingerprint", drain_between_check_and_push)
+        with pytest.raises(Draining):
+            mgr.submit(payload())
+        # nothing slipped into the already-swept queue
+        assert mgr.drain(timeout=1.0) == []
+
+    def test_draining_property_reflects_drain(self, tmp_path):
+        mgr = JobManager(workers=1, queue_depth=8, cache=str(tmp_path / "c"))
+        mgr.start()
+        assert mgr.draining is False
+        mgr.drain(timeout=10.0)
+        assert mgr.draining is True
