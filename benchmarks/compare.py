@@ -1,0 +1,194 @@
+"""Noise-aware comparison of fresh ``BENCH_*.json`` records vs. a baseline.
+
+The recorded benches (:mod:`_record`) give CI something to diff, but a
+naive equality diff of wall-clock numbers is pure noise.  This comparer
+encodes the judgement calls:
+
+* **Direction is inferred from the metric name.**  ``*_seconds`` /
+  ``*_ms`` / latency percentiles regress when they grow; ``*_speedup`` /
+  ``*_per_s`` / ``*_gops`` / ``*_ratio`` regress when they shrink.
+  Anything else (``workers``, ``executions``) is informational only.
+* **Thresholds are relative**, default 25% — generous because shared CI
+  runners are noisy, and a real engine regression (e.g. losing the
+  columnar DSE path) is an order of magnitude, not a quartile.
+* **Tiny timings are skipped.**  A baseline under ``NOISE_FLOOR_S``
+  seconds is dominated by timer and allocator jitter; flagging a 0.004 s
+  cache hit that became 0.006 s helps nobody.
+* **Environment mismatches warn instead of failing.**  Numbers from a
+  different interpreter, machine or core count are not comparable, and
+  pretending otherwise turns every runner upgrade into a red build.
+
+Exit codes: 0 = no regressions (or nothing comparable), 1 = at least one
+metric regressed beyond tolerance, 2 = usage/IO error.  Stdlib only, so
+CI can run it before (or without) installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+NOISE_FLOOR_S = 0.02
+
+# Fingerprint keys whose mismatch makes a timing comparison meaningless.
+FINGERPRINT_KEYS = ("python", "implementation", "machine", "cpu_count")
+
+LOWER_IS_BETTER = ("_seconds", "_ms", "_s")
+HIGHER_IS_BETTER = ("_speedup", "_per_s", "_gops", "_ratio")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"``, ``"higher"`` or ``"info"`` for a metric name.
+
+    Higher-is-better suffixes are checked first: ``configs_per_s`` ends
+    with both ``_per_s`` and ``_s``, and it is a rate, not a latency.
+    """
+    if name.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    if name.endswith(LOWER_IS_BETTER) or name.startswith(("p50_", "p99_")):
+        return "lower"
+    return "info"
+
+
+@dataclass
+class Verdict:
+    """One metric's comparison outcome."""
+
+    bench: str
+    metric: str
+    baseline: float
+    fresh: float
+    status: str  # ok | regressed | skipped | info
+    detail: str = ""
+
+    def format(self) -> str:
+        arrow = f"{self.baseline:.4g} -> {self.fresh:.4g}"
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.status:9s}] {self.bench}.{self.metric}: {arrow}{tail}"
+
+
+def load_record(path: Path) -> dict:
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"compare: cannot read {path}: {exc}")
+    for key in ("bench", "metrics", "environment"):
+        if key not in record:
+            raise SystemExit(f"compare: {path} is not a bench record (no {key!r})")
+    return record
+
+
+def load_baselines(target: Path) -> dict[str, dict]:
+    """Map bench name -> record, from one file or a directory of records."""
+    paths = sorted(target.glob("BENCH_*.json")) if target.is_dir() else [target]
+    if not paths:
+        raise SystemExit(f"compare: no BENCH_*.json under {target}")
+    return {rec["bench"]: rec for rec in map(load_record, paths)}
+
+
+def fingerprints_match(baseline: dict, fresh: dict) -> list[str]:
+    """Names of fingerprint keys that differ (empty = comparable)."""
+    base_env, fresh_env = baseline["environment"], fresh["environment"]
+    return [
+        key
+        for key in FINGERPRINT_KEYS
+        if base_env.get(key) != fresh_env.get(key)
+    ]
+
+
+def compare_records(
+    baseline: dict, fresh: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Verdict]:
+    """Per-metric verdicts for one bench (fingerprints already vetted)."""
+    bench = fresh["bench"]
+    verdicts = []
+    for name, base_value in sorted(baseline["metrics"].items()):
+        if name not in fresh["metrics"]:
+            verdicts.append(
+                Verdict(bench, name, base_value, float("nan"), "skipped",
+                        "metric absent from fresh record")
+            )
+            continue
+        fresh_value = fresh["metrics"][name]
+        direction = metric_direction(name)
+        if direction == "info":
+            verdicts.append(Verdict(bench, name, base_value, fresh_value, "info"))
+            continue
+        if direction == "lower" and base_value < NOISE_FLOOR_S:
+            verdicts.append(
+                Verdict(bench, name, base_value, fresh_value, "skipped",
+                        f"baseline under the {NOISE_FLOOR_S}s noise floor")
+            )
+            continue
+        if base_value == 0:
+            verdicts.append(
+                Verdict(bench, name, base_value, fresh_value, "skipped",
+                        "zero baseline")
+            )
+            continue
+        change = (fresh_value - base_value) / abs(base_value)
+        regressed = change > tolerance if direction == "lower" else change < -tolerance
+        status = "regressed" if regressed else "ok"
+        verdicts.append(
+            Verdict(bench, name, base_value, fresh_value, status,
+                    f"{change:+.1%}, tolerance {tolerance:.0%}, {direction} is better")
+        )
+    return verdicts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="compare", description="Diff fresh bench records against a baseline."
+    )
+    parser.add_argument(
+        "--baseline", required=True, type=Path,
+        help="baseline BENCH_*.json file, or a directory holding them",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"relative regression threshold (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument("fresh", nargs="+", type=Path, help="fresh record(s)")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return int(exc.code or 0)
+
+    try:
+        baselines = load_baselines(args.baseline)
+        fresh_records = [load_record(path) for path in args.fresh]
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fresh in fresh_records:
+        bench = fresh["bench"]
+        baseline = baselines.get(bench)
+        if baseline is None:
+            print(f"compare: no baseline for bench {bench!r} — skipping")
+            continue
+        mismatched = fingerprints_match(baseline, fresh)
+        if mismatched:
+            print(
+                f"compare: {bench}: environment differs on "
+                f"{', '.join(mismatched)} — numbers not comparable, skipping"
+            )
+            continue
+        for verdict in compare_records(baseline, fresh, tolerance=args.tolerance):
+            print(verdict.format())
+            if verdict.status == "regressed":
+                failures += 1
+    if failures:
+        print(f"compare: {failures} metric(s) regressed beyond tolerance")
+        return 1
+    print("compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,16 +24,21 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.ir.loop import LoopNest
 from repro.model.design_point import DesignEvaluation, DesignPoint
 from repro.model.platform import Platform
 from repro.dse.space import DEFAULT_VECTOR_CHOICES, SystolicConfig, enumerate_configs
-from repro.dse.tuner import MiddleTuner
+
+if TYPE_CHECKING:
+    from repro.dse.multi_layer import MultiLayerResult
 
 ProgressFn = Callable[[int, int], None]
 """Optional progress hook: called with (configurations consumed, total)."""
+
+ENGINES = ("vector", "object")
+"""Evaluation engines: columnar NumPy batches vs the scalar object walk."""
 
 
 @dataclass(frozen=True)
@@ -47,6 +52,12 @@ class DseConfig:
         include_cover: extend the power-of-two tiling candidates with the
             cover bound (see tuner docs); False = paper-faithful pruning.
         upper_bound_pruning: enable the admissible branch-and-bound.
+        engine: evaluation engine for the hot loops — ``"vector"``
+            (default) scores candidate batches as NumPy arrays through
+            :mod:`repro.dse.vector`; ``"object"`` walks one Python object
+            at a time.  The two are bit-identical in winners, tie-breaks
+            and visit/prune counts (asserted by tests), so the object
+            path is kept as the differential oracle.
         strict: re-verify every finalist with the independent
             design-point validator (:mod:`repro.analysis.design_check`)
             and raise :class:`repro.analysis.DiagnosticError` if any
@@ -60,6 +71,7 @@ class DseConfig:
     top_n: int = 14
     include_cover: bool = True
     upper_bound_pruning: bool = True
+    engine: str = "vector"
     strict: bool = False
 
     def __post_init__(self) -> None:
@@ -67,6 +79,10 @@ class DseConfig:
             raise ValueError("c_s must be in [0, 1]")
         if self.top_n < 1:
             raise ValueError("top_n must be >= 1")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown DSE engine {self.engine!r}; choices: {list(ENGINES)}"
+            )
 
 
 @dataclass(frozen=True)
@@ -171,8 +187,28 @@ def phase1(
             vector_choices=config.vector_choices,
         )
     )
+    if config.engine == "vector" and candidates:
+        from repro.dse.vector import CandidateTable, legality_mask, upper_bounds
+
+        # Columnar scoring: bounds for the whole subspace in one shot,
+        # plus the batched Eq. 12 mask standing in for per-candidate
+        # validation.  The sort itself stays the same stable Python sort,
+        # so the branch-and-bound consumes candidates in the identical
+        # order as the object path (the bound values are bit-identical).
+        table = CandidateTable.from_configs(nest, candidates)
+        mask = legality_mask(
+            table, platform, min_dsp_utilization=config.min_dsp_utilization
+        )
+        if not bool(mask.all()):
+            bad = candidates[int(mask.argmin())]
+            raise ValueError(f"candidate {bad} violates the Eq. 12 DSP window")
+        bounds_by_config = upper_bounds(table, platform).tolist()
+    else:
+        bounds_by_config = [
+            throughput_upper_bound_gops(nest, c, platform) for c in candidates
+        ]
     ranked = sorted(
-        ((throughput_upper_bound_gops(nest, c, platform), c) for c in candidates),
+        zip(bounds_by_config, candidates),
         key=lambda pair: pair[0],
         reverse=True,
     )
@@ -209,12 +245,18 @@ def phase1(
             tune_candidate,
         )
 
-        def serial_task(candidate):
-            return tune_candidate(nest, platform, config.include_cover, candidate)
+        def serial_task(
+            candidate: SystolicConfig,
+        ) -> tuple[DesignEvaluation, int] | None:
+            return tune_candidate(
+                nest, platform, config.include_cover, candidate, engine=config.engine
+            )
 
         workers = resolve_jobs(jobs)
         consumed = 0
-        with phase1_pool(nest, platform, config.include_cover, workers) as pool:
+        with phase1_pool(
+            nest, platform, config.include_cover, workers, engine=config.engine
+        ) as pool:
             stopped = False
             for batch in batched(ranked, workers * BATCH_FACTOR):
                 if stopped:
@@ -236,10 +278,13 @@ def phase1(
                 if progress:
                     progress(consumed, len(ranked))
     else:
+        from repro.dse.vector import tuner_for
+
+        tuner_cls = tuner_for(config.engine)
         for index, (upper_bound, candidate) in enumerate(ranked):
             if should_stop(upper_bound):
                 break
-            tuner = MiddleTuner(
+            tuner = tuner_cls(
                 nest,
                 candidate.mapping,
                 candidate.shape,
@@ -273,7 +318,9 @@ def phase1(
     return result
 
 
-def _audit_designs(designs, platform: Platform, context: str) -> None:
+def _audit_designs(
+    designs: Iterable[DesignPoint], platform: Platform, context: str
+) -> None:
     """Strict-mode self-audit: raise if any design violates a constraint."""
     from repro.analysis.design_check import verify_design_points
 
@@ -331,7 +378,7 @@ def explore_network(
     config: DseConfig = DseConfig(),
     *,
     jobs: int = 1,
-):
+) -> MultiLayerResult:
     """Full two-phase DSE for a whole network (unified design).
 
     Thin wrapper re-exported here for discoverability; the heavy lifting
@@ -343,6 +390,7 @@ def explore_network(
 
 
 __all__ = [
+    "ENGINES",
     "DseConfig",
     "Phase1Result",
     "Phase2Result",

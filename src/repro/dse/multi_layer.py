@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.ir.loop import LoopNest
 from repro.model.mapping import Mapping, feasible_mappings
@@ -29,7 +29,6 @@ from repro.nn.folding import fold_layer
 from repro.nn.models import Network
 from repro.dse.explore import DseConfig
 from repro.dse.space import SystolicConfig, enumerate_shapes
-from repro.dse.tuner import MiddleTuner
 
 
 @dataclass(frozen=True)
@@ -170,6 +169,12 @@ def _aggregate_upper_bound(
     return total_ops / total_time / 1e9
 
 
+# What one unified-design probe yields: (aggregate GFlops, total seconds,
+# per-layer performances, max BRAM, total ops) — or None when some layer
+# has no feasible tiling.
+_UnifiedOutcome = tuple[float, float, tuple["LayerPerformance", ...], int, float]
+
+
 def _evaluate_config(
     workloads: tuple[LayerWorkload, ...],
     config: SystolicConfig,
@@ -180,6 +185,8 @@ def _evaluate_config(
     """Tune every layer under one config; None if any layer has no
     feasible tiling.  Returns (aggregate_gops, total_seconds, layers,
     max_bram_blocks, total_ops)."""
+    from repro.dse.vector import tuner_for
+
     freq = frequency_mhz or platform.assumed_clock_mhz
     layers = []
     total_seconds = 0.0
@@ -187,8 +194,9 @@ def _evaluate_config(
     max_bram = 0
     lanes = config.shape.lanes
     peak_ops_per_s = 2.0 * lanes * freq * 1e6
+    tuner_cls = tuner_for(dse.engine)
     for w in workloads:
-        tuner = MiddleTuner(
+        tuner = tuner_cls(
             w.nest, config.mapping, config.shape, platform, include_cover=dse.include_cover
         )
         try:
@@ -264,8 +272,17 @@ def select_unified_design(
     if not candidates:
         raise ValueError("design space is empty — lower min_dsp_utilization?")
 
+    if config.engine == "vector":
+        from repro.dse.vector import CandidateTable, aggregate_upper_bounds
+
+        table = CandidateTable.from_configs(envelope, candidates)
+        bounds_by_config = aggregate_upper_bounds(workloads, table, platform).tolist()
+    else:
+        bounds_by_config = [
+            _aggregate_upper_bound(workloads, c, platform) for c in candidates
+        ]
     ranked = sorted(
-        ((_aggregate_upper_bound(workloads, c, platform), c) for c in candidates),
+        zip(bounds_by_config, candidates),
         key=lambda pair: pair[0],
         reverse=True,
     )
@@ -280,7 +297,7 @@ def select_unified_design(
             and upper_bound <= finalists[-1][0]
         )
 
-    def merge(candidate: SystolicConfig, outcome) -> None:
+    def merge(candidate: SystolicConfig, outcome: _UnifiedOutcome | None) -> None:
         nonlocal tuned_count
         if outcome is None:
             return
@@ -305,10 +322,14 @@ def select_unified_design(
         workers = resolve_jobs(jobs)
         pool = unified_pool(workloads, platform, config, workers)
 
-        def serial_task(task):
+        def serial_task(
+            task: tuple[SystolicConfig, float | None],
+        ) -> _UnifiedOutcome | None:
             return evaluate_unified_task(workloads, platform, config, task)
 
-        def pooled_map(tasks):
+        def pooled_map(
+            tasks: Iterable[tuple[SystolicConfig, float | None]],
+        ) -> list[_UnifiedOutcome | None]:
             return unified_map(
                 pool,
                 tasks,

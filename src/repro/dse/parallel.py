@@ -153,20 +153,28 @@ def resilient_map(
 # ------------------------------------------------------------- phase 1
 
 
-def _phase1_init(nest: Any, platform: Any, include_cover: bool) -> None:
+def _phase1_init(
+    nest: Any, platform: Any, include_cover: bool, engine: str = "object"
+) -> None:
     global _PHASE1_STATE
-    _PHASE1_STATE = (nest, platform, include_cover)
+    _PHASE1_STATE = (nest, platform, include_cover, engine)
 
 
 def tune_candidate(
-    nest: Any, platform: Any, include_cover: bool, candidate: Any
+    nest: Any,
+    platform: Any,
+    include_cover: bool,
+    candidate: Any,
+    engine: str = "object",
 ) -> tuple[Any, int] | None:
     """Tune one configuration; (evaluation, tilings walked) or None when
     no tiling fits the BRAM budget.  Pure: both the worker task and the
-    serial fallback run exactly this, so recovery is bit-identical."""
-    from repro.dse.tuner import MiddleTuner
+    serial fallback run exactly this, so recovery is bit-identical —
+    and the vector/object engines agree bit-for-bit, so the ``engine``
+    knob never changes the result, only how fast it arrives."""
+    from repro.dse.vector import tuner_for
 
-    tuner = MiddleTuner(
+    tuner = tuner_for(engine)(
         nest, candidate.mapping, candidate.shape, platform, include_cover=include_cover
     )
     try:
@@ -180,16 +188,22 @@ def _phase1_tune(candidate: Any) -> tuple[Any, int] | None:
     """The pool task: the ``dse.worker`` fault point + the pure tuner."""
     maybe_inject("dse.worker")
     assert _PHASE1_STATE is not None
-    nest, platform, include_cover = _PHASE1_STATE
-    return tune_candidate(nest, platform, include_cover, candidate)
+    nest, platform, include_cover, engine = _PHASE1_STATE
+    return tune_candidate(nest, platform, include_cover, candidate, engine=engine)
 
 
-def phase1_pool(nest: Any, platform: Any, include_cover: bool, jobs: int) -> ProcessPoolExecutor:
+def phase1_pool(
+    nest: Any,
+    platform: Any,
+    include_cover: bool,
+    jobs: int,
+    engine: str = "object",
+) -> ProcessPoolExecutor:
     """A pool whose workers hold the phase-1 tuning state."""
     return ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_phase1_init,
-        initargs=(nest, platform, include_cover),
+        initargs=(nest, platform, include_cover, engine),
     )
 
 

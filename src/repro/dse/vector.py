@@ -1,0 +1,386 @@
+"""Columnar (vectorized) DSE engine: score design subspaces as arrays.
+
+The object engine walks the design space one Python object at a time;
+profiling shows >90% of unified-DSE wall-clock is the middle-bound tuner's
+inner loop (~1.5M ``_evaluate`` calls on AlexNet).  This module keeps the
+*search structure* — enumeration order, ranking, admissible
+branch-and-bound replay — exactly as the object path defines it, and
+replaces only the arithmetic with NumPy batches:
+
+* :class:`CandidateTable` — a struct-of-arrays view of the Problem-1
+  subspace (mapping index + shape columns + per-loop inner bounds) built
+  from the same :mod:`repro.dse.space` enumeration;
+* :func:`upper_bounds` / :func:`aggregate_upper_bounds` — the phase-1 and
+  unified branch-and-bound bounds for the whole table in one shot;
+* :func:`legality_mask` — the Eq. 12 DSP window as a batched mask;
+* :class:`VectorTuner` — a drop-in :class:`~repro.dse.tuner.MiddleTuner`
+  whose :meth:`~VectorTuner.tune` evaluates the pruned tiling product in
+  chunked array arithmetic.
+
+Bit-identity is a hard contract, not an aspiration: every formula is
+applied in the same operation order as its scalar counterpart, integer
+quantities stay integers until the same conversion points, and any
+configuration whose intermediates could exceed float64's exact integer
+range (2^53 — where NumPy's convert-then-divide diverges from Python's
+correctly-rounded big-int division) falls back to the scalar tuner.
+Equality of winners, tie-breaks and visit counts is asserted by
+``tests/dse/test_vector.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.loop import LoopNest
+from repro.model.design_point import DesignPoint
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.dse.space import SystolicConfig
+from repro.dse.tuner import MiddleTuner, TunedDesign
+
+#: Largest integer whose float64 conversion is exact; beyond it the
+#: vector math can no longer promise bit-identity with Python's
+#: correctly-rounded int/int division, so the scalar path takes over.
+INT_EXACT_LIMIT = 2**53
+
+
+@dataclass(frozen=True)
+class CandidateTable:
+    """Struct-of-arrays view of a Problem-1 subspace.
+
+    Columns are aligned: entry ``i`` of every array describes
+    ``configs[i]``.  Mappings are interned — ``mapping_index[i]`` points
+    into ``mappings`` — because a subspace rarely has more than a dozen
+    distinct mappings while it has thousands of shapes.
+    """
+
+    nest: LoopNest
+    configs: tuple[SystolicConfig, ...]
+    mappings: tuple[Mapping, ...]
+    mapping_index: np.ndarray
+    rows: np.ndarray
+    cols: np.ndarray
+    vector: np.ndarray
+
+    @staticmethod
+    def from_configs(
+        nest: LoopNest, configs: list[SystolicConfig] | tuple[SystolicConfig, ...]
+    ) -> "CandidateTable":
+        """Columnarize an enumerated candidate list, preserving order."""
+        configs = tuple(configs)
+        mappings: list[Mapping] = []
+        index_of: dict[Mapping, int] = {}
+        mapping_index = np.empty(len(configs), dtype=np.int64)
+        rows = np.empty(len(configs), dtype=np.int64)
+        cols = np.empty(len(configs), dtype=np.int64)
+        vector = np.empty(len(configs), dtype=np.int64)
+        for i, config in enumerate(configs):
+            mi = index_of.get(config.mapping)
+            if mi is None:
+                mi = index_of[config.mapping] = len(mappings)
+                mappings.append(config.mapping)
+            mapping_index[i] = mi
+            rows[i] = config.shape.rows
+            cols[i] = config.shape.cols
+            vector[i] = config.shape.vector
+        return CandidateTable(
+            nest=nest,
+            configs=configs,
+            mappings=tuple(mappings),
+            mapping_index=mapping_index,
+            rows=rows,
+            cols=cols,
+            vector=vector,
+        )
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @property
+    def lanes(self) -> np.ndarray:
+        """Parallel MAC lanes per candidate (rows * cols * vector)."""
+        return self.rows * self.cols * self.vector
+
+    def role_trip_counts(
+        self, bounds: dict[str, int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Trip counts of each candidate's (row, col, vector) loops under
+        ``bounds``, gathered through the interned mappings."""
+        by_row = np.array([bounds[m.row] for m in self.mappings], dtype=np.int64)
+        by_col = np.array([bounds[m.col] for m in self.mappings], dtype=np.int64)
+        by_vec = np.array([bounds[m.vector] for m in self.mappings], dtype=np.int64)
+        return (
+            by_row[self.mapping_index],
+            by_col[self.mapping_index],
+            by_vec[self.mapping_index],
+        )
+
+    def inner_matrix(self) -> np.ndarray:
+        """Per-loop inner bounds, shape (N, n_loops) in nest iterator
+        order; 1 for unmapped loops.  The columnar form of each config's
+        ``{row: rows, col: cols, vector: vector}`` dict."""
+        iterators = self.nest.iterators
+        position = {it: k for k, it in enumerate(iterators)}
+        inner = np.ones((len(self.configs), len(iterators)), dtype=np.int64)
+        for mi, mapping in enumerate(self.mappings):
+            select = self.mapping_index == mi
+            inner[select, position[mapping.row]] = self.rows[select]
+            inner[select, position[mapping.col]] = self.cols[select]
+            inner[select, position[mapping.vector]] = self.vector[select]
+        return inner
+
+
+def _role_efficiency(trips: np.ndarray, bound: np.ndarray) -> np.ndarray:
+    """One factor of the shape-only efficiency: n / (ceil(n / t) * t).
+
+    Matches the scalar op order: the ceil is taken of the float quotient
+    (exactly as ``math.ceil(n / t)`` does), and the products/divisions
+    stay in float64 where every intermediate integer is exact.
+    """
+    return trips / (np.ceil(trips / bound) * bound)
+
+
+def upper_bounds(table: CandidateTable, platform: Platform) -> np.ndarray:
+    """Batched :func:`repro.dse.explore.throughput_upper_bound_gops`.
+
+    Bit-identical per entry (asserted in tests): the three efficiency
+    factors multiply in the same (row, col, vector) order and the final
+    scaling applies left to right exactly like the scalar expression.
+    """
+    bounds = table.nest.bounds
+    trip_row, trip_col, trip_vec = table.role_trip_counts(bounds)
+    eff = np.ones(len(table))
+    for trips, bound in (
+        (trip_row, table.rows),
+        (trip_col, table.cols),
+        (trip_vec, table.vector),
+    ):
+        eff = eff * _role_efficiency(trips, bound)
+    return eff * 2.0 * table.lanes * platform.assumed_clock_mhz * 1e6 / 1e9
+
+
+def aggregate_upper_bounds(
+    workloads: tuple,
+    table: CandidateTable,
+    platform: Platform,
+) -> np.ndarray:
+    """Batched :func:`repro.dse.multi_layer._aggregate_upper_bound`.
+
+    Replays the scalar accumulation order — per-workload terms added in
+    workload order — so every entry is bit-identical to the scalar bound
+    of the same candidate.
+    """
+    total_ops = 0.0
+    total_time = np.zeros(len(table))
+    freq = platform.assumed_clock_mhz * 1e6
+    lanes = table.lanes
+    for w in workloads:
+        trip_row, trip_col, trip_vec = table.role_trip_counts(w.nest.bounds)
+        eff = np.ones(len(table))
+        for trips, bound in (
+            (trip_row, table.rows),
+            (trip_col, table.cols),
+            (trip_vec, table.vector),
+        ):
+            eff = eff * _role_efficiency(trips, bound)
+        pt = eff * 2.0 * lanes * freq
+        total_ops += w.effective_ops
+        total_time = total_time + w.multiplicity * w.nest.total_operations / pt
+    return total_ops / total_time / 1e9
+
+
+def legality_mask(
+    table: CandidateTable,
+    platform: Platform,
+    *,
+    min_dsp_utilization: float = 0.0,
+) -> np.ndarray:
+    """The Eq. 12 DSP window as one boolean mask over the table.
+
+    Replicates exactly the comparisons :func:`repro.dse.space.
+    enumerate_shapes` applies per candidate (budget floor-divisions and
+    the ``ceil`` on the float lane floor included), so a table built from
+    that enumeration always passes — the mask is the batched replacement
+    for re-validating candidates one at a time, and the guard the vector
+    engine runs over externally supplied tables.
+    """
+    lane_budget = platform.dsp_total
+    lane_floor = min_dsp_utilization * lane_budget
+    bounds = table.nest.bounds
+    trip_row, trip_col, _ = table.role_trip_counts(bounds)
+    spatial_budget = lane_budget // table.vector
+    ok = spatial_budget >= 1
+    ok &= (table.rows >= 1) & (table.rows <= np.minimum(trip_row, spatial_budget))
+    col_budget = np.where(table.rows > 0, spatial_budget // np.maximum(table.rows, 1), 0)
+    ok &= col_budget >= 1
+    col_min = np.maximum(
+        1, np.ceil(lane_floor / (table.rows * table.vector)).astype(np.int64)
+    )
+    ok &= (table.cols >= col_min) & (
+        table.cols <= np.minimum(trip_col, col_budget)
+    )
+    return ok
+
+
+class VectorTuner(MiddleTuner):
+    """Problem-2 search over NumPy batches; bit-identical to the scalar.
+
+    Shares every precomputed constant with :class:`MiddleTuner` (same
+    ``__init__``) and walks the same candidate product — as C-order row
+    indices of the candidate grid, which is exactly the order
+    ``itertools.product`` yields — in chunks of :attr:`CHUNK` rows.  The
+    winner is selected by replaying the scalar tie-break on arrays:
+    feasible rows, maximal throughput, minimal BRAM, first index.
+
+    Configurations whose intermediates could exceed 2^53 (and with them
+    float64 exactness) delegate to the scalar ``tune`` wholesale.
+    """
+
+    #: Rows per evaluation chunk; bounds peak memory at a few MB while
+    #: keeping per-chunk NumPy dispatch overhead negligible.
+    CHUNK = 1 << 16
+
+    def _within_exact_range(self) -> bool:
+        """Can every intermediate stay exact in int64/float64?"""
+        b_max: list[int] = []
+        for cand, t, cap_index in zip(
+            self._candidates, self._inner, range(len(self._inner))
+        ):
+            b = max(cand) * t
+            if not self._padded_semantics:
+                b = min(b, self._extent_cap[cap_index])
+            b_max.append(b)
+        executed_bound = 1
+        block_bound = 1
+        for n, b in zip(self._trip, b_max):
+            executed_bound *= n + b  # >= ceil(n/b')*b' for any b' <= b
+            block_bound *= b
+        if max(executed_bound, block_bound, self._total_iterations) > INT_EXACT_LIMIT:
+            return False
+        for _name, dims, word_bytes, _wpb in self._arrays:
+            words_bound = 1
+            for terms in dims:
+                span = 1
+                for coeff, pos in terms:
+                    span += abs(coeff) * (b_max[pos] - 1)
+                words_bound *= span
+            if words_bound * word_bytes > INT_EXACT_LIMIT:
+                return False
+        return True
+
+    def tune(self, *, frequency_mhz: float | None = None) -> TunedDesign:
+        if not self._within_exact_range():
+            return super().tune(frequency_mhz=frequency_mhz)
+
+        freq_hz = (frequency_mhz or self.platform.assumed_clock_mhz) * 1e6
+        dims = tuple(len(cand) for cand in self._candidates)
+        total = 1
+        for d in dims:
+            total *= d
+        cand_arrays = [np.array(cand, dtype=np.int64) for cand in self._candidates]
+        inner = np.array(self._inner, dtype=np.int64)
+        trips = np.array(self._trip, dtype=np.int64)
+        caps = (
+            None
+            if self._padded_semantics
+            else np.array(self._extent_cap, dtype=np.int64)
+        )
+
+        best: tuple[float, int, int, float] | None = None  # (tp, bram, flat, eff)
+        for start in range(0, total, self.CHUNK):
+            stop = min(start + self.CHUNK, total)
+            grid = np.unravel_index(np.arange(start, stop), dims)
+            blocks = np.empty((stop - start, len(dims)), dtype=np.int64)
+            for loop, positions in enumerate(grid):
+                blocks[:, loop] = cand_arrays[loop][positions] * inner[loop]
+
+            # Eq. 1 efficiency — padded or the s-independent clipped form.
+            if caps is None:
+                executed = np.multiply.reduce(-(-trips // blocks) * blocks, axis=1)
+                eff = self._total_iterations / executed
+            else:
+                eff = self._clipped_eff
+                blocks = np.minimum(blocks, caps)
+            block_iterations = np.multiply.reduce(blocks, axis=1)
+
+            # Eq. 8 computation throughput.
+            pt = eff * 2.0 * self._lanes * freq_hz
+
+            # Eq. 5 footprints, Eq. 6 BRAM, Eq. 9/10 memory throughput —
+            # same accumulation order as MiddleTuner._evaluate (floats
+            # for total_bytes, running min seeded with pt).
+            block_ops = eff * 2.0 * block_iterations
+            bram = np.full(stop - start, self._pe_blocks, dtype=np.int64)
+            total_bytes = np.zeros(stop - start)
+            mt = pt * np.ones(stop - start)
+            for _name, array_dims, word_bytes, words_per_block in self._arrays:
+                words = np.ones(stop - start, dtype=np.int64)
+                for terms in array_dims:
+                    span = np.ones(stop - start, dtype=np.int64)
+                    for coeff, pos in terms:
+                        span += coeff * (blocks[:, pos] - 1)
+                    words *= span
+                raw = -(-words // words_per_block)
+                smeared = raw - 1
+                for shift in (1, 2, 4, 8, 16, 32):
+                    smeared |= smeared >> shift
+                bram += self._cb + 2 * (smeared + 1)
+                nbytes = words * word_bytes
+                total_bytes += nbytes
+                mt = np.minimum(mt, block_ops * self._bw_port / nbytes)
+            mt = np.minimum(mt, block_ops * self._bw_total / total_bytes)
+            throughput = np.minimum(pt, mt)
+
+            feasible = np.flatnonzero(bram <= self._bram_total)
+            if feasible.size == 0:
+                continue
+            tp_feasible = throughput[feasible]
+            top = feasible[tp_feasible == tp_feasible.max()]
+            winner = top[bram[top] == bram[top].min()][0]
+            key = (float(throughput[winner]), -int(bram[winner]))
+            if best is None or key > (best[0], -best[1]):
+                eff_winner = float(eff) if caps is not None else float(eff[winner])
+                best = (key[0], int(bram[winner]), start + int(winner), eff_winner)
+
+        if best is None:
+            raise RuntimeError(
+                f"no feasible tiling for {self.mapping} {self.shape} within "
+                f"{self._bram_total} RAM blocks"
+            )
+        throughput_best, bram_best, flat, eff_best = best
+        positions = np.unravel_index(flat, dims)
+        middles = tuple(
+            self._candidates[loop][int(pos)] for loop, pos in enumerate(positions)
+        )
+        design = DesignPoint.create(
+            self.nest,
+            self.mapping,
+            self.shape,
+            dict(zip(self._iterators, middles)),
+        )
+        return TunedDesign(
+            design=design,
+            throughput_gops=throughput_best / 1e9,
+            bram_blocks=bram_best,
+            efficiency=eff_best,
+            candidates_evaluated=total,
+        )
+
+
+def tuner_for(engine: str) -> type[MiddleTuner]:
+    """The tuner class implementing a ``DseConfig.engine`` value."""
+    return VectorTuner if engine == "vector" else MiddleTuner
+
+
+__all__ = [
+    "INT_EXACT_LIMIT",
+    "CandidateTable",
+    "VectorTuner",
+    "aggregate_upper_bounds",
+    "legality_mask",
+    "tuner_for",
+    "upper_bounds",
+]

@@ -102,6 +102,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--clock", type=float, default=280.0, help="phase-1 assumed clock (MHz)"
     )
     parser.add_argument(
+        "--dse-engine",
+        choices=["vector", "object"],
+        default="vector",
+        help="DSE evaluation engine: columnar NumPy batches (vector, "
+        "default) or the bit-identical scalar object walk (object)",
+    )
+    parser.add_argument(
         "--save-design",
         metavar="JSON",
         help="also persist the winning design point (single-layer mode)",
@@ -372,6 +379,12 @@ def build_submit_arg_parser() -> argparse.ArgumentParser:
         "--clock", type=float, default=280.0, help="phase-1 assumed clock (MHz)"
     )
     parser.add_argument(
+        "--dse-engine",
+        choices=["vector", "object"],
+        default="vector",
+        help="DSE evaluation engine (bit-identical; vector is faster)",
+    )
+    parser.add_argument(
         "--sim-backend",
         choices=["fast", "rtl", "both", "testbench"],
         help="also execute the winner on a wavefront simulator",
@@ -493,6 +506,7 @@ def submit_main(argv: list[str]) -> int:
         "cs": args.cs,
         "top_n": args.top_n,
         "clock": args.clock,
+        "engine": args.dse_engine,
     }
     if args.sim_backend:
         options["sim_backend"] = args.sim_backend
@@ -874,7 +888,9 @@ def _configured_main(args) -> int:
         datatype=datatype_by_name(args.datatype),
         assumed_clock_mhz=args.clock,
     )
-    config = DseConfig(min_dsp_utilization=args.cs, top_n=args.top_n)
+    config = DseConfig(
+        min_dsp_utilization=args.cs, top_n=args.top_n, engine=args.dse_engine
+    )
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
 

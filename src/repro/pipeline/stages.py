@@ -152,6 +152,7 @@ class DsePhase1Stage(StageBase):
             "tuned": result.configs_tuned,
             "pruned": result.configs_enumerated - result.configs_tuned,
             "tilings": result.tilings_evaluated,
+            "engine": ctx.config.engine,
         }
 
 

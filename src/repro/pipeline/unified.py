@@ -97,20 +97,23 @@ def run_unified_dse(
             STAGE_NAME,
             seconds=time.perf_counter() - start,
             cached=False,
-            info=_info(result),
+            info=_info(result, engine=config.engine),
         )
     )
     return result
 
 
-def _info(result: MultiLayerResult) -> dict[str, Any]:
-    return {
+def _info(result: MultiLayerResult, *, engine: str | None = None) -> dict[str, Any]:
+    info: dict[str, Any] = {
         "winner": str(result.config.shape),
         "frequency_mhz": round(result.frequency_mhz, 1),
         "gops": round(result.aggregate_gops, 1),
         "configs": result.configs_enumerated,
         "tuned": result.configs_tuned,
     }
+    if engine is not None:
+        info["engine"] = engine
+    return info
 
 
 __all__ = ["STAGE_NAME", "run_unified_dse"]

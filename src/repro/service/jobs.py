@@ -72,6 +72,7 @@ _OPTION_KEYS = frozenset(
         "clock",
         "cs",
         "top_n",
+        "engine",
         "strict",
         "sim_backend",
         "require_pragma",
@@ -141,6 +142,7 @@ class JobRequest:
         config = DseConfig(
             min_dsp_utilization=float(options.get("cs", 0.8)),
             top_n=int(options.get("top_n", 14)),
+            engine=str(options.get("engine", "vector")),
             strict=strict,
         )
         sim_backend = options.get("sim_backend")

@@ -1,0 +1,271 @@
+"""Bit-identity of the columnar (vector) DSE engine vs the object path.
+
+The vector engine's contract is not "close": winners, tie-breaks, visit
+counts and prune counts must be *equal* to the scalar object walk.  These
+tests pin that on random configurations, on both ragged-middle semantics,
+and end-to-end on the golden AlexNet/VGG nests through phase 1, phase 2
+and the unified multi-layer selection.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.nn.models import alexnet, vgg16
+from repro.dse.explore import (
+    DseConfig,
+    phase1,
+    phase2,
+    throughput_upper_bound_gops,
+)
+from repro.dse.multi_layer import (
+    _aggregate_upper_bound,
+    prepare_network_nests,
+    select_unified_design,
+)
+from repro.dse.space import enumerate_configs
+from repro.dse.tuner import MiddleTuner
+from repro.dse.vector import (
+    CandidateTable,
+    VectorTuner,
+    aggregate_upper_bounds,
+    legality_mask,
+    tuner_for,
+    upper_bounds,
+)
+
+
+def conv5():
+    return conv_loop_nest(128, 192, 13, 13, 3, 3, name="conv5")
+
+
+def strided():
+    return conv_loop_nest(16, 3, 14, 14, 5, 5, stride=2, name="strided")
+
+
+def vgg_conv11():
+    return next(
+        w.nest for w in prepare_network_nests(vgg16()) if w.name == "conv11"
+    )
+
+
+SMALL = DseConfig(min_dsp_utilization=0.6, vector_choices=(4, 8), top_n=8)
+
+
+def random_configs(nest, platform, count, seed):
+    pool = list(enumerate_configs(nest, platform, min_dsp_utilization=0.5))
+    return random.Random(seed).sample(pool, min(count, len(pool)))
+
+
+class TestVectorTunerBitIdentity:
+    @pytest.mark.parametrize("ragged", ["padded", "clipped"])
+    def test_random_configs_match_scalar_exactly(self, ragged):
+        nest = conv5()
+        platform = Platform(ragged_middle=ragged)
+        for config in random_configs(nest, platform, 12, seed=len(ragged)):
+            scalar = MiddleTuner(
+                nest, config.mapping, config.shape, platform
+            ).tune()
+            vector = VectorTuner(
+                nest, config.mapping, config.shape, platform
+            ).tune()
+            assert vector == scalar  # dataclass equality: design + floats
+
+    def test_strided_folded_nest_matches(self):
+        nest = strided()
+        platform = Platform()
+        for config in random_configs(nest, platform, 8, seed=3):
+            assert (
+                VectorTuner(nest, config.mapping, config.shape, platform).tune()
+                == MiddleTuner(nest, config.mapping, config.shape, platform).tune()
+            )
+
+    def test_frequency_override_matches(self):
+        nest = conv5()
+        platform = Platform()
+        config = random_configs(nest, platform, 1, seed=7)[0]
+        args = (nest, config.mapping, config.shape, platform)
+        assert VectorTuner(*args).tune(frequency_mhz=193.7) == MiddleTuner(
+            *args
+        ).tune(frequency_mhz=193.7)
+
+    def test_chunked_walk_matches_single_chunk(self, monkeypatch):
+        # Force many tiny chunks so the cross-chunk tie-break replays.
+        nest = conv5()
+        platform = Platform()
+        config = random_configs(nest, platform, 1, seed=11)[0]
+        args = (nest, config.mapping, config.shape, platform)
+        baseline = VectorTuner(*args).tune()
+        monkeypatch.setattr(VectorTuner, "CHUNK", 17)
+        assert VectorTuner(*args).tune() == baseline
+
+    def test_out_of_range_config_falls_back_to_scalar(self, monkeypatch):
+        # When intermediates could exceed float64's exact range the guard
+        # must refuse the vector math and delegate wholesale.  Tightening
+        # the limit makes an ordinary config trip it without needing a
+        # nest whose scalar walk would take minutes.
+        import repro.dse.vector as vector_mod
+
+        nest = conv5()
+        platform = Platform()
+        config = random_configs(nest, platform, 1, seed=5)[0]
+        args = (nest, config.mapping, config.shape, platform)
+        monkeypatch.setattr(vector_mod, "INT_EXACT_LIMIT", 1_000)
+        tuner = VectorTuner(*args)
+        assert not tuner._within_exact_range()
+        assert tuner.tune() == MiddleTuner(*args).tune()
+        # And a genuinely oversized nest trips the real limit.
+        huge = conv_loop_nest(32768, 32768, 1024, 1024, 3, 3, name="huge")
+        monkeypatch.undo()
+        assert not VectorTuner(
+            huge, Mapping("o", "c", "i", "IN", "W"), ArrayShape(2, 2, 4), platform
+        )._within_exact_range()
+
+    def test_infeasible_raises_same_error(self):
+        from dataclasses import replace
+
+        nest = conv5()
+        base = Platform()
+        platform = replace(
+            base, device=replace(base.device, bram_blocks=1, name="tiny")
+        )
+        mapping = Mapping("o", "c", "i", "IN", "W")
+        shape = ArrayShape(11, 13, 8)
+        with pytest.raises(RuntimeError, match="no feasible tiling"):
+            VectorTuner(nest, mapping, shape, platform).tune()
+
+    def test_tuner_for_selects_engines(self):
+        assert tuner_for("vector") is VectorTuner
+        assert tuner_for("object") is MiddleTuner
+
+
+class TestBatchedBounds:
+    def test_upper_bounds_bit_identical(self):
+        nest = conv5()
+        platform = Platform()
+        candidates = list(enumerate_configs(nest, platform, min_dsp_utilization=0.6))
+        table = CandidateTable.from_configs(nest, candidates)
+        batched = upper_bounds(table, platform)
+        for value, config in zip(batched.tolist(), candidates):
+            assert value == throughput_upper_bound_gops(nest, config, platform)
+
+    def test_aggregate_upper_bounds_bit_identical(self):
+        workloads = prepare_network_nests(alexnet())
+        platform = Platform()
+        from repro.dse.multi_layer import _common_mappings, _envelope_nest
+        from repro.dse.space import SystolicConfig, enumerate_shapes
+
+        envelope = _envelope_nest(workloads)
+        candidates = [
+            SystolicConfig(mapping, shape)
+            for mapping in _common_mappings(workloads)
+            for shape in enumerate_shapes(
+                envelope, mapping, platform, min_dsp_utilization=0.8
+            )
+        ]
+        table = CandidateTable.from_configs(envelope, candidates)
+        batched = aggregate_upper_bounds(workloads, table, platform)
+        for value, config in zip(batched.tolist(), candidates):
+            assert value == _aggregate_upper_bound(workloads, config, platform)
+
+    def test_legality_mask_accepts_enumeration_rejects_overbudget(self):
+        nest = conv5()
+        platform = Platform()
+        candidates = list(enumerate_configs(nest, platform, min_dsp_utilization=0.6))
+        table = CandidateTable.from_configs(nest, candidates)
+        assert bool(
+            legality_mask(table, platform, min_dsp_utilization=0.6).all()
+        )
+        # A shape blowing the DSP budget must be masked out.
+        from repro.dse.space import SystolicConfig
+
+        over = SystolicConfig(
+            candidates[0].mapping, ArrayShape(4096, 4096, 16)
+        )
+        bad_table = CandidateTable.from_configs(nest, [candidates[0], over])
+        mask = legality_mask(bad_table, platform, min_dsp_utilization=0.6)
+        assert mask.tolist() == [True, False]
+
+    def test_candidate_table_columns_align(self):
+        nest = conv5()
+        platform = Platform()
+        candidates = list(enumerate_configs(nest, platform, min_dsp_utilization=0.8))
+        table = CandidateTable.from_configs(nest, candidates)
+        assert len(table) == len(candidates)
+        i = len(candidates) // 2
+        assert (
+            int(table.rows[i]),
+            int(table.cols[i]),
+            int(table.vector[i]),
+        ) == (
+            candidates[i].shape.rows,
+            candidates[i].shape.cols,
+            candidates[i].shape.vector,
+        )
+        assert table.mappings[int(table.mapping_index[i])] == candidates[i].mapping
+        inner = table.inner_matrix()
+        position = {it: k for k, it in enumerate(nest.iterators)}
+        mapping, shape = candidates[i].mapping, candidates[i].shape
+        expected = np.ones(len(nest.iterators), dtype=np.int64)
+        expected[position[mapping.row]] = shape.rows
+        expected[position[mapping.col]] = shape.cols
+        expected[position[mapping.vector]] = shape.vector
+        assert inner[i].tolist() == expected.tolist()
+
+
+class TestPhaseBitIdentity:
+    """Same finalists, same prune/visit counts, engine-for-engine."""
+
+    @pytest.mark.parametrize("nest_fn", [conv5, vgg_conv11])
+    def test_phase1_and_phase2(self, nest_fn):
+        nest = nest_fn()
+        platform = Platform()
+        object_result = phase1(
+            nest, platform, DseConfig(**{**SMALL.__dict__, "engine": "object"})
+        )
+        vector_result = phase1(
+            nest, platform, DseConfig(**{**SMALL.__dict__, "engine": "vector"})
+        )
+        assert vector_result == object_result  # finalists + all counters
+        assert vector_result.configs_tuned == object_result.configs_tuned
+        assert vector_result.tilings_evaluated == object_result.tilings_evaluated
+        assert phase2(vector_result, platform) == phase2(object_result, platform)
+
+    def test_unified_selection(self):
+        workloads = prepare_network_nests(alexnet())[:3]
+        platform = Platform()
+        kwargs = dict(min_dsp_utilization=0.85, vector_choices=(8,), top_n=6)
+        object_result = select_unified_design(
+            workloads, platform, DseConfig(engine="object", **kwargs)
+        )
+        vector_result = select_unified_design(
+            workloads, platform, DseConfig(engine="vector", **kwargs)
+        )
+        assert vector_result == object_result
+        assert vector_result.configs_tuned == object_result.configs_tuned
+
+    def test_pruning_disabled_still_identical(self):
+        nest = conv5()
+        platform = Platform()
+        kwargs = dict(
+            min_dsp_utilization=0.8, vector_choices=(8,), upper_bound_pruning=False
+        )
+        assert phase1(
+            nest, platform, DseConfig(engine="vector", **kwargs)
+        ) == phase1(nest, platform, DseConfig(engine="object", **kwargs))
+
+
+class TestEngineKnob:
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown DSE engine"):
+            DseConfig(engine="quantum")
+
+    def test_engines_exported(self):
+        from repro.dse.explore import ENGINES
+
+        assert ENGINES == ("vector", "object")

@@ -1,0 +1,132 @@
+"""Property tests: the batched analytical model equals the scalar one.
+
+``estimate_performance_batch`` promises per-row bit-identity with
+``estimate_performance`` — not approximate agreement — so every assertion
+here is exact equality on every field, over random candidate tables drawn
+from the shared strategies (awkward bounds, strides, both ragged-middle
+semantics).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.domain import IterationDomain, count_footprint, count_footprint_batch
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import DesignPoint
+from repro.model.mapping import feasible_mappings
+from repro.model.performance import (
+    estimate_performance,
+    estimate_performance_batch,
+)
+from repro.model.platform import Platform
+from tests.strategies import array_shapes, small_conv_nests
+
+
+@st.composite
+def candidate_tables(draw, *, max_rows: int = 6):
+    """A nest plus a batch of (design, inner-row, middle-row) candidates."""
+    nest = draw(small_conv_nests())
+    mapping = draw(st.sampled_from(sorted(feasible_mappings(nest), key=str)))
+    iterators = nest.iterators
+    position = {it: k for k, it in enumerate(iterators)}
+    n_rows = draw(st.integers(1, max_rows))
+    designs = []
+    inner = np.ones((n_rows, len(iterators)), dtype=np.int64)
+    middle = np.ones((n_rows, len(iterators)), dtype=np.int64)
+    for b in range(n_rows):
+        shape = draw(array_shapes(max_rows=4, max_cols=4, vectors=(1, 2, 4)))
+        mids = {}
+        for it in iterators:
+            if draw(st.booleans()):
+                mids[it] = draw(st.integers(1, 4))
+        designs.append(DesignPoint.create(nest, mapping, shape, mids))
+        inner[b, position[mapping.row]] = shape.rows
+        inner[b, position[mapping.col]] = shape.cols
+        inner[b, position[mapping.vector]] = shape.vector
+        for it, s in mids.items():
+            middle[b, position[it]] = s
+    return nest, designs, inner, middle
+
+
+@pytest.mark.parametrize("ragged", ["padded", "clipped"])
+@given(table=candidate_tables(), frequency=st.sampled_from([None, 173.3]))
+@settings(max_examples=40, deadline=None)
+def test_batch_equals_scalar_elementwise(table, ragged, frequency):
+    nest, designs, inner, middle = table
+    platform = Platform(ragged_middle=ragged)
+    batch = estimate_performance_batch(
+        nest, platform, inner=inner, middle=middle, frequency_mhz=frequency
+    )
+    assert len(batch) == len(designs)
+    for i, design in enumerate(designs):
+        scalar = estimate_performance(
+            design.tiled, platform, frequency_mhz=frequency
+        )
+        assert batch.frequency_mhz == scalar.frequency_mhz
+        assert batch.efficiency[i] == scalar.efficiency
+        assert int(batch.lanes[i]) == scalar.lanes
+        assert int(batch.block_iterations[i]) == scalar.block_iterations
+        assert batch.pt_gops[i] == scalar.pt_gops
+        assert batch.mt_gops[i] == scalar.mt_gops
+        assert batch.mt_total_gops[i] == scalar.mt_total_gops
+        assert batch.throughput_gops[i] == scalar.throughput_gops
+        assert batch.effective_ops == scalar.effective_ops
+        assert batch.seconds[i] == scalar.seconds
+        assert batch.bound[i] == scalar.bound
+        assert set(batch.block_bytes) == set(scalar.block_bytes)
+        for array, nbytes in scalar.block_bytes.items():
+            assert int(batch.block_bytes[array][i]) == nbytes
+            assert (
+                batch.mt_per_array_gops[array][i] == scalar.mt_per_array_gops[array]
+            )
+
+
+@given(table=candidate_tables())
+@settings(max_examples=40, deadline=None)
+def test_count_footprint_batch_equals_scalar(table):
+    nest, designs, inner, middle = table
+    blocks = middle * inner
+    iterators = nest.iterators
+    for access in nest.accesses:
+        batched = count_footprint_batch(access, iterators, blocks)
+        for i in range(blocks.shape[0]):
+            domain = IterationDomain.of(
+                [(it, int(blocks[i, k])) for k, it in enumerate(iterators)]
+            )
+            assert int(batched[i]) == count_footprint(access, domain)
+
+
+def test_batch_rejects_bad_shapes():
+    nest = conv_loop_nest(4, 3, 6, 6, 3, 3, name="tiny")
+    platform = Platform()
+    with pytest.raises(ValueError, match="inner and middle"):
+        estimate_performance_batch(
+            nest,
+            platform,
+            inner=np.ones((2, len(nest.iterators)), dtype=np.int64),
+            middle=np.ones((3, len(nest.iterators)), dtype=np.int64),
+        )
+    with pytest.raises(ValueError, match="empty"):
+        estimate_performance_batch(
+            nest,
+            platform,
+            inner=np.ones((0, len(nest.iterators)), dtype=np.int64),
+            middle=np.ones((0, len(nest.iterators)), dtype=np.int64),
+        )
+
+
+def test_batch_refuses_out_of_exact_range(monkeypatch):
+    import repro.model.performance as perf
+
+    nest = conv_loop_nest(4, 3, 6, 6, 3, 3, name="tiny")
+    platform = Platform()
+    monkeypatch.setattr(perf, "FLOAT64_EXACT_INT", 1)
+    with pytest.raises(ValueError, match="exact integer range"):
+        estimate_performance_batch(
+            nest,
+            platform,
+            inner=np.ones((1, len(nest.iterators)), dtype=np.int64),
+            middle=np.ones((1, len(nest.iterators)), dtype=np.int64),
+        )
