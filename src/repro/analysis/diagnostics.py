@@ -162,6 +162,20 @@ NEST_NO_FEASIBLE_MAPPING = register_code(
     "SA131", "no feasible systolic mapping exists for the nest (Eq. 2)"
 )
 NEST_TOO_SHALLOW = register_code("SA132", "nest has fewer than three loops")
+IMPORT_SPEC_MALFORMED = register_code("SA140", "network spec is not well-formed")
+IMPORT_UNSUPPORTED_OP = register_code("SA141", "unsupported operator in the network graph")
+IMPORT_UNSUPPORTED_ATTRIBUTE = register_code(
+    "SA142", "unsupported operator attribute for systolic lowering"
+)
+IMPORT_ASYMMETRIC_ATTRIBUTE = register_code(
+    "SA143", "asymmetric kernel/stride/dilation/padding is not supported"
+)
+IMPORT_SHAPE_MISMATCH = register_code(
+    "SA144", "graph tensor shapes are inconsistent or cannot be inferred"
+)
+LAYER_KERNEL_TOO_LARGE = register_code(
+    "SA145", "kernel does not fit in the padded input (nonpositive output size)"
+)
 EMIT_NOT_SUBSET = register_code("SA150", "nest cannot be rendered in the C subset")
 
 # --- SA2xx: design-point validation ---------------------------------------

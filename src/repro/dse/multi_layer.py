@@ -58,7 +58,10 @@ def prepare_network_nests(
     workloads = []
     for layer in network.conv_layers:
         target = layer
-        if fold_strided and layer.stride > 1:
+        # Folding rewrites stride*r+p subscripts away; grouped (e.g.
+        # depthwise) and dilated layers stay strided — the downstream
+        # model, simulators and codegen handle their subscripts directly.
+        if fold_strided and layer.stride > 1 and layer.groups == 1 and layer.dilation == 1:
             target = fold_layer(layer)
         per_group = target.group_view()
         workloads.append(

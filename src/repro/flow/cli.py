@@ -9,6 +9,8 @@ Usage::
     systolic-synth conv_layer.c --sim-backend both
     systolic-synth compile conv_layer.c --jobs 4 \\
         --inject-fault dse.worker:crash:p=0.3 --seed 7
+    systolic-synth import mobilenet.json -o build/
+    systolic-synth import model.onnx --check-only
     systolic-synth check conv_layer.c
     systolic-synth check conv_layer.c --json --level design
     systolic-synth verify conv_layer.c
@@ -86,7 +88,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("source", nargs="?", help="C file with a '#pragma systolic' nest")
     parser.add_argument(
         "--network",
-        choices=["alexnet", "vgg16", "googlenet", "tiny_cnn"],
+        choices=["alexnet", "vgg16", "googlenet", "mobilenet_v1", "resnet18", "tiny_cnn"],
         help="synthesize a unified design for a built-in CNN model instead",
     )
     parser.add_argument("-o", "--output", default="systolic_out", help="output directory")
@@ -343,8 +345,15 @@ def build_submit_arg_parser() -> argparse.ArgumentParser:
         description="Submit a nest to a running synthesis server.",
     )
     parser.add_argument(
-        "source", help="C file with a '#pragma systolic' nest, or a saved "
-        "design-point JSON"
+        "source", nargs="?", help="C file with a '#pragma systolic' nest, or "
+        "a saved design-point JSON"
+    )
+    parser.add_argument(
+        "--network",
+        metavar="NAME_OR_JSON",
+        help="submit a whole network for unified DSE instead of a nest: a "
+        "built-in model name (e.g. mobilenet_v1, resnet18) or a .json "
+        "importer spec file",
     )
     parser.add_argument(
         "--url", default="http://127.0.0.1:8451", help="server base URL"
@@ -396,6 +405,140 @@ def build_submit_arg_parser() -> argparse.ArgumentParser:
         help="how long to wait for the result with --output (seconds)",
     )
     return parser
+
+
+def build_import_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="systolic-synth import",
+        description="Import a network (declarative JSON spec or serialized "
+        "ONNX model), lower it to layer descriptors and loop nests, and "
+        "synthesize one unified systolic design for the whole model.",
+    )
+    parser.add_argument(
+        "source", help="network file: a .json spec or a serialized .onnx model"
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="stop after import + lowering: print the layer summary and "
+        "diagnostics, skip the DSE (no artifacts written)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("-o", "--output", default="systolic_out", help="output directory")
+    parser.add_argument("--device", default="arria10_gt1150", help="target FPGA")
+    parser.add_argument(
+        "--datatype", default="float32", help="float32 | fixed8_16 | fixed16"
+    )
+    parser.add_argument(
+        "--cs", type=float, default=0.8, help="minimum DSP utilization (Eq. 12 c_s)"
+    )
+    parser.add_argument("--top-n", type=int, default=14, help="phase-2 finalist count")
+    parser.add_argument(
+        "--clock", type=float, default=280.0, help="phase-1 assumed clock (MHz)"
+    )
+    parser.add_argument(
+        "--dse-engine",
+        choices=["vector", "object"],
+        default="vector",
+        help="DSE evaluation engine (bit-identical; vector is faster)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="DSE worker processes (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed stage cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="stage cache directory (default ~/.cache/repro-systolic)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the per-stage progress lines on stderr",
+    )
+    return parser
+
+
+def import_main(argv: list[str]) -> int:
+    """The ``import`` subcommand: network file -> unified systolic design."""
+    args = build_import_arg_parser().parse_args(argv)
+    from repro.frontend.network import load_network
+
+    path = Path(args.source)
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    imported = load_network(path, strict=False)
+    if not imported.ok:
+        if args.json:
+            import json
+
+            print(json.dumps(imported.report.to_dict(), indent=2))
+        else:
+            print(imported.report.render(), file=sys.stderr)
+        return 1
+    network = imported.network
+    for diagnostic in imported.report.diagnostics:
+        print(diagnostic.render(), file=sys.stderr)
+    if args.check_only:
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "name": network.name,
+                        "conv_layers": [str(l) for l in network.conv_layers],
+                        "fc_layers": [l.name for l in network.fc_layers],
+                        "pool_layers": [l.name for l in network.pool_layers],
+                        "add_layers": [l.name for l in network.add_layers],
+                        "conv_flops": network.conv_flops,
+                        "diagnostics": imported.report.to_dict()["diagnostics"],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"imported {network.name}: {len(network.conv_layers)} conv, "
+                  f"{len(network.fc_layers)} fc, {len(network.pool_layers)} pool, "
+                  f"{len(network.add_layers)} add layers "
+                  f"({network.conv_flops / 1e9:.2f} conv Gops/image)")
+            for layer in network.conv_layers:
+                print(f"  {layer}")
+        return 0
+
+    platform = Platform(
+        device=device_by_name(args.device),
+        datatype=datatype_by_name(args.datatype),
+        assumed_clock_mhz=args.clock,
+    )
+    config = DseConfig(
+        min_dsp_utilization=args.cs, top_n=args.top_n, engine=args.dse_engine
+    )
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    from repro.pipeline.events import Observer, ProgressPrinter
+
+    cache: bool | str = not args.no_cache
+    if args.cache_dir:
+        cache = args.cache_dir
+    observers: list[Observer] = [] if args.quiet else [ProgressPrinter()]
+    report = _synthesize_network(
+        network, platform, config, out_dir, cache, tuple(observers), args.jobs
+    )
+    (out_dir / "report.txt").write_text(report + "\n")
+    print(report)
+    print(f"\nartifacts written to {out_dir}/")
+    return 0
 
 
 def serve_main(argv: list[str]) -> int:
@@ -496,9 +639,8 @@ def submit_main(argv: list[str]) -> int:
     args = build_submit_arg_parser().parse_args(argv)
     from repro.service.client import ServiceClient, ServiceError
 
-    path = Path(args.source)
-    if not path.is_file():
-        print(f"error: no such file: {path}", file=sys.stderr)
+    if bool(args.source) == bool(args.network):
+        print("error: provide exactly one of SOURCE or --network", file=sys.stderr)
         return 2
     options = {
         "device": args.device,
@@ -510,17 +652,37 @@ def submit_main(argv: list[str]) -> int:
     }
     if args.sim_backend:
         options["sim_backend"] = args.sim_backend
-    body: dict = {"name": path.stem, "options": options}
-    if path.suffix == ".json":
-        import json as _json
+    if args.network:
+        if args.network.endswith(".json"):
+            spec_path = Path(args.network)
+            if not spec_path.is_file():
+                print(f"error: no such file: {spec_path}", file=sys.stderr)
+                return 2
+            import json as _json
 
-        body["design"] = _json.loads(path.read_text())
+            body: dict = {
+                "name": spec_path.stem,
+                "options": options,
+                "network": _json.loads(spec_path.read_text()),
+            }
+        else:
+            body = {"name": args.network, "options": options, "network": args.network}
     else:
-        try:
-            body["source"] = path.read_text()
-        except UnicodeDecodeError:
-            print(f"error: {path} is not a text file", file=sys.stderr)
+        path = Path(args.source)
+        if not path.is_file():
+            print(f"error: no such file: {path}", file=sys.stderr)
             return 2
+        body = {"name": path.stem, "options": options}
+        if path.suffix == ".json":
+            import json as _json
+
+            body["design"] = _json.loads(path.read_text())
+        else:
+            try:
+                body["source"] = path.read_text()
+            except UnicodeDecodeError:
+                print(f"error: {path} is not a text file", file=sys.stderr)
+                return 2
     client = ServiceClient(args.url, client_id=args.client_id)
     try:
         job = client.submit(priority=args.priority, **body)
@@ -568,10 +730,19 @@ def submit_main(argv: list[str]) -> int:
             )
             return 1
         from repro.model.serialize import result_from_dict
+        from repro.pipeline.codecs import UNIFIED_FORMAT
 
-        result = result_from_dict(status["result"])
         out_dir = Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
+        if status["result"].get("format") == UNIFIED_FORMAT:
+            import json as _json
+
+            (out_dir / "unified_result.json").write_text(
+                _json.dumps(status["result"], indent=2) + "\n"
+            )
+            print(f"unified result written to {out_dir}/unified_result.json")
+            return 0
+        result = result_from_dict(status["result"])
         (out_dir / "kernel.cl").write_text(result.kernel_source)
         (out_dir / "host.cpp").write_text(result.host_source)
         (out_dir / "testbench.c").write_text(result.testbench_source)
@@ -843,6 +1014,8 @@ def main(argv: list[str] | None = None) -> int:
         return submit_main(raw[1:])
     if raw and raw[0] == "lint":
         return lint_main(raw[1:])
+    if raw and raw[0] == "import":
+        return import_main(raw[1:])
     if raw and raw[0] == "compile":
         raw = raw[1:]  # explicit subcommand name for the default action
     args = build_arg_parser().parse_args(raw)
@@ -910,39 +1083,52 @@ def _configured_main(args) -> int:
             trace.close()
 
 
+def _synthesize_network(
+    network, platform, config, out_dir, cache, observers, jobs
+) -> str:
+    """Run the unified whole-network flow and write its artifacts.
+
+    Shared by ``--network <builtin>`` and ``import <file>``; returns the
+    text report.
+    """
+    synthesis = synthesize_network(
+        network, platform, config, jobs=jobs, cache=cache, observers=observers
+    )
+    result = synthesis.result
+    (out_dir / "kernel.cl").write_text(synthesis.kernel_source)
+    (out_dir / "host.cpp").write_text(synthesis.host_source)
+    (out_dir / "opencl_shim.h").write_text(OPENCL_SHIM)
+    rows = [
+        (l.name, f"{l.throughput_gops:.1f}", f"{l.dsp_efficiency:.1%}",
+         f"{l.seconds * 1e3:.3f}", l.bound)
+        for l in result.layers
+    ]
+    return "\n".join(
+        [
+            f"unified design for {network.name}: shape {result.config.shape} "
+            f"mapping ({result.config.mapping.row},{result.config.mapping.col},"
+            f"{result.config.mapping.vector}) @ {result.frequency_mhz:.1f} MHz",
+            f"DSP {result.dsp_utilization:.0%}  BRAM {result.bram_utilization:.0%}  "
+            f"logic {result.logic_utilization:.0%}",
+            "",
+            format_table(
+                ["layer", "Gops", "DSP eff", "ms", "bound"], rows,
+                title="per-layer performance",
+            ),
+            "",
+            f"total conv latency {synthesis.latency_ms:.2f} ms/image, "
+            f"aggregate {synthesis.throughput_gops:.1f} Gops",
+        ]
+    )
+
+
 def _synthesize(args, platform, config, out_dir, cache, observers) -> int:
     if args.network:
         from repro.nn import models
 
         network = getattr(models, args.network)()
-        synthesis = synthesize_network(
-            network, platform, config, jobs=args.jobs, cache=cache, observers=observers
-        )
-        result = synthesis.result
-        (out_dir / "kernel.cl").write_text(synthesis.kernel_source)
-        (out_dir / "host.cpp").write_text(synthesis.host_source)
-        (out_dir / "opencl_shim.h").write_text(OPENCL_SHIM)
-        rows = [
-            (l.name, f"{l.throughput_gops:.1f}", f"{l.dsp_efficiency:.1%}",
-             f"{l.seconds * 1e3:.3f}", l.bound)
-            for l in result.layers
-        ]
-        report = "\n".join(
-            [
-                f"unified design for {network.name}: shape {result.config.shape} "
-                f"mapping ({result.config.mapping.row},{result.config.mapping.col},"
-                f"{result.config.mapping.vector}) @ {result.frequency_mhz:.1f} MHz",
-                f"DSP {result.dsp_utilization:.0%}  BRAM {result.bram_utilization:.0%}  "
-                f"logic {result.logic_utilization:.0%}",
-                "",
-                format_table(
-                    ["layer", "Gops", "DSP eff", "ms", "bound"], rows,
-                    title="per-layer performance",
-                ),
-                "",
-                f"total conv latency {synthesis.latency_ms:.2f} ms/image, "
-                f"aggregate {synthesis.throughput_gops:.1f} Gops",
-            ]
+        report = _synthesize_network(
+            network, platform, config, out_dir, cache, observers, args.jobs
         )
     else:
         source = Path(args.source).read_text()
@@ -984,10 +1170,12 @@ if __name__ == "__main__":  # pragma: no cover
 __all__ = [
     "build_arg_parser",
     "build_check_arg_parser",
+    "build_import_arg_parser",
     "build_serve_arg_parser",
     "build_submit_arg_parser",
     "build_verify_arg_parser",
     "check_main",
+    "import_main",
     "main",
     "serve_main",
     "submit_main",

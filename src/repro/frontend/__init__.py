@@ -14,17 +14,27 @@ package parses the same programs directly:
 Everything the downstream flow needs — loop bounds and affine subscripts
 — is recovered exactly; anything outside the subset is rejected with a
 location-bearing error.
+
+A second, whole-network entry point lives in
+:mod:`repro.frontend.network`: declarative JSON specs and ONNX graphs
+are lowered to :class:`repro.nn.Network` descriptors (and from there to
+the same loop nests) with structured ``SA14x`` diagnostics.
 """
 
 from repro.frontend.cparser import ParseError, parse_program
 from repro.frontend.emit import EmitError, nest_to_c
 from repro.frontend.extract import extract_loop_nest, loop_nest_from_source
 from repro.frontend.lexer import LexError
+from repro.frontend.network import ImportResult, import_json, import_onnx, load_network
 
 __all__ = [
     "EmitError",
+    "ImportResult",
     "LexError",
     "ParseError",
+    "import_json",
+    "import_onnx",
+    "load_network",
     "nest_to_c",
     "extract_loop_nest",
     "loop_nest_from_source",

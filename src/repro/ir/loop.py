@@ -164,6 +164,7 @@ def conv_loop_nest(
     kernel_w: int,
     *,
     stride: int = 1,
+    dilation: int = 1,
     name: str = "conv",
 ) -> LoopNest:
     """The canonical convolution nest of the paper's Code 1.
@@ -172,7 +173,7 @@ def conv_loop_nest(
     ``i`` input channel, ``c`` output column, ``r`` output row, ``p``
     kernel row, ``q`` kernel column::
 
-        OUT[o][r][c] += W[o][i][p][q] * IN[i][stride*r+p][stride*c+q]
+        OUT[o][r][c] += W[o][i][p][q] * IN[i][stride*r+dilation*p][stride*c+dilation*q]
 
     Args:
         out_channels: O, number of output feature maps.
@@ -182,6 +183,7 @@ def conv_loop_nest(
         kernel_h: K (P loop), kernel rows.
         kernel_w: K (Q loop), kernel columns.
         stride: convolution stride (1 in Code 1; >1 after folding).
+        dilation: kernel dilation (1 in Code 1; >1 spreads the taps).
         name: label for the nest.
 
     Returns:
@@ -189,8 +191,10 @@ def conv_loop_nest(
     """
     from repro.ir.access import AffineExpr
 
-    in_row = AffineExpr.of({"r": stride, "p": 1})
-    in_col = AffineExpr.of({"c": stride, "q": 1})
+    if stride < 1 or dilation < 1:
+        raise ValueError(f"nest {name!r}: stride and dilation must be >= 1")
+    in_row = AffineExpr.of({"r": stride, "p": dilation})
+    in_col = AffineExpr.of({"c": stride, "q": dilation})
     loops = (
         Loop("o", out_channels),
         Loop("i", in_channels),

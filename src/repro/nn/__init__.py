@@ -25,8 +25,23 @@ from repro.nn.golden import (
     conv2d_reference_loops,
     random_layer_tensors,
 )
-from repro.nn.layers import ConvLayer, FCLayer, LayerShape, PoolLayer
-from repro.nn.models import Network, alexnet, googlenet, tiny_cnn, vgg16
+from repro.nn.layers import (
+    AddLayer,
+    ConvLayer,
+    FCLayer,
+    LayerShape,
+    LayerShapeError,
+    PoolLayer,
+)
+from repro.nn.models import (
+    Network,
+    alexnet,
+    googlenet,
+    mobilenet_v1,
+    resnet18,
+    tiny_cnn,
+    vgg16,
+)
 from repro.nn.quantize import (
     QuantizationSpec,
     dequantize,
@@ -36,9 +51,11 @@ from repro.nn.quantize import (
 )
 
 __all__ = [
+    "AddLayer",
     "ConvLayer",
     "FCLayer",
     "LayerShape",
+    "LayerShapeError",
     "Network",
     "NetworkParameters",
     "classification_agreement",
@@ -57,9 +74,11 @@ __all__ = [
     "fold_input_tensor",
     "fold_layer",
     "fold_weight_tensor",
+    "mobilenet_v1",
     "quantize_tensor",
     "quantized_conv2d",
     "random_layer_tensors",
+    "resnet18",
     "tiny_cnn",
     "vgg16",
 ]

@@ -57,6 +57,8 @@ def fold_layer(layer: ConvLayer) -> ConvLayer:
         raise ValueError(f"{layer.name}: stride is already 1, nothing to fold")
     if layer.groups != 1:
         raise ValueError(f"{layer.name}: folding grouped layers is not supported")
+    if layer.dilation != 1:
+        raise ValueError(f"{layer.name}: folding dilated layers is not supported")
     stride = layer.stride
     k_folded = folded_kernel(layer)
     phase_h = layer.out_height + k_folded - 1

@@ -29,6 +29,7 @@ def conv2d(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    dilation: int = 1,
 ) -> np.ndarray:
     """Direct 2-D convolution (no flipping — cross-correlation, CNN style).
 
@@ -38,6 +39,7 @@ def conv2d(
         stride: stride in both dimensions.
         pad: symmetric zero padding.
         groups: group count.
+        dilation: kernel dilation in both dimensions.
 
     Returns:
         (O, R, C) output feature maps, dtype following NumPy promotion.
@@ -50,15 +52,21 @@ def conv2d(
         raise ValueError(
             f"weight shape {weights.shape} inconsistent with {in_ch} inputs / {groups} groups"
         )
+    if stride < 1 or dilation < 1:
+        raise ValueError("stride and dilation must be >= 1")
     padded = pad_input(inputs, pad)
     _, height, width = padded.shape
-    out_h = (height - kernel_h) // stride + 1
-    out_w = (width - kernel_w) // stride + 1
+    span_h = dilation * (kernel_h - 1) + 1
+    span_w = dilation * (kernel_w - 1) + 1
+    out_h = (height - span_h) // stride + 1
+    out_w = (width - span_w) // stride + 1
     if out_h < 1 or out_w < 1:
         raise ValueError("kernel does not fit in padded input")
 
-    windows = np.lib.stride_tricks.sliding_window_view(padded, (kernel_h, kernel_w), axis=(1, 2))
-    windows = windows[:, ::stride, ::stride, :, :]  # (I, R, C, K, K)
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (span_h, span_w), axis=(1, 2))
+    # stride subsamples the window origins; dilation subsamples the taps
+    # inside each window: windows becomes (I, R, C, K, K).
+    windows = windows[:, ::stride, ::stride, ::dilation, ::dilation]
 
     out_per_group = out_ch // groups
     in_per_group = in_ch // groups
@@ -88,12 +96,22 @@ def conv2d_layer(layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray) -> n
     if weights.shape != expected_w:
         raise ValueError(f"{layer.name}: weight shape {weights.shape} != {expected_w}")
     return conv2d(
-        inputs, weights, stride=layer.stride, pad=layer.pad, groups=layer.groups
+        inputs,
+        weights,
+        stride=layer.stride,
+        pad=layer.pad,
+        groups=layer.groups,
+        dilation=layer.dilation,
     )
 
 
 def conv2d_reference_loops(
-    inputs: np.ndarray, weights: np.ndarray, *, stride: int = 1, pad: int = 0
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    *,
+    stride: int = 1,
+    pad: int = 0,
+    dilation: int = 1,
 ) -> np.ndarray:
     """Code 1 transcribed literally (ungrouped).  Slow; tests only.
 
@@ -102,8 +120,10 @@ def conv2d_reference_loops(
     """
     padded = pad_input(inputs, pad)
     out_ch, in_ch, kernel_h, kernel_w = weights.shape
-    out_h = (padded.shape[1] - kernel_h) // stride + 1
-    out_w = (padded.shape[2] - kernel_w) // stride + 1
+    span_h = dilation * (kernel_h - 1) + 1
+    span_w = dilation * (kernel_w - 1) + 1
+    out_h = (padded.shape[1] - span_h) // stride + 1
+    out_w = (padded.shape[2] - span_w) // stride + 1
     out = np.zeros((out_ch, out_h, out_w), dtype=np.result_type(inputs, weights))
     for o in range(out_ch):  # L1
         for i in range(in_ch):  # L2
@@ -112,7 +132,10 @@ def conv2d_reference_loops(
                     for p in range(kernel_h):  # L5
                         for q in range(kernel_w):  # L6
                             out[o][r][c] += (
-                                weights[o][i][p][q] * padded[i][stride * r + p][stride * c + q]
+                                weights[o][i][p][q]
+                                * padded[i][stride * r + dilation * p][
+                                    stride * c + dilation * q
+                                ]
                             )
     return out
 

@@ -13,7 +13,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.analysis.diagnostics import (
+    LAYER_KERNEL_TOO_LARGE,
+    AnalysisReport,
+    DiagnosticError,
+    Severity,
+)
 from repro.ir.loop import LoopNest, conv_loop_nest
+
+
+class LayerShapeError(DiagnosticError):
+    """A layer's geometry admits no output (kernel overruns the input).
+
+    Raised by the layer descriptors with a structured ``SA145``
+    diagnostic instead of silently flooring the output extent to a
+    nonpositive size.  A :class:`ValueError` subclass (via
+    :class:`DiagnosticError`), so callers guarding construction with
+    ``except ValueError`` keep working.
+    """
+
+
+def _kernel_fit_error(
+    name: str, span: int, padded_h: int, padded_w: int
+) -> LayerShapeError:
+    report = AnalysisReport()
+    report.add(
+        LAYER_KERNEL_TOO_LARGE,
+        Severity.ERROR,
+        f"{name}: kernel does not fit in padded input — effective kernel "
+        f"span {span} exceeds the padded input extent {padded_h}x{padded_w}",
+        hint="shrink the kernel or dilation, or increase padding/input size",
+    )
+    return LayerShapeError(report)
 
 
 @dataclass(frozen=True)
@@ -45,7 +76,9 @@ class ConvLayer:
         kernel: K (square kernels, as in all paper workloads).
         stride: convolution stride.
         pad: symmetric zero padding.
-        groups: group count (AlexNet conv2/4/5 use 2).
+        groups: group count (AlexNet conv2/4/5 use 2; depthwise layers
+            use ``groups == in_channels``).
+        dilation: kernel dilation (spacing between taps; 1 = dense).
     """
 
     name: str
@@ -57,6 +90,7 @@ class ConvLayer:
     stride: int = 1
     pad: int = 0
     groups: int = 1
+    dilation: int = 1
 
     def __post_init__(self) -> None:
         if self.in_channels % self.groups or self.out_channels % self.groups:
@@ -64,24 +98,48 @@ class ConvLayer:
                 f"{self.name}: channels ({self.in_channels}->{self.out_channels}) "
                 f"not divisible by groups={self.groups}"
             )
-        if min(self.in_channels, self.out_channels, self.kernel, self.stride) < 1:
+        if (
+            min(
+                self.in_channels,
+                self.out_channels,
+                self.kernel,
+                self.stride,
+                self.dilation,
+            )
+            < 1
+        ):
             raise ValueError(f"{self.name}: nonpositive layer parameter")
         if self.pad < 0:
             raise ValueError(f"{self.name}: negative padding")
         if self.out_height < 1 or self.out_width < 1:
-            raise ValueError(f"{self.name}: kernel does not fit in padded input")
+            raise _kernel_fit_error(
+                self.name,
+                self.kernel_span,
+                self.in_height + 2 * self.pad,
+                self.in_width + 2 * self.pad,
+            )
 
     # -------------------------------------------------------------- geometry
 
     @property
+    def kernel_span(self) -> int:
+        """Effective kernel extent: ``dilation * (K - 1) + 1``."""
+        return self.dilation * (self.kernel - 1) + 1
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True for depthwise layers (one group per input channel)."""
+        return self.groups == self.in_channels and self.groups > 1
+
+    @property
     def out_height(self) -> int:
         """Output rows R."""
-        return (self.in_height + 2 * self.pad - self.kernel) // self.stride + 1
+        return (self.in_height + 2 * self.pad - self.kernel_span) // self.stride + 1
 
     @property
     def out_width(self) -> int:
         """Output columns C."""
-        return (self.in_width + 2 * self.pad - self.kernel) // self.stride + 1
+        return (self.in_width + 2 * self.pad - self.kernel_span) // self.stride + 1
 
     @property
     def input_shape(self) -> LayerShape:
@@ -163,6 +221,7 @@ class ConvLayer:
             per_group.kernel,
             per_group.kernel,
             stride=per_group.stride,
+            dilation=per_group.dilation,
             name=self.name,
         )
 
@@ -174,6 +233,8 @@ class ConvLayer:
             extra.append(f"p{self.pad}")
         if self.groups != 1:
             extra.append(f"g{self.groups}")
+        if self.dilation != 1:
+            extra.append(f"d{self.dilation}")
         suffix = ",".join(extra)
         return (
             f"{self.name}: {self.input_shape} -> {self.output_shape} "
@@ -192,23 +253,70 @@ class PoolLayer:
     in_width: int
     kernel: int
     stride: int
+    pad: int = 0
     mode: str = "max"
 
     def __post_init__(self) -> None:
         if self.mode not in ("max", "avg"):
             raise ValueError(f"{self.name}: unknown pooling mode {self.mode!r}")
+        if min(self.channels, self.kernel, self.stride) < 1:
+            raise ValueError(f"{self.name}: nonpositive layer parameter")
+        if self.pad < 0:
+            raise ValueError(f"{self.name}: negative padding")
+        if self.out_height < 1 or self.out_width < 1:
+            raise _kernel_fit_error(
+                self.name,
+                self.kernel,
+                self.in_height + 2 * self.pad,
+                self.in_width + 2 * self.pad,
+            )
 
     @property
     def out_height(self) -> int:
-        return (self.in_height - self.kernel) // self.stride + 1
+        return (self.in_height + 2 * self.pad - self.kernel) // self.stride + 1
 
     @property
     def out_width(self) -> int:
-        return (self.in_width - self.kernel) // self.stride + 1
+        return (self.in_width + 2 * self.pad - self.kernel) // self.stride + 1
 
     @property
     def output_shape(self) -> LayerShape:
         return LayerShape(self.channels, self.out_height, self.out_width)
+
+
+@dataclass(frozen=True)
+class AddLayer:
+    """An elementwise residual addition (shape bookkeeping only).
+
+    ResNet-style shortcut joins: both operands must share one
+    :class:`LayerShape`; like pooling, the addition itself is not
+    offloaded to the systolic array.
+
+    Attributes:
+        name: layer label, e.g. ``"layer1_0_add"``.
+        channels, height, width: the (shared) operand/output shape.
+        operands: labels of the two tensors being joined (documentation
+            of the graph topology; empty when irrelevant).
+    """
+
+    name: str
+    channels: int
+    height: int
+    width: int
+    operands: tuple[str, str] = ("", "")
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.height, self.width) < 1:
+            raise ValueError(f"{self.name}: nonpositive layer parameter")
+
+    @property
+    def output_shape(self) -> LayerShape:
+        return LayerShape(self.channels, self.height, self.width)
+
+    @property
+    def flops(self) -> int:
+        """One add per element."""
+        return self.output_shape.volume
 
 
 @dataclass(frozen=True)
@@ -266,4 +374,11 @@ class FCLayer:
         )
 
 
-__all__ = ["ConvLayer", "FCLayer", "LayerShape", "PoolLayer"]
+__all__ = [
+    "AddLayer",
+    "ConvLayer",
+    "FCLayer",
+    "LayerShape",
+    "LayerShapeError",
+    "PoolLayer",
+]

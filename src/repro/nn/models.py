@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.nn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.nn.layers import AddLayer, ConvLayer, FCLayer, PoolLayer
 
 
 @dataclass(frozen=True)
@@ -23,12 +23,14 @@ class Network:
         conv_layers: the convolutional layers, in execution order.
         fc_layers: trailing fully connected layers.
         pool_layers: pooling layers (shape bookkeeping).
+        add_layers: elementwise residual additions (shape bookkeeping).
     """
 
     name: str
     conv_layers: tuple[ConvLayer, ...]
     fc_layers: tuple[FCLayer, ...] = ()
     pool_layers: tuple[PoolLayer, ...] = ()
+    add_layers: tuple[AddLayer, ...] = ()
 
     @property
     def conv_flops(self) -> int:
@@ -153,6 +155,123 @@ def googlenet() -> Network:
     return Network("googlenet", tuple(convs), fcs)
 
 
+def mobilenet_v1() -> Network:
+    """MobileNet v1 (Howard et al., 2017), width multiplier 1.0, 224x224.
+
+    The depthwise-separable workload: a strided dense stem, then 13
+    (depthwise 3x3, pointwise 1x1) pairs.  Depthwise layers use
+    ``groups == channels`` — their per-group nests have trivial o/i loops,
+    which exercises the mapper's degenerate-loop handling the same way
+    GoogLeNet's 1x1 layers do for p/q.  Strided depthwise layers cannot be
+    folded (folding is defined for ungrouped layers only), so they reach
+    the model/DSE as genuinely strided nests.
+    """
+    convs: list[ConvLayer] = [
+        ConvLayer("conv1", 3, 32, 224, 224, kernel=3, stride=2, pad=1),
+    ]
+    # (dw stride, pw out_channels); input size halves at each stride-2 pair.
+    pairs = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ]
+    channels, size = 32, 112
+    for idx, (stride, out_ch) in enumerate(pairs, start=2):
+        convs.append(
+            ConvLayer(
+                f"conv{idx}_dw",
+                channels,
+                channels,
+                size,
+                size,
+                kernel=3,
+                stride=stride,
+                pad=1,
+                groups=channels,
+            )
+        )
+        size = size // stride
+        convs.append(ConvLayer(f"conv{idx}_pw", channels, out_ch, size, size, kernel=1))
+        channels = out_ch
+    pools = (PoolLayer("avgpool", 1024, 7, 7, kernel=7, stride=1, mode="avg"),)
+    fcs = (FCLayer("fc", 1024, 1000),)
+    return Network("mobilenet_v1", tuple(convs), fcs, pools)
+
+
+def resnet18() -> Network:
+    """ResNet-18 (He et al., 2015): 4 stages of two BasicBlocks each.
+
+    The residual workload: each block is two 3x3 convolutions plus an
+    elementwise shortcut addition; the first block of stages 2-4 is
+    strided and carries a 1x1 stride-2 projection on the shortcut.
+    """
+    convs: list[ConvLayer] = [
+        ConvLayer("conv1", 3, 64, 224, 224, kernel=7, stride=2, pad=3),
+    ]
+    adds: list[AddLayer] = []
+    # (stage channels, input size to the stage); stage 1 follows the
+    # stride-2 maxpool, stages 2-4 halve the map in their first block.
+    stages = [(64, 56), (128, 56), (256, 28), (512, 14)]
+    in_ch = 64
+    for stage_idx, (out_ch, in_size) in enumerate(stages, start=1):
+        for block_idx in range(2):
+            first = block_idx == 0
+            stride = 2 if (first and stage_idx > 1) else 1
+            prefix = f"layer{stage_idx}_{block_idx}"
+            out_size = in_size // stride
+            convs.append(
+                ConvLayer(
+                    f"{prefix}_conv1",
+                    in_ch,
+                    out_ch,
+                    in_size,
+                    in_size,
+                    kernel=3,
+                    stride=stride,
+                    pad=1,
+                )
+            )
+            convs.append(
+                ConvLayer(
+                    f"{prefix}_conv2", out_ch, out_ch, out_size, out_size, kernel=3, pad=1
+                )
+            )
+            shortcut = f"{prefix}_input"
+            if first and stage_idx > 1:
+                shortcut = f"{prefix}_downsample"
+                convs.append(
+                    ConvLayer(
+                        shortcut, in_ch, out_ch, in_size, in_size, kernel=1, stride=stride
+                    )
+                )
+            adds.append(
+                AddLayer(
+                    f"{prefix}_add",
+                    out_ch,
+                    out_size,
+                    out_size,
+                    operands=(f"{prefix}_conv2", shortcut),
+                )
+            )
+            in_ch, in_size = out_ch, out_size
+    pools = (
+        PoolLayer("maxpool", 64, 112, 112, kernel=3, stride=2, pad=1),
+        PoolLayer("avgpool", 512, 7, 7, kernel=7, stride=1, mode="avg"),
+    )
+    fcs = (FCLayer("fc", 512, 1000),)
+    return Network("resnet18", tuple(convs), fcs, pools, tuple(adds))
+
+
 def tiny_cnn() -> Network:
     """A small synthetic network for fast tests and the quickstart example.
 
@@ -169,4 +288,12 @@ def tiny_cnn() -> Network:
     return Network("tiny_cnn", convs, fcs)
 
 
-__all__ = ["Network", "alexnet", "googlenet", "tiny_cnn", "vgg16"]
+__all__ = [
+    "Network",
+    "alexnet",
+    "googlenet",
+    "mobilenet_v1",
+    "resnet18",
+    "tiny_cnn",
+    "vgg16",
+]

@@ -94,16 +94,24 @@ class ServiceClient:
         *,
         source: str | None = None,
         design: dict[str, Any] | None = None,
+        network: str | dict[str, Any] | None = None,
         name: str | None = None,
         priority: int = 0,
         options: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
-        """POST /v1/jobs; returns the job status dict (id, state, ...)."""
+        """POST /v1/jobs; returns the job status dict (id, state, ...).
+
+        Exactly one of ``source`` (restricted-C nest), ``design`` (a saved
+        design-point payload) or ``network`` (a built-in network name or a
+        JSON spec object) identifies the work.
+        """
         body: dict[str, Any] = {"priority": priority}
         if source is not None:
             body["source"] = source
         if design is not None:
             body["design"] = design
+        if network is not None:
+            body["network"] = network
         if name is not None:
             body["name"] = name
         if options:

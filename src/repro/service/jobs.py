@@ -1,8 +1,10 @@
 """The job manager: queueing, coalescing, and a synthesis worker pool.
 
 This is the heart of ``systolic-synth serve``.  A submission arrives as a
-plain JSON payload (restricted-C ``source`` or a saved ``design``, plus
-platform/DSE ``options``), is parsed *at admission* into a
+plain JSON payload (restricted-C ``source``, a saved ``design``, or a
+whole ``network`` — a built-in model name or a declarative JSON spec for
+the importer — plus platform/DSE ``options``), is parsed *at admission*
+into a
 :class:`JobRequest`, and is identified by a **content fingerprint** — the
 same SHA-256 hashing discipline the pipeline's stage cache uses
 (:func:`repro.pipeline.cache.stable_fingerprint` over the nest, platform,
@@ -46,6 +48,7 @@ from typing import Any
 
 from repro.ir.loop import LoopNest
 from repro.model.platform import Platform
+from repro.nn.models import Network
 from repro.dse.explore import DseConfig
 from repro.pipeline.cache import StageCache, code_version, stable_fingerprint
 from repro.pipeline.context import SynthesisContext, SynthesisResult
@@ -96,11 +99,16 @@ class JobState(str, Enum):
 
 @dataclass(frozen=True)
 class JobRequest:
-    """A parsed, validated submission — everything one synthesis needs."""
+    """A parsed, validated submission — everything one synthesis needs.
 
-    nest: LoopNest
+    Exactly one of ``nest`` (single-layer synthesis) and ``network``
+    (whole-network unified DSE) is set.
+    """
+
     platform: Platform
     config: DseConfig
+    nest: LoopNest | None = None
+    network: Network | None = None
     name: str = "job"
     strict: bool = False
     sim_backend: str | None = None
@@ -116,8 +124,11 @@ class JobRequest:
             raise ValueError("submission body must be a JSON object")
         source = payload.get("source")
         design = payload.get("design")
-        if (source is None) == (design is None):
-            raise ValueError("provide exactly one of 'source' or 'design'")
+        network_spec = payload.get("network")
+        if sum(x is not None for x in (source, design, network_spec)) != 1:
+            raise ValueError(
+                "provide exactly one of 'source', 'design' or 'network'"
+            )
         options = payload.get("options") or {}
         if not isinstance(options, dict):
             raise ValueError("'options' must be an object")
@@ -154,7 +165,18 @@ class JobRequest:
                 f"choices: {[b for b in SIM_BACKENDS if b]}"
             )
         name = str(payload.get("name") or "job")
-        if source is not None:
+        network: Network | None = None
+        nest: LoopNest | None = None
+        if network_spec is not None:
+            if sim_backend is not None:
+                raise ValueError(
+                    "'sim_backend' applies to single-nest jobs only, not "
+                    "'network' submissions"
+                )
+            network = cls._parse_network(network_spec)
+            if not payload.get("name"):
+                name = network.name
+        elif source is not None:
             from repro.frontend.extract import loop_nest_from_source
 
             if not isinstance(source, str):
@@ -173,6 +195,7 @@ class JobRequest:
             nest = design_from_dict(design).nest
         return cls(
             nest=nest,
+            network=network,
             platform=platform,
             config=config,
             name=name,
@@ -180,16 +203,48 @@ class JobRequest:
             sim_backend=sim_backend,
         )
 
+    @staticmethod
+    def _parse_network(spec: Any) -> Network:
+        """A built-in model name, or a JSON spec for the importer."""
+        if isinstance(spec, str):
+            from repro.nn import models
+
+            builtin = getattr(models, spec, None)
+            if spec not in models.__all__ or not callable(builtin) or spec == "Network":
+                choices = sorted(n for n in models.__all__ if n != "Network")
+                raise ValueError(
+                    f"unknown built-in network {spec!r}; choices: {choices} "
+                    "(or pass a JSON spec object)"
+                )
+            return builtin()
+        if isinstance(spec, dict):
+            from repro.frontend.network import import_json
+
+            result = import_json(spec, strict=False)
+            if not result.ok:
+                raise ValueError(
+                    "network spec rejected: "
+                    + "; ".join(d.render() for d in result.report.errors)
+                )
+            return result.network
+        raise ValueError(
+            "'network' must be a built-in model name or a JSON spec object"
+        )
+
     def fingerprint(self) -> str:
         """The coalescing identity: same hashing discipline as the stage
         cache, so logically equal submissions always collide.  The nest's
         display name is normalized out — two tenants submitting the same
         nest under different labels must still coalesce."""
+        if self.network is not None:
+            subject = ["network", stable_fingerprint(replace(self.network, name=""))]
+        else:
+            subject = ["nest", stable_fingerprint(replace(self.nest, name=""))]
         material = json.dumps(
             [
                 "service-job",
                 code_version(),
-                stable_fingerprint(replace(self.nest, name="")),
+                *subject,
                 stable_fingerprint(self.platform),
                 stable_fingerprint(self.config),
                 bool(self.strict),
@@ -221,7 +276,8 @@ class Job:
         self.fingerprint = fingerprint or request.fingerprint()
         self.state = JobState.QUEUED
         self.error: str | None = None
-        self.result: SynthesisResult | None = None
+        # SynthesisResult for nest jobs, MultiLayerResult for network jobs.
+        self.result: Any = None
         self.result_payload: dict[str, Any] | None = None
         self.primary_id: str | None = None  # set when coalesced onto another job
         self.cancel_requested = False
@@ -688,22 +744,33 @@ class JobManager:
             if isinstance(event, StageFinished):
                 self.metrics.observe_stage(event.stage, event.seconds)
 
-        ctx = SynthesisContext(
-            platform=request.platform,
-            config=request.config,
-            name=request.name,
-            nest=request.nest,
-            strict=request.strict,
-            jobs=self.pipeline_jobs,
-            sim_backend=request.sim_backend,
-        )
         policy = current_policy()
 
-        def attempt() -> SynthesisResult:
+        def attempt() -> Any:
+            maybe_inject("service.worker")
+            if request.network is not None:
+                from repro.pipeline.unified import run_unified_dse
+
+                return run_unified_dse(
+                    request.network,
+                    request.platform,
+                    request.config,
+                    jobs=self.pipeline_jobs,
+                    cache=self.cache,
+                    observers=(bridge,),
+                )
             from repro.pipeline.engine import PipelineEngine
             from repro.pipeline.stages import synthesis_stages
 
-            maybe_inject("service.worker")
+            ctx = SynthesisContext(
+                platform=request.platform,
+                config=request.config,
+                name=request.name,
+                nest=request.nest,
+                strict=request.strict,
+                jobs=self.pipeline_jobs,
+                sim_backend=request.sim_backend,
+            )
             engine = PipelineEngine(
                 synthesis_stages(), cache=self.cache, observers=(bridge,)
             )
@@ -738,9 +805,14 @@ class JobManager:
             self._executions += 1
             attachments = list(self._attachments.pop(job.id, ()))
             if result is not None:
-                from repro.model.serialize import result_to_dict
+                if request.network is not None:
+                    from repro.pipeline.codecs import encode_unified
 
-                payload = result_to_dict(result)
+                    payload = encode_unified(result)
+                else:
+                    from repro.model.serialize import result_to_dict
+
+                    payload = result_to_dict(result)
                 outcome = JobState.DONE
             else:
                 payload = None
@@ -775,7 +847,7 @@ class JobManager:
         job: Job,
         state: JobState,
         *,
-        result: SynthesisResult | None = None,
+        result: Any = None,
         payload: dict[str, Any] | None = None,
         error: str | None = None,
     ) -> None:

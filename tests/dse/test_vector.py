@@ -16,7 +16,7 @@ from repro.ir.loop import conv_loop_nest
 from repro.model.design_point import ArrayShape
 from repro.model.mapping import Mapping
 from repro.model.platform import Platform
-from repro.nn.models import alexnet, vgg16
+from repro.nn.models import alexnet, mobilenet_v1, resnet18, vgg16
 from repro.dse.explore import (
     DseConfig,
     phase1,
@@ -238,6 +238,22 @@ class TestPhaseBitIdentity:
 
     def test_unified_selection(self):
         workloads = prepare_network_nests(alexnet())[:3]
+        platform = Platform()
+        kwargs = dict(min_dsp_utilization=0.85, vector_choices=(8,), top_n=6)
+        object_result = select_unified_design(
+            workloads, platform, DseConfig(engine="object", **kwargs)
+        )
+        vector_result = select_unified_design(
+            workloads, platform, DseConfig(engine="vector", **kwargs)
+        )
+        assert vector_result == object_result
+        assert vector_result.configs_tuned == object_result.configs_tuned
+
+    @pytest.mark.parametrize("network", [mobilenet_v1, resnet18])
+    def test_unified_selection_imported_networks(self, network):
+        """Vector-vs-object equality on the importer's network classes:
+        depthwise + strided (MobileNet) and residual (ResNet) layers."""
+        workloads = prepare_network_nests(network())[:3]
         platform = Platform()
         kwargs = dict(min_dsp_utilization=0.85, vector_choices=(8,), top_n=6)
         object_result = select_unified_design(

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.nn.layers import ConvLayer, FCLayer, LayerShape, PoolLayer
+from repro.nn.layers import (
+    AddLayer,
+    ConvLayer,
+    FCLayer,
+    LayerShape,
+    LayerShapeError,
+    PoolLayer,
+)
 
 
 class TestLayerShape:
@@ -36,6 +43,40 @@ class TestConvLayerGeometry:
     def test_rejects_negative_pad(self):
         with pytest.raises(ValueError):
             ConvLayer("bad", 4, 8, 13, 13, kernel=3, pad=-1)
+
+    def test_kernel_overrun_is_structured_sa145(self):
+        """A kernel larger than the padded input used to floor the output
+        size to a negative number silently; it must raise SA145."""
+        with pytest.raises(LayerShapeError) as err:
+            ConvLayer("bad", 3, 8, 4, 4, kernel=7)
+        assert isinstance(err.value, ValueError)  # old callers still catch it
+        (diag,) = err.value.report.errors
+        assert diag.code == "SA145"
+        assert "bad" in diag.render()
+
+    def test_dilated_kernel_overrun_is_sa145(self):
+        # span = 2*(4-1)+1 = 7 > 6 padded
+        with pytest.raises(LayerShapeError) as err:
+            ConvLayer("bad", 3, 8, 6, 6, kernel=4, dilation=2)
+        assert err.value.report.errors[0].code == "SA145"
+
+    def test_pool_kernel_overrun_is_sa145(self):
+        with pytest.raises(LayerShapeError) as err:
+            PoolLayer("bad", 8, 4, 4, kernel=7, stride=2)
+        assert err.value.report.errors[0].code == "SA145"
+
+    def test_dilated_geometry(self):
+        layer = ConvLayer("dil", 3, 8, 14, 14, kernel=3, pad=2, dilation=2)
+        assert layer.kernel_span == 5
+        assert (layer.out_height, layer.out_width) == (14, 14)
+
+
+class TestAddLayer:
+    def test_shape_and_flops(self):
+        layer = AddLayer("res", 64, 56, 56, operands=("conv2", "conv1"))
+        assert layer.output_shape == LayerShape(64, 56, 56)
+        assert layer.flops == 64 * 56 * 56
+        assert layer.operands == ("conv2", "conv1")
 
 
 class TestConvLayerWorkload:

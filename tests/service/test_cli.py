@@ -77,6 +77,39 @@ class TestSubmitCommand:
         assert (out / "report.txt").exists()
         assert "artifacts written" in capsys.readouterr().out
 
+    def test_submit_network_spec_fetches_unified_result(self, live, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "net.json"
+        spec.write_text(json.dumps({
+            "name": "clinet",
+            "input": {"channels": 3, "height": 11, "width": 11},
+            "layers": [
+                {"op": "conv", "name": "c1", "out_channels": 4, "kernel": 3,
+                 "stride": 2},
+                {"op": "conv", "name": "c2", "out_channels": 4, "kernel": 3,
+                 "pad": 1, "groups": "depthwise"},
+            ],
+        }))
+        out = tmp_path / "unified"
+        rc = main(
+            ["submit", "--network", str(spec), "--url", self.url(live),
+             "--cs", "0.0", "--top-n", "2", "-o", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads((out / "unified_result.json").read_text())
+        assert payload["format"] == "repro-unified/1"
+        assert "unified result written" in capsys.readouterr().out
+
+    def test_submit_requires_exactly_one_subject(self, live, tiny_c, capsys):
+        rc = main(
+            ["submit", str(tiny_c), "--network", "alexnet", "--url", self.url(live)]
+        )
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+        rc = main(["submit", "--url", self.url(live)])
+        assert rc == 2
+
     def test_submit_follow_renders_stage_progress(self, live, tiny_c, capsys):
         rc = main(
             ["submit", str(tiny_c), "--url", self.url(live),

@@ -31,6 +31,24 @@ def payload(**overrides):
     return body
 
 
+TINY_NETWORK = {
+    "name": "tinynet",
+    "input": {"channels": 3, "height": 11, "width": 11},
+    "layers": [
+        {"op": "conv", "name": "c1", "out_channels": 4, "kernel": 3, "stride": 2},
+        {"op": "conv", "name": "c2", "out_channels": 4, "kernel": 3, "pad": 1,
+         "groups": "depthwise"},
+    ],
+}
+
+
+def network_payload(**overrides):
+    body = {"network": TINY_NETWORK, "options": dict(FAST)}
+    body["options"].update(overrides.pop("options", {}))
+    body.update(overrides)
+    return body
+
+
 @pytest.fixture
 def manager(tmp_path):
     mgr = JobManager(workers=2, queue_depth=32, cache=str(tmp_path / "cache"))
@@ -45,6 +63,38 @@ class TestJobRequestParsing:
             JobRequest.from_payload({"source": TINY, "design": {}})
         with pytest.raises(ValueError, match="exactly one"):
             JobRequest.from_payload({})
+
+    def test_network_is_exclusive_with_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobRequest.from_payload(
+                {"source": TINY, "network": TINY_NETWORK, "options": dict(FAST)}
+            )
+
+    def test_network_payload_parses(self):
+        request = JobRequest.from_payload(network_payload())
+        assert request.nest is None
+        assert request.network is not None
+        assert request.name == "tinynet"  # defaults to the network name
+        assert [l.name for l in request.network.conv_layers] == ["c1", "c2"]
+
+    def test_builtin_network_by_name(self):
+        request = JobRequest.from_payload(
+            {"network": "alexnet", "options": dict(FAST)}
+        )
+        assert request.network.name == "alexnet"
+        with pytest.raises(ValueError, match="built-in network"):
+            JobRequest.from_payload({"network": "skynet", "options": dict(FAST)})
+
+    def test_bad_network_spec_rejected_with_diagnostics(self):
+        bad = {"network": {"layers": []}, "options": dict(FAST)}
+        with pytest.raises(ValueError, match="SA140"):
+            JobRequest.from_payload(bad)
+
+    def test_network_rejects_sim_backend(self):
+        with pytest.raises(ValueError, match="single-nest"):
+            JobRequest.from_payload(
+                network_payload(options={"sim_backend": "fast"})
+            )
 
     def test_non_object_body_rejected(self):
         with pytest.raises(ValueError, match="JSON object"):
@@ -133,6 +183,20 @@ class TestExecution:
         assert "JobStarted" in kinds
         assert "StageFinished" in kinds
         assert kinds[-1] == "JobFinished"
+
+    def test_network_job_runs_unified_dse(self, manager):
+        from repro.pipeline.codecs import UNIFIED_FORMAT, decode_unified
+
+        jobs = [manager.submit(network_payload()) for _ in range(3)]
+        for job in jobs:
+            done = manager.wait(job.id, timeout=60.0)
+            assert done.state is JobState.DONE
+            assert done.result_payload["format"] == UNIFIED_FORMAT
+        result = decode_unified(jobs[0].result_payload)
+        assert [layer.name for layer in result.layers] == ["c1", "c2"]
+        stats = manager.stats()
+        assert stats["executions"] == 1  # identical network jobs coalesce
+        assert stats["coalesce_hits"] == 2
 
     def test_bad_request_is_refused_at_the_door(self, manager):
         with pytest.raises(BadRequest):

@@ -22,7 +22,8 @@ from repro.model.design_point import ArrayShape
 from repro.model.mapping import Mapping
 from repro.model.platform import Platform
 from repro.model.serialize import design_from_dict, design_to_dict
-from repro.nn.models import alexnet, vgg16
+from repro.nn.layers import AddLayer, ConvLayer
+from repro.nn.models import Network, alexnet, vgg16
 from repro.sim.fast import FastWavefrontSimulator, cycle_statistics
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -31,7 +32,42 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 PAPER_MAPPING = Mapping("o", "c", "i", "IN", "W")
 PAPER_SHAPE = ArrayShape(11, 13, 8)
 
-NETWORKS = {"alexnet": alexnet, "vgg16": vgg16}
+
+def mobilenet_dw() -> Network:
+    """A MobileNet-v1 head at 32x32: strided stem, two dw/pw pairs.
+
+    Small enough to tune and simulate in seconds while pinning every new
+    structural kind the importer produces — strided, depthwise (strided
+    and unit-stride) and pointwise layers.
+    """
+    convs = (
+        ConvLayer("conv1", 3, 16, 32, 32, kernel=3, stride=2, pad=1),
+        ConvLayer("conv2_dw", 16, 16, 16, 16, kernel=3, pad=1, groups=16),
+        ConvLayer("conv2_pw", 16, 32, 16, 16, kernel=1),
+        ConvLayer("conv3_dw", 32, 32, 16, 16, kernel=3, stride=2, pad=1, groups=32),
+        ConvLayer("conv3_pw", 32, 64, 8, 8, kernel=1),
+    )
+    return Network("mobilenet_dw", convs)
+
+
+def resnet_block() -> Network:
+    """One ResNet basic block (plus a dilated variant) at 16x16."""
+    convs = (
+        ConvLayer("conv1", 3, 16, 16, 16, kernel=3, pad=1),
+        ConvLayer("block_conv1", 16, 16, 16, 16, kernel=3, pad=1),
+        ConvLayer("block_conv2", 16, 16, 16, 16, kernel=3, pad=1),
+        ConvLayer("conv_dil", 16, 16, 16, 16, kernel=3, pad=2, dilation=2),
+    )
+    adds = (AddLayer("block_add", 16, 16, 16, operands=("block_conv2", "conv1")),)
+    return Network("resnet_block", convs, add_layers=adds)
+
+
+NETWORKS = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "mobilenet_dw": mobilenet_dw,
+    "resnet_block": resnet_block,
+}
 
 COUNTERS = (
     "blocks",

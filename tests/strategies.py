@@ -60,6 +60,128 @@ def small_layers(
 
 
 @st.composite
+def rich_conv_layers(
+    draw,
+    *,
+    name: str = "rich",
+    max_channels: int = 8,
+    min_size: int = 4,
+    max_size: int = 10,
+    max_stride: int = 2,
+    max_dilation: int = 2,
+) -> ConvLayer:
+    """Conv layers over the full structural vocabulary.
+
+    Dense, grouped, and depthwise grouping; stride, dilation, and padding
+    drawn independently — with the kernel clamped so its dilated span
+    always fits the padded input (every draw constructs successfully).
+    """
+    grouping = draw(st.sampled_from(["dense", "grouped", "depthwise"]))
+    if grouping == "depthwise":
+        channels = draw(st.integers(2, max_channels))
+        in_ch = out_ch = groups = channels
+    elif grouping == "grouped":
+        groups = 2
+        in_ch = 2 * draw(st.integers(1, max_channels // 2))
+        out_ch = 2 * draw(st.integers(1, max_channels // 2))
+    else:
+        groups = 1
+        in_ch = draw(st.integers(1, max_channels))
+        out_ch = draw(st.integers(1, max_channels))
+    size = draw(st.integers(min_size, max_size))
+    stride = draw(st.integers(1, max_stride))
+    dilation = draw(st.integers(1, max_dilation))
+    pad = draw(st.integers(0, 2))
+    # largest K with dilation*(K-1)+1 <= padded extent
+    kernel_cap = (size + 2 * pad - 1) // dilation + 1
+    kernel = draw(st.integers(1, max(1, min(3, kernel_cap))))
+    return ConvLayer(
+        name,
+        in_ch,
+        out_ch,
+        size,
+        size,
+        kernel=kernel,
+        stride=stride,
+        pad=pad,
+        groups=groups,
+        dilation=dilation,
+    )
+
+
+@st.composite
+def network_specs(draw, *, max_layers: int = 4) -> dict:
+    """Always-importable declarative JSON network specs.
+
+    Shapes are chained the same way the importer chains them, so every
+    generated spec imports cleanly; ops cover conv (dense / grouped /
+    depthwise / strided / dilated), separable_conv, pool, residual add,
+    pass-throughs, and an optional trailing flatten+fc.
+    """
+    channels = draw(st.integers(1, 4))
+    size = draw(st.integers(8, 16))
+    layers: list[dict] = []
+    # name -> output shape, mirroring the importer's residual bookkeeping
+    outputs: dict[str, tuple[int, int, int]] = {}
+    shape = (channels, size, size)
+    for index in range(draw(st.integers(1, max_layers))):
+        candidates = ["conv", "separable_conv", "relu"]
+        if shape[1] >= 2:
+            candidates.append("pool")
+        addable = [n for n, s in outputs.items() if s == shape]
+        if addable:
+            candidates.append("add")
+        op = draw(st.sampled_from(candidates)) if index else "conv"
+        entry: dict = {"op": op, "name": f"l{index}_{op}"}
+        if op == "conv":
+            dilation = draw(st.integers(1, 2))
+            pad = draw(st.integers(0, 1))
+            kernel_cap = (shape[1] + 2 * pad - 1) // dilation + 1
+            kernel = draw(st.integers(1, max(1, min(3, kernel_cap))))
+            grouping = draw(st.sampled_from(["dense", "depthwise"]))
+            if grouping == "depthwise":
+                out_ch = shape[0]
+                entry["groups"] = "depthwise"
+            else:
+                out_ch = draw(st.integers(1, 8))
+            entry.update(
+                out_channels=out_ch,
+                kernel=kernel,
+                stride=draw(st.integers(1, 2)),
+                pad=pad,
+                dilation=dilation,
+            )
+            layer = ConvLayer(
+                "probe", shape[0], out_ch, shape[1], shape[2],
+                kernel=kernel, stride=entry["stride"], pad=pad,
+                groups=shape[0] if grouping == "depthwise" else 1,
+                dilation=dilation,
+            )
+            shape = (out_ch, layer.out_height, layer.out_width)
+        elif op == "separable_conv":
+            out_ch = draw(st.integers(1, 8))
+            entry.update(out_channels=out_ch, kernel=3, pad=1)
+            shape = (out_ch, shape[1], shape[2])
+        elif op == "pool":
+            kernel = draw(st.integers(1, min(2, shape[1])))
+            entry.update(kernel=kernel, stride=kernel)
+            shape = (shape[0], shape[1] // kernel, shape[2] // kernel)
+        elif op == "add":
+            entry["with"] = draw(st.sampled_from(sorted(addable)))
+        if op != "relu":
+            outputs[entry["name"]] = shape
+        layers.append(entry)
+    if draw(st.booleans()):
+        layers.append({"op": "flatten"})
+        layers.append({"op": "fc", "name": "fc", "out_features": draw(st.integers(1, 16))})
+    return {
+        "name": "genspec",
+        "input": {"channels": channels, "height": size, "width": size},
+        "layers": layers,
+    }
+
+
+@st.composite
 def small_conv_nests(
     draw, *, name: str = "prop", max_stride: int = 2
 ) -> LoopNest:
@@ -102,6 +224,8 @@ def small_designs(
 
 __all__ = [
     "array_shapes",
+    "network_specs",
+    "rich_conv_layers",
     "seeds",
     "small_conv_nests",
     "small_designs",

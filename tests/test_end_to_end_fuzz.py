@@ -17,7 +17,7 @@ from repro.nn.golden import conv2d_layer, random_layer_tensors
 from repro.nn.layers import ConvLayer
 from repro.dse.explore import DseConfig, explore
 from repro.sim.functional import audit_tiling_coverage, simulate_layer
-from tests.strategies import seeds, small_layers
+from tests.strategies import network_specs, rich_conv_layers, seeds, small_layers
 
 
 @settings(
@@ -43,6 +43,85 @@ def test_dse_winner_is_functionally_correct(layer, seed):
     got = simulate_layer(design, layer, inputs, weights)
     want = conv2d_layer(layer, inputs, weights)
     np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-11)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(layer=rich_conv_layers(), seed=seeds)
+def test_dse_winner_correct_for_rich_layers(layer, seed):
+    """The same end-to-end invariant over the importer's full structural
+    vocabulary: stride, dilation, grouped and depthwise layers."""
+    nest = layer.group_view().to_loop_nest()
+    result = explore(
+        nest,
+        Platform(),
+        DseConfig(min_dsp_utilization=0.0, vector_choices=(2,), top_n=2),
+    )
+    design = result.best.design
+
+    audit_tiling_coverage(design)
+
+    inputs, weights = random_layer_tensors(layer, seed=seed, dtype=np.float64)
+    got = simulate_layer(design, layer, inputs, weights, backend="fast")
+    want = conv2d_layer(layer, inputs, weights)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-11)
+
+
+def test_sa14x_corpus_reaches_every_registered_code():
+    """Mutation-reachability audit (the SA6xx audit's importer twin):
+    every registered SA14x diagnostic is emitted by some entry of the
+    importer's bad-spec corpus — no dead codes, no undocumented exits."""
+    from repro.analysis.diagnostics import CODE_CATALOG
+    from repro.frontend.network import import_json
+    from tests.frontend.test_network_import import BAD_SPEC_CORPUS
+
+    registered = {code for code in CODE_CATALOG if code.startswith("SA14")}
+    emitted = set()
+    for spec in BAD_SPEC_CORPUS.values():
+        result = import_json(spec, strict=False)
+        assert not result.ok
+        emitted.update(d.code for d in result.report.errors)
+    assert emitted == registered
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=network_specs(), data=st.data())
+def test_mangled_network_specs_never_traceback(spec, data):
+    """However a valid spec is mangled, the importer answers with a
+    report of registered codes — never an unstructured exception."""
+    from repro.analysis.diagnostics import CODE_CATALOG
+    from repro.frontend.network import import_json
+
+    mutation = data.draw(
+        st.sampled_from(
+            [
+                lambda s, d: {k: v for k, v in s.items() if k != "input"},
+                lambda s, d: {**s, "layers": []},
+                lambda s, d: {**s, "input": d.draw(st.sampled_from(
+                    [{}, {"channels": 0}, {"channels": 3, "height": -1, "width": 8}, 7]
+                ))},
+                lambda s, d: {**s, "layers": s["layers"] + [
+                    d.draw(st.sampled_from(
+                        [{"op": "lstm"}, {"op": "conv"}, {"op": "conv",
+                         "out_channels": 4, "kernel": [1, 5]}, {}, {"op": 3}]
+                    ))
+                ]},
+                lambda s, d: {**s, "layers": [
+                    {**layer, "kernel": 99} if layer.get("op") == "conv" else layer
+                    for layer in s["layers"]
+                ]},
+            ]
+        )
+    )
+    mangled = mutation(spec, data)
+    result = import_json(mangled, strict=False)  # must not raise
+    if not result.ok:
+        for diag in result.report.errors:
+            assert diag.code in CODE_CATALOG
+            assert diag.code.startswith("SA14")
 
 
 _CODE1 = """
