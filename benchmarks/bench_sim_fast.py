@@ -1,18 +1,22 @@
-"""Fast wavefront simulator — wall-clock vs. the cycle-accurate engine.
+"""Simulator backends — wall-clock of fast, engine, and interpreted RTL.
 
-Not a paper exhibit: this bench characterizes the vectorized wavefront
-simulator (``repro.sim.fast``) against the cycle-accurate engine it
-replaces for large problems.  It records (a) both backends on a shared
-mid-size nest — with the ``EngineResult``s asserted bit-identical — and
-(b) fast-only executions of realistically tuned Table-2 layers (the
-paper's ``11x13x8`` unified shape), which are far beyond the engine's
-reach.
+Not a paper exhibit: this bench characterizes the simulation ladder.
+It records (a) the vectorized wavefront simulator against the
+cycle-accurate engine on a shared mid-size nest — with the
+``EngineResult``s asserted bit-identical — then (b) fast-only
+executions of realistically tuned Table-2 layers (the paper's
+``11x13x8`` unified shape), far beyond the engine's reach, and (c) the
+three-way head-to-head on an RTL-sized nest where the emitted Verilog,
+run through the pure-Python netlist interpreter, must also match
+bit-for-bit.  The record lands in ``BENCH_sim.json`` for the
+bench-regression CI diff.
 """
 
 import time
 
 import numpy as np
 
+from _record import record_bench
 from repro.dse.tuner import MiddleTuner
 from repro.experiments.common import ExperimentResult
 from repro.ir.loop import conv_loop_nest
@@ -22,6 +26,7 @@ from repro.model.platform import Platform
 from repro.nn.models import alexnet, vgg16
 from repro.sim.engine import SystolicArrayEngine
 from repro.sim.fast import FastWavefrontSimulator
+from repro.sim.rtl import RtlSimulator
 from repro.verify.conformance import synthetic_arrays
 
 #: The paper's winning unified configuration (Table 2 / Fig. 7).
@@ -66,8 +71,9 @@ def run_sim_fast() -> ExperimentResult:
     result = ExperimentResult(
         name="Fast wavefront simulator",
         description=f"vectorized wavefront vs. cycle-accurate engine "
-        f"({nest.total_iterations} iterations head-to-head), then tuned "
-        f"Table-2 layers fast-only",
+        f"({nest.total_iterations} iterations head-to-head), tuned "
+        f"Table-2 layers fast-only, then the interpreted-RTL "
+        f"head-to-head",
         headers=["scenario", "MACs", "wall s", "vs. engine"],
     )
     macs = nest.total_iterations
@@ -99,6 +105,44 @@ def run_sim_fast() -> ExperimentResult:
         result.metrics[f"fast_seconds_{net_name}_{layer_name}"] = layer_s
         result.raw["wall_seconds"][f"fast_{net_name}_{layer_name}"] = layer_s
 
+    # (c) RTL head-to-head: the emitted Verilog interpreted cycle by
+    # cycle.  Two orders of magnitude slower than the engine (every net
+    # of every PE is evaluated per edge), so the shared nest is sized
+    # for the RTL budget, not the engine's.
+    rtl_nest = conv_loop_nest(8, 4, 8, 8, 3, 3, name="rtl_head_to_head")
+    rtl_shape = ArrayShape(3, 3, 2)
+    rtl_middle = (
+        MiddleTuner(rtl_nest, PAPER_MAPPING, rtl_shape, Platform())
+        .tune()
+        .design.middle
+    )
+    rtl_design = DesignPoint.create(
+        rtl_nest, PAPER_MAPPING, rtl_shape, dict(rtl_middle)
+    )
+    rtl_arrays = synthetic_arrays(rtl_nest, seed=0)
+    start = time.perf_counter()
+    rtl = RtlSimulator(rtl_design).run(rtl_arrays).result
+    rtl_s = time.perf_counter() - start
+    start = time.perf_counter()
+    rtl_fast = FastWavefrontSimulator(rtl_design).run(rtl_arrays)
+    rtl_fast_s = time.perf_counter() - start
+    assert rtl.output.tobytes() == rtl_fast.output.tobytes()  # bit-identical
+    assert rtl.compute_cycles == rtl_fast.compute_cycles
+    assert rtl.pe_active_cycles == rtl_fast.pe_active_cycles
+    rtl_macs = rtl_nest.total_iterations
+    result.add_row("fast, RTL nest", f"{rtl_macs:,}", f"{rtl_fast_s:.2f}", "-")
+    result.add_row(
+        "rtl interpreter, RTL nest",
+        f"{rtl_macs:,}",
+        f"{rtl_s:.2f}",
+        f"1/{rtl_s / max(rtl_fast_s, 1e-9):.0f}x",
+    )
+    result.metrics["rtl_seconds"] = rtl_s
+    result.metrics["rtl_fast_seconds"] = rtl_fast_s
+    result.metrics["rtl_slowdown_vs_fast"] = rtl_s / max(rtl_fast_s, 1e-9)
+    result.raw["wall_seconds"]["rtl_shared"] = rtl_s
+    result.raw["wall_seconds"]["rtl_fast_shared"] = rtl_fast_s
+
     result.note(
         "Both backends execute the identical IEEE-754 operation sequence "
         "(shared simd_dot lane order, wave-major accumulation), so the "
@@ -111,7 +155,10 @@ def run_sim_fast() -> ExperimentResult:
 
 def test_sim_fast(exhibit):
     result = exhibit(run_sim_fast)
+    record_bench(result, "sim")
     assert result.metrics["speedup"] > 5.0
     for net_name, layer_name in SCALE_LAYERS:
         # The ISSUE acceptance bound: a full conv layer in seconds.
         assert result.metrics[f"fast_seconds_{net_name}_{layer_name}"] < 10.0
+    # The interpreted netlist must stay usable for conformance runs.
+    assert result.metrics["rtl_seconds"] < 60.0

@@ -40,6 +40,10 @@ from repro.analysis.diagnostics import (
     LINT_PINGPONG_INIT_MISSING,
     LINT_PINGPONG_NOT_USED,
     LINT_RANK_MISMATCH,
+    LINT_VERILOG_LATCH,
+    LINT_VERILOG_MULTIDRIVEN,
+    LINT_VERILOG_UNDRIVEN,
+    LINT_VERILOG_WIDTH_MISMATCH,
     AnalysisReport,
     Severity,
     SourceSpan,
@@ -412,4 +416,336 @@ def _find_define_span(
     return None
 
 
-__all__ = ["lint_against_design", "lint_generated_code"]
+# --------------------------------------------------------------------------
+# Verilog structural lint (SA330–SA333) for the RTL backend's output.
+
+_V_MODULE_RE = re.compile(r"^\s*module\s+(\w+)")
+_V_DECL_RE = re.compile(
+    r"^\s*(input|output|inout)?\s*(reg|wire)?\s*"
+    r"(?:\[(\d+):(\d+)\]\s*)?(\w+)\s*(\[[^\]]+\])?\s*;\s*$"
+)
+_V_PARAM_RE = re.compile(r"^\s*parameter\s+(\w+)\s*=")
+_V_ASSIGN_RE = re.compile(r"^\s*assign\s+(\w+)\s*=\s*(.*);\s*$")
+_V_COMB_ONE_RE = re.compile(r"^\s*always\s*@\*\s*(\w+)\s*=\s*(.*);\s*$")
+_V_NB_RE = re.compile(r"^\s*(\w+)(\[[^\]]*\])?\s*<=\s*(.*);\s*$")
+_V_BLOCKING_RE = re.compile(r"^\s*(\w+)(\[[^\]]*\])?\s*=\s*(.*);\s*$")
+_V_INSTANCE_RE = re.compile(
+    r"^\s*(\w+)\s*(?:#\s*\((?:[^()]|\([^()]*\))*\)\s*)?(\w+)\s*\(\s*$"
+)
+_V_CONN_RE = re.compile(r"\.(\w+)\s*\(\s*([^)]*?)\s*\)")
+_V_IDENT_RE = re.compile(r"(?<!\$)\b[A-Za-z_]\w*\b")
+_V_KEYWORDS = frozenset(
+    "module endmodule input output inout reg wire assign always initial begin "
+    "end if else for posedge negedge parameter integer or and not".split()
+)
+
+
+def _v_idents(text: str) -> set[str]:
+    """Signal identifiers mentioned in an expression (keywords, system
+    tasks and numeric literals excluded)."""
+    cleaned = re.sub(r"\$\w+", " ", text)
+    cleaned = re.sub(r"\d+'[bdh][0-9a-fA-F_xz]+", " ", cleaned)
+    return {
+        name
+        for name in _V_IDENT_RE.findall(cleaned)
+        if name not in _V_KEYWORDS and not name[0].isdigit()
+    }
+
+
+class _VModule:
+    """Declarations, drivers and reads of one parsed module."""
+
+    def __init__(self, name: str, line_no: int) -> None:
+        self.name = name
+        self.line_no = line_no
+        self.kinds: dict[str, str] = {}  # name -> input/output/wire/reg/...
+        self.widths: dict[str, int] = {}
+        self.memories: set[str] = set()
+        self.params: set[str] = set()
+        self.decl_line: dict[str, int] = {}
+        self.drivers: dict[str, list[tuple[str, int]]] = {}
+        self.reads: dict[str, int] = {}  # name -> first read line
+        self.port_dirs: dict[str, tuple[str, int]] = {}  # for instances of me
+
+    def declare(
+        self, name: str, kind: str, width: int, line_no: int, is_mem: bool
+    ) -> None:
+        self.kinds[name] = kind
+        self.widths[name] = width
+        self.decl_line.setdefault(name, line_no)
+        if is_mem:
+            self.memories.add(name)
+        if kind.startswith("input") or kind.startswith("output"):
+            direction = "input" if kind.startswith("input") else "output"
+            self.port_dirs[name] = (direction, width)
+
+    def drive(self, name: str, source: str, line_no: int) -> None:
+        self.drivers.setdefault(name, []).append((source, line_no))
+
+    def read(self, names: set[str], line_no: int) -> None:
+        for name in names:
+            self.reads.setdefault(name, line_no)
+
+
+def lint_verilog(source: str, *, filename: str | None = None) -> AnalysisReport:
+    """Structural lint of emitted Verilog: SA330–SA333.
+
+    Works on the regular shape :mod:`repro.codegen.rtl` produces (and
+    intentionally nothing fancier): per-signal declarations, ``assign``
+    statements, ``always @*`` and ``always @(posedge clk)`` processes,
+    and instance connections (child port directions resolved from
+    modules defined in the same file).
+
+    * **SA330** — a declared net is read but has no driver: no assign,
+      no always block, no instance output connection.
+    * **SA331** — a net is driven from more than one source (two
+      assigns, an assign plus an always block, two always blocks, ...).
+    * **SA332** — an identifier-to-identifier assignment or port
+      connection joins nets of different declared widths.
+    * **SA333** *(warning)* — a combinational ``always @*`` block
+      contains more ``if`` arms than ``else`` arms, which infers a latch
+      for any signal not assigned on the missing path.
+    """
+    report = AnalysisReport()
+    lines = _strip_comments(source)
+    modules: list[_VModule] = []
+    module: _VModule | None = None
+    in_header = False
+    pending: list[tuple] = []  # deferred instance-connection checks
+
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        line_no = i + 1
+        i += 1
+        m = _V_MODULE_RE.match(line)
+        if m:
+            module = _VModule(m.group(1), line_no)
+            modules.append(module)
+            in_header = "(" in line and ");" not in line
+            continue
+        if module is None:
+            continue
+        if in_header:
+            if ");" in line or ")" == line.strip().rstrip(";"):
+                in_header = False
+            continue
+        if re.match(r"^\s*endmodule", line):
+            module = None
+            continue
+        if _V_PARAM_RE.match(line):
+            module.params.add(_V_PARAM_RE.match(line).group(1))
+            continue
+        if re.match(r"^\s*integer\s+\w+\s*;", line):
+            module.params.add(line.split()[1].rstrip(";"))
+            continue
+        decl = _V_DECL_RE.match(line)
+        if decl and (decl.group(1) or decl.group(2)):
+            direction, kind, msb, lsb, name, mem_dims = decl.groups()
+            width = abs(int(msb) - int(lsb)) + 1 if msb is not None else 1
+            label = " ".join(filter(None, (direction, kind))) or "wire"
+            module.declare(name, label, width, line_no, mem_dims is not None)
+            continue
+        m = _V_ASSIGN_RE.match(line)
+        if m:
+            target, rhs = m.groups()
+            module.drive(target, "assign", line_no)
+            module.read(_v_idents(rhs), line_no)
+            _check_width_pair(report, module, target, rhs, line_no, filename)
+            continue
+        m = _V_COMB_ONE_RE.match(line)
+        if m:
+            target, rhs = m.groups()
+            module.drive(target, "always@*", line_no)
+            module.read(_v_idents(rhs), line_no)
+            continue
+        if re.match(r"^\s*always\s*@\*", line) or re.match(
+            r"^\s*always\s*@\s*\(\s*\*\s*\)", line
+        ):
+            i = _scan_always(lines, i, line_no, module, comb=True, report=report, filename=filename)
+            continue
+        if re.match(r"^\s*always\s*@\s*\(\s*posedge", line):
+            i = _scan_always(lines, i, line_no, module, comb=False, report=report, filename=filename)
+            continue
+        if re.match(r"^\s*initial\b", line):
+            i = _skip_block(lines, i)
+            continue
+        inst = _V_INSTANCE_RE.match(line)
+        if inst and inst.group(1) not in _V_KEYWORDS:
+            child_name, _ = inst.groups()
+            conns: list[tuple[str, str, int]] = []
+            while i < len(lines):
+                conn_line = lines[i]
+                for port, expr in _V_CONN_RE.findall(conn_line):
+                    conns.append((port, expr, i + 1))
+                i += 1
+                if ");" in conn_line:
+                    break
+            pending.append((module, child_name, conns))
+
+    by_name = {mod.name: mod for mod in modules}
+
+    # Resolve instance connections now that all modules are parsed.
+    for parent, child_name, conns in pending:
+        child = by_name.get(child_name)
+        for port, expr, line_no in conns:
+            direction, width = (
+                child.port_dirs.get(port, (None, None))
+                if child is not None
+                else (None, None)
+            )
+            if direction == "output":
+                if re.fullmatch(r"\w+", expr):
+                    parent.drive(expr, f"{child_name} output", line_no)
+            else:
+                parent.read(_v_idents(expr), line_no)
+            if (
+                width is not None
+                and re.fullmatch(r"[A-Za-z_]\w*", expr)
+                and expr in parent.widths
+                and parent.widths[expr] != width
+            ):
+                report.add(
+                    LINT_VERILOG_WIDTH_MISMATCH,
+                    Severity.ERROR,
+                    f"port {port!r} of {child_name!r} is {width} bit(s) wide "
+                    f"but is connected to {expr!r} "
+                    f"({parent.widths[expr]} bit(s))",
+                    _span(line_no, 1, filename),
+                )
+
+    for mod in modules:
+        for name, first_read in sorted(mod.reads.items()):
+            kind = mod.kinds.get(name)
+            if kind is None or name in mod.params or name in mod.memories:
+                continue
+            if kind.startswith("input") or kind == "output reg" or kind == "reg":
+                # inputs are driven by the parent; regs by processes the
+                # scan may not model — only plain nets are provable here.
+                if kind != "reg" or mod.drivers.get(name):
+                    continue
+            if not mod.drivers.get(name):
+                report.add(
+                    LINT_VERILOG_UNDRIVEN,
+                    Severity.ERROR,
+                    f"{mod.name}.{name} is read (line {first_read}) but "
+                    f"never driven",
+                    _span(mod.decl_line.get(name, first_read), 1, filename),
+                )
+        for name, sources in sorted(mod.drivers.items()):
+            distinct = {src for src, _ in sources}
+            if len(sources) > 1 and len(distinct) > 1 or len(
+                [s for s, _ in sources if s == "assign"]
+            ) > 1:
+                report.add(
+                    LINT_VERILOG_MULTIDRIVEN,
+                    Severity.ERROR,
+                    f"{mod.name}.{name} is driven from multiple sources: "
+                    + ", ".join(
+                        f"{src} (line {ln})" for src, ln in sources
+                    ),
+                    _span(sources[0][1], 1, filename),
+                )
+    return report
+
+
+def _check_width_pair(
+    report: AnalysisReport,
+    module: _VModule,
+    target: str,
+    rhs: str,
+    line_no: int,
+    filename: str | None,
+) -> None:
+    """SA332 on plain identifier-to-identifier continuous assigns."""
+    rhs = rhs.strip()
+    if not re.fullmatch(r"[A-Za-z_]\w*", rhs):
+        return
+    if target in module.widths and rhs in module.widths:
+        tw, rw = module.widths[target], module.widths[rhs]
+        if tw != rw:
+            report.add(
+                LINT_VERILOG_WIDTH_MISMATCH,
+                Severity.ERROR,
+                f"assign joins {target!r} ({tw} bit(s)) and {rhs!r} "
+                f"({rw} bit(s))",
+                _span(line_no, 1, filename),
+            )
+
+
+def _scan_always(
+    lines: list[str],
+    start: int,
+    header_line: int,
+    module: _VModule,
+    *,
+    comb: bool,
+    report: AnalysisReport,
+    filename: str | None,
+) -> int:
+    """Walk one always block: record drivers/reads, check SA333."""
+    source_label = f"always@{'*' if comb else 'posedge'}:{header_line}"
+    depth = 0
+    i = start
+    if_count = else_count = 0
+    targets: set[str] = set()
+    started = False
+    while i < len(lines):
+        line = lines[i]
+        i += 1
+        line_no = i
+        depth += line.count("begin")
+        if line.count("begin"):
+            started = True
+        if_count += len(re.findall(r"\bif\s*\(", line))
+        else_count += len(re.findall(r"\belse\b", line))
+        m = _V_NB_RE.match(line) or _V_BLOCKING_RE.match(line)
+        if m:
+            target, subscript, rhs = m.group(1), m.group(2), m.group(3)
+            if target in module.kinds or target in module.memories:
+                module.drive(target, source_label, line_no)
+                targets.add(target)
+            module.read(_v_idents(rhs), line_no)
+            if subscript:
+                module.read(_v_idents(subscript), line_no)
+        else:
+            condition = re.search(r"(?:if|for)\s*\((.*)\)", line)
+            if condition:
+                module.read(_v_idents(condition.group(1)), line_no)
+        depth -= line.count("end") - line.count("endmodule")
+        if started and depth <= 0:
+            break
+        if not started and ";" in line:
+            break
+    if comb and if_count > else_count and targets:
+        report.add(
+            LINT_VERILOG_LATCH,
+            Severity.WARNING,
+            f"combinational always block (line {header_line}) has "
+            f"{if_count} if arm(s) but {else_count} else arm(s); "
+            f"{sorted(targets)} infer latches on the missing path",
+            _span(header_line, 1, filename),
+        )
+    return i
+
+
+def _skip_block(lines: list[str], start: int) -> int:
+    """Skip an initial/always block body (begin/end balanced)."""
+    depth = 0
+    i = start
+    started = False
+    while i < len(lines):
+        line = lines[i]
+        i += 1
+        depth += line.count("begin")
+        if line.count("begin"):
+            started = True
+        depth -= line.count("end") - line.count("endmodule")
+        if started and depth <= 0:
+            break
+        if not started and ";" in line:
+            break
+    return i
+
+
+__all__ = ["lint_against_design", "lint_generated_code", "lint_verilog"]

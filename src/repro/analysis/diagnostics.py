@@ -19,11 +19,14 @@ Code blocks:
 
 * ``SA0xx`` — lexical / syntactic rejection of user C,
 * ``SA1xx`` — nest legality (systolizability, Eq. 3 reuse, Eq. 2 mapping
-  existence, shape checking),
+  existence, shape checking), import/emit (``SA14x``) and the RTL
+  backend (``SA15x``: unsupported designs, RTL/reference divergence,
+  toolchain degradation),
 * ``SA2xx`` — design-point validation (Eq. 2 feasibility, Eqs. 4–6
   resource budgets, tiling invariants),
 * ``SA3xx`` — generated-code lint (index bounds, parameter consistency,
-  double-buffer discipline),
+  double-buffer discipline, and ``SA33x`` Verilog structure: undriven or
+  multiply-driven nets, width mismatches, inferred latches),
 * ``SA4xx`` — differential conformance (:mod:`repro.verify`): fast-sim
   vs. cycle-accurate engine vs. analytical model vs. golden outputs,
 * ``SA5xx`` — resilience / graceful degradation (:mod:`repro.resilience`
@@ -176,7 +179,21 @@ IMPORT_SHAPE_MISMATCH = register_code(
 LAYER_KERNEL_TOO_LARGE = register_code(
     "SA145", "kernel does not fit in the padded input (nonpositive output size)"
 )
-EMIT_NOT_SUBSET = register_code("SA150", "nest cannot be rendered in the C subset")
+EMIT_NOT_SUBSET = register_code("SA133", "nest cannot be rendered in the C subset")
+
+# --- SA15x: RTL backend (repro.codegen.rtl / repro.sim.rtl) ---------------
+RTL_UNSUPPORTED_DESIGN = register_code(
+    "SA150", "design cannot be lowered to the RTL backend"
+)
+RTL_OUTPUT_MISMATCH = register_code(
+    "SA151", "RTL simulation output diverges from the reference simulators"
+)
+RTL_CYCLE_DIVERGENCE = register_code(
+    "SA152", "RTL cycle counts diverge from the analytical cycle model"
+)
+RTL_TOOLCHAIN_MISSING = register_code(
+    "SA153", "iverilog toolchain unavailable; RTL checked by the Python interpreter only"
+)
 
 # --- SA2xx: design-point validation ---------------------------------------
 DESIGN_UNKNOWN_ITERATOR = register_code(
@@ -219,6 +236,18 @@ LINT_PINGPONG_FLIP_MISSING = register_code(
 )
 LINT_PINGPONG_NOT_USED = register_code(
     "SA322", "double-buffered array access does not select a buffer with the ping-pong index"
+)
+LINT_VERILOG_UNDRIVEN = register_code(
+    "SA330", "net is read but never driven in the emitted Verilog"
+)
+LINT_VERILOG_MULTIDRIVEN = register_code(
+    "SA331", "net is driven from more than one always block or assign"
+)
+LINT_VERILOG_WIDTH_MISMATCH = register_code(
+    "SA332", "assignment connects nets of different declared widths"
+)
+LINT_VERILOG_LATCH = register_code(
+    "SA333", "combinational always block infers a latch (incomplete if/else)"
 )
 
 # --- SA4xx: differential conformance (repro.verify) -----------------------

@@ -12,12 +12,20 @@ as well as the C/C++ software program (host)".  This package emits:
   implementing the *same* block/buffer/schedule semantics, plus a naive
   reference and a comparison ``main``; with a C compiler available the
   testbench is compiled and executed, giving true end-to-end functional
-  validation of the generated design (the RTL-simulation stand-in).
+  validation of the generated design;
+* :mod:`repro.codegen.rtl` — a structural Verilog-2001 emitter for the
+  PE array (shift-register chains, ping-pong accumulators), interpreted
+  by :mod:`repro.sim.rtl` and cross-checked under iverilog.
+
+Targets sit behind the :class:`repro.codegen.backend.CodegenBackend`
+protocol; :data:`repro.codegen.backend.BACKENDS` is the registry.
 """
 
+from repro.codegen.backend import BACKENDS, CodegenBackend, get_backend
 from repro.codegen.emitter import CodeWriter
 from repro.codegen.host import generate_host
 from repro.codegen.opencl import OPENCL_SHIM, generate_kernel, generate_kernel_driver
+from repro.codegen.rtl import generate_rtl, rtl_module_hash
 from repro.codegen.testbench import (
     compile_and_run_testbench,
     generate_testbench,
@@ -29,14 +37,19 @@ from repro.codegen.unified import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CodeWriter",
+    "CodegenBackend",
     "OPENCL_SHIM",
     "UnifiedLayerSpec",
     "compile_and_run_testbench",
     "generate_host",
     "generate_kernel",
     "generate_kernel_driver",
+    "generate_rtl",
     "generate_testbench",
     "generate_unified_kernel",
     "generate_unified_testbench",
+    "get_backend",
+    "rtl_module_hash",
 ]

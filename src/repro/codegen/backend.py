@@ -1,0 +1,112 @@
+"""The multi-backend codegen layer.
+
+Historically this package emitted one fixed artifact set (OpenCL kernel,
+host, C testbench).  With the RTL backend the package is a *layer*: a
+shared emitter core (:mod:`repro.codegen.emitter`) plus per-target
+backends behind one protocol.  A backend maps a design point to named
+source artifacts; callers iterate backends rather than hard-coding
+emitter functions, so adding a target means registering one object.
+
+Backends may refuse a design (e.g. the RTL backend raises ``SA150`` for
+designs it cannot lower); callers decide whether refusal is an error or
+a degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.codegen.host import generate_host
+from repro.codegen.opencl import generate_kernel, generate_kernel_driver
+from repro.codegen.rtl import generate_rtl
+from repro.codegen.testbench import generate_testbench
+from repro.model.design_point import DesignPoint
+from repro.model.platform import Platform
+
+
+@runtime_checkable
+class CodegenBackend(Protocol):
+    """One code-generation target.
+
+    Attributes:
+        name: registry key (e.g. ``"opencl"``, ``"rtl"``).
+        language: the emitted language, for reports/UIs.
+        artifacts: the artifact names :meth:`emit` returns, in order.
+    """
+
+    name: str
+    language: str
+    artifacts: tuple[str, ...]
+
+    def emit(self, design: DesignPoint, platform: Platform) -> dict[str, str]:
+        """Map a design point to ``{artifact name: source text}``.
+
+        Raises:
+            DiagnosticError: when the design cannot be lowered to this
+                target (diagnostic codes are backend-specific).
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class _FunctionBackend:
+    """A backend assembled from per-artifact emitter functions."""
+
+    name: str
+    language: str
+    emitters: tuple[tuple[str, Callable[[DesignPoint, Platform], str]], ...]
+
+    @property
+    def artifacts(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.emitters)
+
+    def emit(self, design: DesignPoint, platform: Platform) -> dict[str, str]:
+        return {name: fn(design, platform) for name, fn in self.emitters}
+
+
+OPENCL_BACKEND: CodegenBackend = _FunctionBackend(
+    name="opencl",
+    language="OpenCL C",
+    emitters=(
+        ("kernel", generate_kernel),
+        ("driver", generate_kernel_driver),
+        ("host", generate_host),
+    ),
+)
+
+TESTBENCH_BACKEND: CodegenBackend = _FunctionBackend(
+    name="testbench",
+    language="C",
+    emitters=(("testbench", generate_testbench),),
+)
+
+RTL_BACKEND: CodegenBackend = _FunctionBackend(
+    name="rtl",
+    language="Verilog-2001",
+    emitters=(("rtl", generate_rtl),),
+)
+
+BACKENDS: dict[str, CodegenBackend] = {
+    backend.name: backend
+    for backend in (OPENCL_BACKEND, TESTBENCH_BACKEND, RTL_BACKEND)
+}
+
+
+def get_backend(name: str) -> CodegenBackend:
+    """The registered backend, or a ``KeyError`` naming the options."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise KeyError(f"unknown codegen backend {name!r} (known: {known})") from None
+
+
+__all__ = [
+    "BACKENDS",
+    "CodegenBackend",
+    "OPENCL_BACKEND",
+    "RTL_BACKEND",
+    "TESTBENCH_BACKEND",
+    "get_backend",
+]

@@ -1,0 +1,797 @@
+"""Structural Verilog-2001 backend for the systolic PE array.
+
+Unlike :mod:`repro.codegen.opencl` (behavioral, text-template style),
+this backend first builds a small *module-graph IR* — registers, memories,
+combinational wires, sequential assignments and module instances — and
+then renders Verilog-2001 text from it.  The same IR is what
+:mod:`repro.sim.rtl` elaborates and interprets with two-phase
+eval/commit semantics, so the text the tests lint and the circuit the
+Python RTL simulator executes cannot disagree: both are projections of
+one structure.
+
+Architecture emitted (paper Figs. 1–3):
+
+* a ``pe`` module per design — registered weight/input shift stages
+  (the horizontal/vertical chains), a lane-ordered SIMD dot product in
+  IEEE double (``real``) arithmetic, a wave-tag equality check feeding
+  an ``err`` output, and a *ping-pong* pair of accumulator memories
+  addressed by the wave's base offset plus a per-instance ``PE_OFF``
+  parameter;
+* a ``systolic_top`` module instantiating the R x C array, wiring row
+  chains left-to-right and column chains top-to-bottom, with a single
+  ``bank`` selector register toggled by ``flip`` and a ``clear`` input
+  that zeroes the just-drained bank.
+
+Data is IEEE binary64 carried as ``[63:0]`` vectors; rendered Verilog
+converts at the boundary with ``$bitstoreal`` / ``$realtobits`` so an
+event-driven simulator (iverilog) computes with native doubles — the
+same arithmetic the Python interpreter and the other simulators use.
+Designs the structural form cannot express raise ``SA150``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.analysis.diagnostics import (
+    RTL_UNSUPPORTED_DESIGN,
+    AnalysisReport,
+    DiagnosticError,
+    Severity,
+)
+from repro.codegen.emitter import CodeWriter
+from repro.model.design_point import DesignPoint
+from repro.sim.schedule import BlockSpec
+
+#: Largest per-PE accumulator footprint (in words, per bank) the backend
+#: will emit.  Bigger designs are rejected with SA150 — a local buffer
+#: this size would not fit in BRAM either.
+RTL_MAX_BOX = 1 << 20
+
+# --------------------------------------------------------------------------
+# Expression IR: small nested tuples, one constructor per node kind.
+# Integer/bit ops work on Python ints; f64 ops on Python floats (exactly
+# IEEE binary64, the arithmetic the rendered Verilog performs in `real`).
+
+Expr = tuple
+
+
+def const(value: int) -> Expr:
+    return ("const", int(value))
+
+
+def rconst(value: float) -> Expr:
+    return ("rconst", float(value))
+
+
+def sig(name: str) -> Expr:
+    return ("sig", name)
+
+
+def param(name: str) -> Expr:
+    return ("param", name)
+
+
+def iadd(a: Expr, b: Expr) -> Expr:
+    return ("iadd", a, b)
+
+
+def band(a: Expr, b: Expr) -> Expr:
+    return ("and", a, b)
+
+
+def bor(a: Expr, b: Expr) -> Expr:
+    return ("or", a, b)
+
+
+def bnot(a: Expr) -> Expr:
+    return ("not", a)
+
+
+def ne(a: Expr, b: Expr) -> Expr:
+    return ("ne", a, b)
+
+
+def mux(cond: Expr, then: Expr, other: Expr) -> Expr:
+    return ("mux", cond, then, other)
+
+
+def fadd(a: Expr, b: Expr) -> Expr:
+    return ("fadd", a, b)
+
+
+def fmul(a: Expr, b: Expr) -> Expr:
+    return ("fmul", a, b)
+
+
+def memread(mem: str, addr: Expr) -> Expr:
+    return ("memread", mem, addr)
+
+
+def expr_signals(expr: Expr) -> set[str]:
+    """Every signal name an expression reads (memories excluded)."""
+    kind = expr[0]
+    if kind == "sig":
+        return {expr[1]}
+    if kind in ("const", "rconst", "param"):
+        return set()
+    if kind == "memread":
+        return expr_signals(expr[2])
+    names: set[str] = set()
+    for operand in expr[1:]:
+        if isinstance(operand, tuple):
+            names |= expr_signals(operand)
+    return names
+
+
+# --------------------------------------------------------------------------
+# Structural IR nodes.
+
+#: Signal kinds -> rendered Verilog widths.  ``f64`` is IEEE binary64
+#: carried as a 64-bit vector; ``int`` covers tags, offsets, addresses.
+KIND_WIDTH = {"bit": 1, "int": 32, "f64": 64}
+
+
+@dataclass(frozen=True)
+class Port:
+    name: str
+    direction: str  # "in" | "out"
+    kind: str
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+    kind: str
+    init: Any = 0
+
+
+@dataclass(frozen=True)
+class Mem:
+    name: str
+    kind: str
+    depth: int
+
+
+@dataclass(frozen=True)
+class Wire:
+    name: str
+    kind: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class RegSet:
+    """Nonblocking ``reg <= expr`` at every clock edge."""
+
+    reg: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class MemWrite:
+    """Guarded read-modify-write of one memory word at the clock edge."""
+
+    mem: str
+    addr: Expr
+    data: Expr
+    enable: Expr
+
+
+@dataclass(frozen=True)
+class MemClear:
+    """Guarded whole-memory zeroing at the clock edge (ping-pong reset)."""
+
+    mem: str
+    enable: Expr
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A child module instantiation inside the top module.
+
+    Attributes:
+        name: instance name (``pe_0_0`` — also the hierarchical prefix).
+        module: child module name.
+        params: parameter overrides.
+        inputs: child input port -> parent-scope expression.
+        outputs: child output port -> parent-scope wire name to declare.
+            Unlisted outputs are left unconnected.
+    """
+
+    name: str
+    module: str
+    params: dict[str, int] = field(default_factory=dict)
+    inputs: dict[str, Expr] = field(default_factory=dict)
+    outputs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ModuleDef:
+    name: str
+    ports: tuple[Port, ...]
+    params: tuple[tuple[str, int], ...] = ()
+    regs: tuple[Reg, ...] = ()
+    mems: tuple[Mem, ...] = ()
+    wires: tuple[Wire, ...] = ()
+    seq: tuple[Any, ...] = ()  # RegSet | MemClear | MemWrite, in commit order
+    instances: tuple[Instance, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# Planning: geometry and legality of the structural lowering.
+
+
+@dataclass(frozen=True)
+class RtlPlan:
+    """Constants the structural array needs, derived from one design.
+
+    The per-PE accumulator is a dense row-major *box* covering the local
+    output footprint of one block: dimension ``d`` spans
+    ``1 + sum_it coeff_d,it * (s_it * t_it - 1)`` words, and the flat
+    address of an output element is ``base_offset(wave) + PE_OFF(x, y)``
+    where the first term is wave-dependent (streamed in with the weight
+    packet) and the second is a per-instance elaboration constant.
+    """
+
+    design: DesignPoint
+    box_dims: tuple[int, ...]
+    strides: tuple[int, ...]
+
+    @property
+    def box(self) -> int:
+        total = 1
+        for dim in self.box_dims:
+            total *= dim
+        return total
+
+    def pe_offset(self, x: int, y: int) -> int:
+        """The ``PE_OFF`` parameter of instance (x, y)."""
+        out = self.design.nest.output
+        mapping = self.design.mapping
+        total = 0
+        for stride, expr in zip(self.strides, out.indices):
+            total += stride * (
+                expr.coefficient(mapping.row) * x + expr.coefficient(mapping.col) * y
+            )
+        return total
+
+    def base_offset(self, wave: dict[str, int]) -> int:
+        """Wave-dependent part of the accumulator address (all PEs)."""
+        out = self.design.nest.output
+        t = self.design.tiling.t
+        total = 0
+        for stride, expr in zip(self.strides, out.indices):
+            local = sum(coeff * wave[it] * t(it) for it, coeff in expr.terms)
+            total += stride * local
+        return total
+
+    def block_base_key(self, block: BlockSpec) -> tuple[int, ...]:
+        """Global output coordinates of the block's local origin."""
+        out = self.design.nest.output
+        bases = block.base_map
+        return tuple(
+            expr.const + sum(coeff * bases[it] for it, coeff in expr.terms)
+            for expr in out.indices
+        )
+
+
+def plan_rtl(design: DesignPoint) -> RtlPlan:
+    """Validate a design for structural lowering and compute its plan.
+
+    Raises:
+        DiagnosticError: with ``SA150`` when the design cannot be
+            expressed as the fixed PE-array structure.
+    """
+    report = AnalysisReport()
+    nest = design.nest
+    mapping = design.mapping
+    out = nest.output
+
+    if out.depends_on(mapping.vector):
+        report.add(
+            RTL_UNSUPPORTED_DESIGN,
+            Severity.ERROR,
+            f"output access of {nest.name!r} depends on the vector "
+            f"iterator {mapping.vector!r}; a PE accumulates one whole "
+            f"SIMD dot product per output element",
+        )
+    for expr in out.indices:
+        for it, coeff in expr.terms:
+            if coeff < 0:
+                report.add(
+                    RTL_UNSUPPORTED_DESIGN,
+                    Severity.ERROR,
+                    f"output subscript coefficient {coeff} of iterator "
+                    f"{it!r} is negative; RTL address generation requires "
+                    f"non-negative offsets",
+                )
+        if expr.const < 0:
+            report.add(
+                RTL_UNSUPPORTED_DESIGN,
+                Severity.ERROR,
+                f"output subscript constant {expr.const} is negative",
+            )
+    report.raise_if_errors()
+
+    tiling = design.tiling
+    dims = []
+    for expr in out.indices:
+        extent = 1
+        for it, coeff in expr.terms:
+            block_extent = tiling.s(it) * tiling.t(it)
+            extent += coeff * (block_extent - 1)
+        dims.append(extent)
+    strides = []
+    stride = 1
+    for dim in reversed(dims):
+        strides.append(stride)
+        stride *= dim
+    strides.reverse()
+    box = stride
+
+    if box > RTL_MAX_BOX:
+        report.add(
+            RTL_UNSUPPORTED_DESIGN,
+            Severity.ERROR,
+            f"per-PE accumulator box of {box} words exceeds the RTL "
+            f"local-buffer budget ({RTL_MAX_BOX})",
+        )
+    report.raise_if_errors()
+
+    return RtlPlan(design=design, box_dims=tuple(dims), strides=tuple(strides))
+
+
+# --------------------------------------------------------------------------
+# IR construction.
+
+
+def _lane_ports(prefix: str, vector: int) -> list[str]:
+    return [f"{prefix}{v}" for v in range(vector)]
+
+
+def build_pe_module(plan: RtlPlan) -> ModuleDef:
+    """The per-design ``pe`` module (shift stages + MAC + ping-pong acc)."""
+    vector = plan.design.shape.vector
+    ports: list[Port] = []
+    regs: list[Reg] = []
+    seq: list[Any] = []
+
+    def stage(in_name: str, out_name: str, kind: str) -> None:
+        ports.append(Port(in_name, "in", kind))
+        ports.append(Port(out_name, "out", kind))
+        regs.append(Reg(out_name, kind, 0.0 if kind == "f64" else 0))
+        seq.append(RegSet(out_name, sig(in_name)))
+
+    # Weight chain (shifts right along the row) with its sideband fields.
+    stage("w_valid_in", "w_valid_out", "bit")
+    stage("w_tag_in", "w_tag_out", "int")
+    stage("w_boff_in", "w_boff_out", "int")
+    stage("w_rowok_in", "w_rowok_out", "bit")
+    for v in range(vector):
+        stage(f"w_val_{v}_in", f"w_val_{v}_out", "f64")
+    # Input chain (shifts down the column).
+    stage("i_valid_in", "i_valid_out", "bit")
+    stage("i_tag_in", "i_tag_out", "int")
+    stage("i_colok_in", "i_colok_out", "bit")
+    for v in range(vector):
+        stage(f"i_val_{v}_in", f"i_val_{v}_out", "f64")
+
+    ports.append(Port("bank", "in", "bit"))
+    ports.append(Port("clear", "in", "bit"))
+    ports.append(Port("err", "out", "bit"))
+
+    # Combinational: pairing, tag check, write enable, address, dot.
+    both = band(sig("w_valid_out"), sig("i_valid_out"))
+    wires = [
+        Wire("both", "bit", both),
+        Wire("err", "bit", band(sig("both"), ne(sig("w_tag_out"), sig("i_tag_out")))),
+        Wire(
+            "wen",
+            "bit",
+            band(band(sig("both"), sig("w_rowok_out")), sig("i_colok_out")),
+        ),
+        Wire("addr", "int", iadd(sig("w_boff_out"), param("PE_OFF"))),
+    ]
+    # Lane-ordered running sum from +0.0: the simd_dot contract.
+    dot: Expr = rconst(0.0)
+    for v in range(vector):
+        dot = fadd(dot, fmul(sig(f"w_val_{v}_out"), sig(f"i_val_{v}_out")))
+    wires.append(Wire("dot", "f64", dot))
+
+    mems = (
+        Mem("acc0", "f64", plan.box),
+        Mem("acc1", "f64", plan.box),
+    )
+    # Clear the just-drained (pre-flip active) bank; write the active one.
+    # Clears precede writes in commit order.
+    seq.append(MemClear("acc0", band(sig("clear"), bnot(sig("bank")))))
+    seq.append(MemClear("acc1", band(sig("clear"), sig("bank"))))
+    seq.append(
+        MemWrite(
+            "acc0",
+            sig("addr"),
+            fadd(memread("acc0", sig("addr")), sig("dot")),
+            band(sig("wen"), bnot(sig("bank"))),
+        )
+    )
+    seq.append(
+        MemWrite(
+            "acc1",
+            sig("addr"),
+            fadd(memread("acc1", sig("addr")), sig("dot")),
+            band(sig("wen"), sig("bank")),
+        )
+    )
+
+    return ModuleDef(
+        name="pe",
+        ports=tuple(ports),
+        params=(("PE_OFF", 0),),
+        regs=tuple(regs),
+        mems=mems,
+        wires=tuple(wires),
+        seq=tuple(seq),
+    )
+
+
+#: Per-direction packet fields (name suffixes) carried by the chains.
+W_FIELDS = ("valid", "tag", "boff", "rowok")
+I_FIELDS = ("valid", "tag", "colok")
+
+W_FIELD_KINDS = {"valid": "bit", "tag": "int", "boff": "int", "rowok": "bit"}
+I_FIELD_KINDS = {"valid": "bit", "tag": "int", "colok": "bit"}
+
+
+def _w_port_names(vector: int) -> list[tuple[str, str]]:
+    """(field, kind) pairs of the weight-side packet, lanes included."""
+    names = [(f, W_FIELD_KINDS[f]) for f in W_FIELDS]
+    names += [(f"val_{v}", "f64") for v in range(vector)]
+    return names
+
+
+def _i_port_names(vector: int) -> list[tuple[str, str]]:
+    names = [(f, I_FIELD_KINDS[f]) for f in I_FIELDS]
+    names += [(f"val_{v}", "f64") for v in range(vector)]
+    return names
+
+
+def build_top_module(plan: RtlPlan) -> ModuleDef:
+    """The ``systolic_top`` module: the R x C instance grid and bank reg."""
+    shape = plan.design.shape
+    rows, cols, vector = shape.rows, shape.cols, shape.vector
+    ports: list[Port] = []
+    for x in range(rows):
+        for fld, kind in _w_port_names(vector):
+            ports.append(Port(f"w_{fld}_{x}", "in", kind))
+    for y in range(cols):
+        for fld, kind in _i_port_names(vector):
+            ports.append(Port(f"i_{fld}_{y}", "in", kind))
+    ports.append(Port("flip", "in", "bit"))
+    ports.append(Port("clear", "in", "bit"))
+    ports.append(Port("err", "out", "bit"))
+
+    instances: list[Instance] = []
+    for x in range(rows):
+        for y in range(cols):
+            inputs: dict[str, Expr] = {"bank": sig("bank"), "clear": sig("clear")}
+            for fld, _ in _w_port_names(vector):
+                if y == 0:
+                    inputs[f"w_{fld}_in"] = sig(f"w_{fld}_{x}")
+                else:
+                    inputs[f"w_{fld}_in"] = sig(f"pe_{x}_{y - 1}_w_{fld}")
+            for fld, _ in _i_port_names(vector):
+                if x == 0:
+                    inputs[f"i_{fld}_in"] = sig(f"i_{fld}_{y}")
+                else:
+                    inputs[f"i_{fld}_in"] = sig(f"pe_{x - 1}_{y}_i_{fld}")
+            outputs: dict[str, str] = {"err": f"pe_{x}_{y}_err"}
+            if y + 1 < cols:
+                for fld, _ in _w_port_names(vector):
+                    outputs[f"w_{fld}_out"] = f"pe_{x}_{y}_w_{fld}"
+            if x + 1 < rows:
+                for fld, _ in _i_port_names(vector):
+                    outputs[f"i_{fld}_out"] = f"pe_{x}_{y}_i_{fld}"
+            instances.append(
+                Instance(
+                    name=f"pe_{x}_{y}",
+                    module="pe",
+                    params={"PE_OFF": plan.pe_offset(x, y)},
+                    inputs=inputs,
+                    outputs=outputs,
+                )
+            )
+
+    err: Expr = sig("pe_0_0_err")
+    for inst in instances[1:]:
+        err = bor(err, sig(f"{inst.name}_err"))
+
+    return ModuleDef(
+        name="systolic_top",
+        ports=tuple(ports),
+        regs=(Reg("bank", "bit", 0),),
+        wires=(Wire("err", "bit", err),),
+        seq=(RegSet("bank", mux(sig("flip"), bnot(sig("bank")), sig("bank"))),),
+        instances=tuple(instances),
+    )
+
+
+def build_rtl_modules(design: DesignPoint) -> tuple[ModuleDef, ModuleDef, RtlPlan]:
+    """(top, pe, plan) for one design — the single source both the
+    renderer and the interpreter project from."""
+    plan = plan_rtl(design)
+    return build_top_module(plan), build_pe_module(plan), plan
+
+
+# --------------------------------------------------------------------------
+# Verilog-2001 rendering.
+
+
+def _width_decl(kind: str) -> str:
+    width = KIND_WIDTH[kind]
+    return "" if width == 1 else f"[{width - 1}:0] "
+
+
+def _render_int_expr(expr: Expr) -> str:
+    kind = expr[0]
+    if kind == "const":
+        return str(expr[1])
+    if kind == "sig":
+        return expr[1]
+    if kind == "param":
+        return expr[1]
+    if kind == "iadd":
+        return f"({_render_int_expr(expr[1])} + {_render_int_expr(expr[2])})"
+    if kind == "and":
+        return f"({_render_int_expr(expr[1])} & {_render_int_expr(expr[2])})"
+    if kind == "or":
+        return f"({_render_int_expr(expr[1])} | {_render_int_expr(expr[2])})"
+    if kind == "not":
+        return f"(!{_render_int_expr(expr[1])})"
+    if kind == "ne":
+        return f"({_render_int_expr(expr[1])} != {_render_int_expr(expr[2])})"
+    if kind == "mux":
+        return (
+            f"({_render_int_expr(expr[1])} ? {_render_int_expr(expr[2])}"
+            f" : {_render_int_expr(expr[3])})"
+        )
+    raise ValueError(f"not an integer/bit expression: {expr[0]!r}")
+
+
+def _render_real_expr(expr: Expr) -> str:
+    """An f64 expression as Verilog ``real`` arithmetic."""
+    kind = expr[0]
+    if kind == "rconst":
+        value = expr[1]
+        return "0.0" if value == 0.0 else repr(value)
+    if kind == "sig":
+        return f"$bitstoreal({expr[1]})"
+    if kind == "memread":
+        return f"$bitstoreal({expr[1]}[{_render_int_expr(expr[2])}])"
+    if kind == "fadd":
+        return f"({_render_real_expr(expr[1])} + {_render_real_expr(expr[2])})"
+    if kind == "fmul":
+        return f"({_render_real_expr(expr[1])} * {_render_real_expr(expr[2])})"
+    raise ValueError(f"not an f64 expression: {expr[0]!r}")
+
+
+def _render_module(w: CodeWriter, module: ModuleDef) -> None:
+    reg_names = {r.name for r in module.regs}
+    port_list = ["clk"] + [p.name for p in module.ports]
+    w.line(f"module {module.name} (")
+    with w.indented():
+        for index, name in enumerate(port_list):
+            comma = "," if index + 1 < len(port_list) else ""
+            w.line(f"{name}{comma}")
+    w.line(");")
+    with w.indented():
+        for name, default in module.params:
+            w.line(f"parameter {name} = {default};")
+        w.line("input clk;")
+        for port in module.ports:
+            if port.direction == "in":
+                w.line(f"input {_width_decl(port.kind)}{port.name};")
+            elif port.name in reg_names:
+                w.line(f"output reg {_width_decl(port.kind)}{port.name};")
+            else:
+                w.line(f"output {_width_decl(port.kind)}{port.name};")
+        port_names = {p.name for p in module.ports}
+        for reg in module.regs:
+            if reg.name not in port_names:
+                w.line(f"reg {_width_decl(reg.kind)}{reg.name};")
+        for mem in module.mems:
+            w.line(
+                f"reg {_width_decl(mem.kind)}{mem.name} [0:{mem.depth - 1}];"
+            )
+        needs_index = any(isinstance(op, MemClear) for op in module.seq) or bool(
+            module.mems
+        )
+        if needs_index:
+            w.line("integer mi;")
+        w.line()
+
+        # Power-on state: zero registers and memories (FPGA-style init).
+        if module.regs or module.mems:
+            with vblock(w, "initial begin"):
+                for reg in module.regs:
+                    w.line(f"{reg.name} = 0;")
+                for mem in module.mems:
+                    w.line(f"for (mi = 0; mi < {mem.depth}; mi = mi + 1)")
+                    with w.indented():
+                        w.line(f"{mem.name}[mi] = 0;")
+            w.line()
+
+        # Combinational wires: bit/int as assigns, f64 as always @* blocks.
+        declared_wires = []
+        for wire in module.wires:
+            if wire.name in port_names:
+                declared_wires.append(wire)
+                continue
+            if wire.kind == "f64":
+                w.line(f"reg {_width_decl(wire.kind)}{wire.name};")
+            else:
+                w.line(f"wire {_width_decl(wire.kind)}{wire.name};")
+        for wire in module.wires:
+            if wire.kind == "f64":
+                w.line(
+                    f"always @* {wire.name} = "
+                    f"$realtobits({_render_real_expr(wire.expr)});"
+                )
+            else:
+                w.line(f"assign {wire.name} = {_render_int_expr(wire.expr)};")
+        if module.wires:
+            w.line()
+
+        # Instances.
+        for inst in module.instances:
+            for port_name, wire_name in sorted(inst.outputs.items()):
+                kind = _instance_port_kind(port_name)
+                w.line(f"wire {_width_decl(kind)}{wire_name};")
+        for inst in module.instances:
+            params = ", ".join(
+                f".{name}({value})" for name, value in sorted(inst.params.items())
+            )
+            override = f" #({params})" if params else ""
+            w.line(f"{inst.module}{override} {inst.name} (")
+            with w.indented():
+                conns = [".clk(clk)"]
+                for port_name, expr in sorted(inst.inputs.items()):
+                    conns.append(f".{port_name}({_render_int_expr(expr)})")
+                for port_name, wire_name in sorted(inst.outputs.items()):
+                    conns.append(f".{port_name}({wire_name})")
+                for index, conn in enumerate(conns):
+                    comma = "," if index + 1 < len(conns) else ""
+                    w.line(f"{conn}{comma}")
+            w.line(");")
+        if module.instances:
+            w.line()
+
+        # The single sequential process: registers, clears, then writes.
+        if module.seq:
+            with vblock(w, "always @(posedge clk) begin"):
+                for op in module.seq:
+                    if isinstance(op, RegSet):
+                        w.line(f"{op.reg} <= {_render_int_expr(op.expr)};")
+                for op in module.seq:
+                    if isinstance(op, MemClear):
+                        with vblock(
+                            w, f"if ({_render_int_expr(op.enable)}) begin"
+                        ):
+                            w.line(
+                                f"for (mi = 0; mi < "
+                                f"{_mem_depth(module, op.mem)}; mi = mi + 1)"
+                            )
+                            with w.indented():
+                                w.line(f"{op.mem}[mi] <= 0;")
+                for op in module.seq:
+                    if isinstance(op, MemWrite):
+                        with vblock(
+                            w, f"if ({_render_int_expr(op.enable)}) begin"
+                        ):
+                            w.line(
+                                f"{op.mem}[{_render_int_expr(op.addr)}] <= "
+                                f"$realtobits({_render_real_expr(op.data)});"
+                            )
+    w.line("endmodule")
+
+
+@contextmanager
+def vblock(w: CodeWriter, header: str) -> Iterator[None]:
+    """``header`` ... ``end`` around the context (Verilog has no braces,
+    so :meth:`CodeWriter.block`'s C-style ``{`` would corrupt the text)."""
+    w.line(header)
+    with w.indented():
+        yield
+    w.line("end")
+
+
+def _mem_depth(module: ModuleDef, name: str) -> int:
+    for mem in module.mems:
+        if mem.name == name:
+            return mem.depth
+    raise KeyError(name)
+
+
+_FIELD_KINDS = {
+    "valid": "bit",
+    "rowok": "bit",
+    "colok": "bit",
+    "tag": "int",
+    "boff": "int",
+    "val": "f64",
+}
+
+
+def _instance_port_kind(port_name: str) -> str:
+    """Kind of a ``pe`` output port, recovered from its field name."""
+    if port_name == "err":
+        return "bit"
+    parts = port_name.split("_")  # w_valid_out / w_val_0_out
+    if len(parts) >= 3 and parts[1] in _FIELD_KINDS:
+        return _FIELD_KINDS[parts[1]]
+    raise ValueError(f"unknown pe port {port_name!r}")
+
+
+def render_verilog(top: ModuleDef, pe: ModuleDef, plan: RtlPlan) -> str:
+    """Verilog-2001 text for the two modules (pe first)."""
+    design = plan.design
+    shape = design.shape
+    w = CodeWriter()
+    w.comment(f"Systolic array RTL for design {design.signature}")
+    w.comment(
+        f"{shape.rows}x{shape.cols} PEs, {shape.vector} SIMD lanes, "
+        f"per-PE acc box {plan.box} words "
+        f"({'x'.join(str(d) for d in plan.box_dims)})"
+    )
+    w.comment("Data is IEEE binary64 carried as [63:0]; arithmetic in `real`.")
+    w.line()
+    _render_module(w, pe)
+    w.line()
+    _render_module(w, top)
+    return w.render()
+
+
+def generate_rtl(design: DesignPoint, platform: Any = None) -> str:
+    """The complete Verilog source for one design point.
+
+    Args:
+        design: the design to lower.
+        platform: accepted for backend-signature uniformity; the RTL
+            structure depends only on the design.
+
+    Raises:
+        DiagnosticError: ``SA150`` when the design is not lowerable.
+    """
+    top, pe, plan = build_rtl_modules(design)
+    return render_verilog(top, pe, plan)
+
+
+def rtl_module_hash(source: str) -> str:
+    """Stable content hash of emitted Verilog (for golden fixtures)."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+__all__ = [
+    "Instance",
+    "Mem",
+    "MemClear",
+    "MemWrite",
+    "ModuleDef",
+    "Port",
+    "Reg",
+    "RegSet",
+    "RTL_MAX_BOX",
+    "RtlPlan",
+    "Wire",
+    "build_pe_module",
+    "build_rtl_modules",
+    "build_top_module",
+    "expr_signals",
+    "generate_rtl",
+    "plan_rtl",
+    "render_verilog",
+    "rtl_module_hash",
+]

@@ -148,8 +148,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--sim-backend",
         choices=["fast", "rtl", "both", "testbench"],
         help="also execute the winner on a wavefront simulator: fast = "
-        "vectorized, rtl = cycle-accurate engine (small nests), both = "
-        "differential conformance (fails on any disagreement), testbench "
+        "vectorized, rtl = generated Verilog through the netlist "
+        "interpreter (small nests), both = differential conformance "
+        "including the RTL legs (fails on any disagreement), testbench "
         "= compile and run the generated C testbench (degrades to fast "
         "when no toolchain is available)",
     )
@@ -245,6 +246,26 @@ def build_verify_arg_parser() -> argparse.ArgumentParser:
         default=None,
         help="skip the cycle-accurate engine leg above this iteration "
         "count (default 200000)",
+    )
+    parser.add_argument(
+        "--sim-backend",
+        choices=["fast", "rtl", "both"],
+        default="both",
+        help="legs to run: fast = simulator matrix only, rtl / both = "
+        "also hold the generated Verilog (interpreter, plus iverilog "
+        "when available) bit-identical to the simulators (default both)",
+    )
+    parser.add_argument(
+        "--rtl-limit",
+        type=int,
+        default=None,
+        help="skip the RTL legs above this iteration count (default 200000)",
+    )
+    parser.add_argument(
+        "--require-iverilog",
+        action="store_true",
+        help="fail (instead of skipping with an SA153 note) when iverilog "
+        "is not on PATH",
     )
     parser.add_argument(
         "--no-pragma",
@@ -748,6 +769,8 @@ def submit_main(argv: list[str]) -> int:
         (out_dir / "testbench.c").write_text(result.testbench_source)
         (out_dir / "driver.c").write_text(result.driver_source)
         (out_dir / "opencl_shim.h").write_text(OPENCL_SHIM)
+        if result.rtl_source is not None:
+            (out_dir / "systolic.v").write_text(result.rtl_source)
         (out_dir / "report.txt").write_text(render_synthesis_report(result) + "\n")
         print(f"artifacts written to {out_dir}/")
     elif not args.follow:
@@ -761,6 +784,7 @@ def verify_main(argv: list[str]) -> int:
     from repro.verify.conformance import (
         DEFAULT_ENGINE_ITERATION_LIMIT,
         DEFAULT_REL_TOL,
+        DEFAULT_RTL_ITERATION_LIMIT,
         cross_check,
     )
 
@@ -800,6 +824,11 @@ def verify_main(argv: list[str]) -> int:
             print(checked.report.render(source), file=sys.stderr)
             return checked.exit_code or 1
         design = checked.design
+    import os
+
+    require_iverilog = args.require_iverilog or os.environ.get(
+        "RTL_REQUIRE_IVERILOG"
+    ) not in (None, "", "0")
     conformance = cross_check(
         design,
         seed=args.seed,
@@ -809,6 +838,13 @@ def verify_main(argv: list[str]) -> int:
             if args.engine_limit is not None
             else DEFAULT_ENGINE_ITERATION_LIMIT
         ),
+        rtl=args.sim_backend in ("rtl", "both"),
+        rtl_iteration_limit=(
+            args.rtl_limit
+            if args.rtl_limit is not None
+            else DEFAULT_RTL_ITERATION_LIMIT
+        ),
+        iverilog="require" if require_iverilog else "auto",
     )
     if args.json:
         import json
@@ -1147,6 +1183,8 @@ def _synthesize(args, platform, config, out_dir, cache, observers) -> int:
         (out_dir / "testbench.c").write_text(synthesis.testbench_source)
         (out_dir / "driver.c").write_text(synthesis.driver_source)
         (out_dir / "opencl_shim.h").write_text(OPENCL_SHIM)
+        if synthesis.rtl_source is not None:
+            (out_dir / "systolic.v").write_text(synthesis.rtl_source)
         if args.save_design:
             from repro.model.serialize import save_design
 

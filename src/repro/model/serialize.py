@@ -302,6 +302,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
         "host_source": result.host_source,
         "testbench_source": result.testbench_source,
         "driver_source": result.driver_source,
+        "rtl_source": getattr(result, "rtl_source", None),
         "configs_enumerated": result.configs_enumerated,
         "configs_tuned": result.configs_tuned,
         "dse_seconds": result.dse_seconds,
@@ -340,6 +341,8 @@ def result_from_dict(data: dict[str, Any]) -> Any:
             host_source=data["host_source"],
             testbench_source=data["testbench_source"],
             driver_source=data["driver_source"],
+            # Absent in pre-RTL saved results; None is the degraded state.
+            rtl_source=data.get("rtl_source"),
             configs_enumerated=data["configs_enumerated"],
             configs_tuned=data["configs_tuned"],
             dse_seconds=data["dse_seconds"],

@@ -32,6 +32,9 @@ class SynthesisResult:
         measurement: performance-simulator run at the realized clock.
         kernel_source / host_source / testbench_source / driver_source:
             the generated artifacts.
+        rtl_source: the generated Verilog (None when the design cannot
+            be lowered to the RTL backend — SA150, recorded as a
+            degradation rather than a failure).
         configs_enumerated / configs_tuned: phase-1 statistics.
         dse_seconds: phase-1 wall-clock time (bookkeeping; excluded from
             equality, like the other timing fields).
@@ -59,6 +62,7 @@ class SynthesisResult:
     host_source: str
     testbench_source: str
     driver_source: str
+    rtl_source: str | None
     configs_enumerated: int
     configs_tuned: int
     dse_seconds: float = field(compare=False)
@@ -117,6 +121,7 @@ class SynthesisContext:
     host_source: str | None = None
     testbench_source: str | None = None
     driver_source: str | None = None
+    rtl_source: str | None = None
     engine_result: EngineResult | None = None
     conformance: ConformanceReport | None = None
     stage_seconds: tuple[tuple[str, float], ...] = ()
@@ -155,6 +160,7 @@ class SynthesisContext:
             host_source=self.host_source,
             testbench_source=self.testbench_source,
             driver_source=self.driver_source,
+            rtl_source=self.rtl_source,
             configs_enumerated=self.phase1.configs_enumerated,
             configs_tuned=self.phase1.configs_tuned,
             dse_seconds=self.phase1.elapsed_seconds,

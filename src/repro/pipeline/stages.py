@@ -194,27 +194,50 @@ class DsePhase2Stage(StageBase):
 
 
 class CodegenStage(StageBase):
-    """Emit the OpenCL kernel, host, testbench and driver artifacts
-    (linted against the design in strict mode)."""
+    """Emit every backend's artifacts through the multi-backend layer
+    (:mod:`repro.codegen.backend`): OpenCL kernel/driver/host, the C
+    testbench, and the Verilog RTL.  A design the RTL backend cannot
+    lower (SA150) degrades to ``rtl_source=None`` instead of failing —
+    the other backends lower everything.  Strict mode lints the C-family
+    artifacts against the design and the Verilog structurally."""
 
     name = "codegen"
 
     def run(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
-        from repro.codegen.host import generate_host
-        from repro.codegen.opencl import generate_kernel, generate_kernel_driver
-        from repro.codegen.testbench import generate_testbench
+        from repro.analysis.diagnostics import DiagnosticError
+        from repro.codegen.backend import get_backend
 
         design = ctx.best.design
+        opencl = get_backend("opencl").emit(design, ctx.platform)
+        testbench = get_backend("testbench").emit(design, ctx.platform)
+        try:
+            rtl_source = get_backend("rtl").emit(design, ctx.platform)["rtl"]
+        except DiagnosticError as exc:
+            first = exc.diagnostics[0]
+            events.emit(
+                StageDegraded(
+                    self.name,
+                    code=first.code,
+                    reason=first.message,
+                    fallback="no RTL artifact",
+                )
+            )
+            ctx = ctx.evolve(
+                degradations=ctx.degradations + ((first.code, first.message),)
+            )
+            rtl_source = None
         ctx = ctx.evolve(
-            kernel_source=generate_kernel(design, ctx.platform),
-            host_source=generate_host(design, ctx.platform),
-            testbench_source=generate_testbench(design, ctx.platform),
-            driver_source=generate_kernel_driver(design, ctx.platform),
+            kernel_source=opencl["kernel"],
+            host_source=opencl["host"],
+            testbench_source=testbench["testbench"],
+            driver_source=opencl["driver"],
+            rtl_source=rtl_source,
         )
         if ctx.strict:
             from repro.analysis.codegen_lint import (
                 lint_against_design,
                 lint_generated_code,
+                lint_verilog,
             )
             from repro.analysis.diagnostics import AnalysisReport
 
@@ -230,6 +253,8 @@ class CodegenStage(StageBase):
                     combined.extend(
                         lint_against_design(text, design, filename=f"<{label}>")
                     )
+            if ctx.rtl_source is not None:
+                combined.extend(lint_verilog(ctx.rtl_source, filename="<rtl>"))
             combined.raise_if_errors()
         return ctx
 
@@ -242,6 +267,7 @@ class CodegenStage(StageBase):
             "host_source": ctx.host_source,
             "testbench_source": ctx.testbench_source,
             "driver_source": ctx.driver_source,
+            "rtl_source": ctx.rtl_source,
         }
 
     def load(self, payload: dict[str, Any], ctx: SynthesisContext) -> SynthesisContext:
@@ -251,13 +277,20 @@ class CodegenStage(StageBase):
                 host_source=payload["host_source"],
                 testbench_source=payload["testbench_source"],
                 driver_source=payload["driver_source"],
+                # Pre-RTL cache entries miss this key; the KeyError below
+                # surfaces as a malformed payload and forces a re-emit.
+                rtl_source=payload["rtl_source"],
             )
         except KeyError as exc:
             raise ValueError(f"malformed codegen payload: {exc}") from exc
 
     def info(self, ctx: SynthesisContext) -> dict[str, Any]:
         artifacts = [
-            ctx.kernel_source, ctx.host_source, ctx.testbench_source, ctx.driver_source,
+            ctx.kernel_source,
+            ctx.host_source,
+            ctx.testbench_source,
+            ctx.driver_source,
+            ctx.rtl_source,
         ]
         return {"artifacts": sum(1 for a in artifacts if a is not None)}
 
@@ -266,8 +299,9 @@ class SimulateStage(StageBase):
     """Performance-simulator run of the winner at its realized clock,
     plus an optional wavefront-simulator execution on synthetic tensors
     (``ctx.sim_backend``): ``fast`` runs the vectorized simulator,
-    ``rtl`` the cycle-accurate engine (small problems only), ``both``
-    the full differential-conformance matrix (:mod:`repro.verify`),
+    ``rtl`` executes the generated Verilog through the netlist
+    interpreter (small problems only), ``both`` the full differential-
+    conformance matrix including the RTL legs (:mod:`repro.verify`),
     failing the pipeline on any disagreement, and ``testbench``
     compiles and executes the generated C testbench with the system
     toolchain — degrading to ``fast`` with an SA504/SA505 diagnostic
@@ -287,16 +321,12 @@ class SimulateStage(StageBase):
         return ctx
 
     def _run_wavefront(self, ctx: SynthesisContext, events: EventBus) -> SynthesisContext:
-        from repro.verify.conformance import (
-            DEFAULT_ENGINE_ITERATION_LIMIT,
-            cross_check,
-            synthetic_arrays,
-        )
+        from repro.verify.conformance import cross_check, synthetic_arrays
 
         design = ctx.best.design
         backend = ctx.sim_backend
         if backend == "both":
-            conformance = cross_check(design)
+            conformance = cross_check(design, rtl=True)
             conformance.report.raise_if_errors()
             return ctx.evolve(engine_result=conformance.result, conformance=conformance)
         if backend == "testbench":
@@ -305,16 +335,16 @@ class SimulateStage(StageBase):
         if backend == "fast":
             result = self._run_fast(ctx, events)
         elif backend == "rtl":
-            from repro.sim.engine import SystolicArrayEngine
+            from repro.sim.rtl import DEFAULT_RTL_ITERATION_LIMIT, RtlSimulator
 
             total = design.nest.total_iterations
-            if total > DEFAULT_ENGINE_ITERATION_LIMIT:
+            if total > DEFAULT_RTL_ITERATION_LIMIT:
                 raise ValueError(
                     f"--sim-backend rtl: {design.nest.name!r} has {total} "
-                    f"iterations, beyond the cycle-accurate engine's budget "
-                    f"of {DEFAULT_ENGINE_ITERATION_LIMIT}; use 'fast' or 'both'"
+                    f"iterations, beyond the RTL interpreter's budget "
+                    f"of {DEFAULT_RTL_ITERATION_LIMIT}; use 'fast' or 'both'"
                 )
-            result = SystolicArrayEngine(design).run(arrays)
+            result = RtlSimulator(design).run(arrays).result
         else:
             raise ValueError(
                 f"unknown simulator backend {backend!r} "

@@ -62,6 +62,8 @@ FAULT_POINTS: tuple[str, ...] = (
     "dse.worker",
     "testbench.compile",
     "testbench.run",
+    "rtl.compile",
+    "rtl.run",
     "sim.step",
     "service.queue",
     "service.worker",

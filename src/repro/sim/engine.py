@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.model.design_point import DesignPoint
+from repro.sim.feed import WaveFeeder
 from repro.sim.schedule import (
     BlockSpec,
     enumerate_blocks,
@@ -87,49 +88,25 @@ class SystolicArrayEngine:
         self._iterators = self.nest.iterators
         self._bounds = self.nest.bounds
         self._out_access = self.nest.output
-        reads = {a.array: a for a in self.nest.reads}
-        self._w_access = reads[self.mapping.horizontal_array]
-        self._in_access = reads[self.mapping.vertical_array]
+        self._feeder = WaveFeeder(design)
 
     # ------------------------------------------------------------- indexing
+    # Boundary gathering is shared with the RTL harness (repro.sim.feed)
+    # so the two cycle-accurate backends cannot drift apart.
 
     def _indices(
         self, block: BlockSpec, wave: dict[str, int], x: int, y: int, lane: int
     ) -> dict[str, int]:
         """Original iteration vector for (block, wave, PE, SIMD lane)."""
-        t = self.design.tiling.t
-        inner = {self.mapping.row: x, self.mapping.col: y, self.mapping.vector: lane}
-        bases = block.base_map
-        return {
-            it: bases[it] + wave[it] * t(it) + inner.get(it, 0)
-            for it in self._iterators
-        }
-
-    def _gather(self, access, arrays, idx: dict[str, int]) -> float:
-        """Array value at an iteration point; 0 outside the original bounds
-        (quantization padding contributes nothing, by construction)."""
-        for it, value in idx.items():
-            if value >= self._bounds[it]:
-                return 0.0
-        return float(arrays[access.array][access.evaluate(idx)])
+        return self._feeder.indices(block, wave, x, y, lane)
 
     def _w_vector(self, block, wave, x, arrays) -> np.ndarray:
         """The weight vector entering row x for one wave (column-free)."""
-        return np.array(
-            [
-                self._gather(self._w_access, arrays, self._indices(block, wave, x, 0, v))
-                for v in range(self.vector)
-            ]
-        )
+        return self._feeder.w_vector(block, wave, x, arrays)
 
     def _in_vector(self, block, wave, y, arrays) -> np.ndarray:
         """The input vector entering column y for one wave (row-free)."""
-        return np.array(
-            [
-                self._gather(self._in_access, arrays, self._indices(block, wave, 0, y, v))
-                for v in range(self.vector)
-            ]
-        )
+        return self._feeder.in_vector(block, wave, y, arrays)
 
     # ------------------------------------------------------------ execution
 

@@ -1,0 +1,106 @@
+"""Shared boundary-feeding math for the cycle-accurate backends.
+
+The cycle engine and the RTL harness inject the *same* operand streams:
+for every (block, wave, boundary position, SIMD lane) they must gather
+the identical element (zero on quantization padding) and compute the
+identical iteration vector.  Keeping that math in one place is what
+makes "bit-identical by construction" an honest claim — the engine and
+the RTL testbench driver cannot drift apart because they call the same
+functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.design_point import DesignPoint
+from repro.sim.schedule import BlockSpec
+
+
+class WaveFeeder:
+    """Gathers boundary operand vectors for one design point.
+
+    All methods are pure functions of (block, wave, position, arrays);
+    the class only precomputes the access/bound lookups.
+    """
+
+    def __init__(self, design: DesignPoint) -> None:
+        self.design = design
+        self.nest = design.nest
+        self.mapping = design.mapping
+        self.vector = design.shape.vector
+        self._iterators = self.nest.iterators
+        self._bounds = self.nest.bounds
+        self._out_access = self.nest.output
+        reads = {a.array: a for a in self.nest.reads}
+        self._w_access = reads[self.mapping.horizontal_array]
+        self._in_access = reads[self.mapping.vertical_array]
+
+    # ------------------------------------------------------------- indexing
+
+    def indices(
+        self, block: BlockSpec, wave: dict[str, int], x: int, y: int, lane: int
+    ) -> dict[str, int]:
+        """Original iteration vector for (block, wave, PE, SIMD lane)."""
+        t = self.design.tiling.t
+        inner = {self.mapping.row: x, self.mapping.col: y, self.mapping.vector: lane}
+        bases = block.base_map
+        return {
+            it: bases[it] + wave[it] * t(it) + inner.get(it, 0)
+            for it in self._iterators
+        }
+
+    def gather(self, access, arrays, idx: dict[str, int]) -> float:
+        """Array value at an iteration point; 0 outside the original bounds
+        (quantization padding contributes nothing, by construction)."""
+        for it, value in idx.items():
+            if value >= self._bounds[it]:
+                return 0.0
+        return float(arrays[access.array][access.evaluate(idx)])
+
+    def w_vector(self, block, wave, x, arrays) -> np.ndarray:
+        """The weight vector entering row x for one wave (column-free)."""
+        return np.array(
+            [
+                self.gather(self._w_access, arrays, self.indices(block, wave, x, 0, v))
+                for v in range(self.vector)
+            ]
+        )
+
+    def in_vector(self, block, wave, y, arrays) -> np.ndarray:
+        """The input vector entering column y for one wave (row-free)."""
+        return np.array(
+            [
+                self.gather(self._in_access, arrays, self.indices(block, wave, 0, y, v))
+                for v in range(self.vector)
+            ]
+        )
+
+    # ------------------------------------------------- RTL sideband signals
+
+    def row_ok(self, block: BlockSpec, wave: dict[str, int], x: int) -> bool:
+        """Whether row x's non-vector iterators are all in bounds at y=0.
+
+        Together with :meth:`col_ok` this reproduces the engine's padding
+        skip: a PE computes a *real* output element iff every non-vector
+        iterator of its iteration point is within the original bounds,
+        and rows/columns partition those iterators (the row iterator only
+        depends on x, the column iterator only on y).
+        """
+        idx = self.indices(block, wave, x, 0, 0)
+        col = self.mapping.col
+        vec = self.mapping.vector
+        return all(
+            idx[it] < self._bounds[it]
+            for it in self._iterators
+            if it not in (col, vec)
+        )
+
+    def col_ok(self, block: BlockSpec, wave: dict[str, int], y: int) -> bool:
+        """Whether column y's iterator is in bounds (see :meth:`row_ok`)."""
+        col = self.mapping.col
+        idx = self.indices(block, wave, 0, y, 0)
+        return idx[col] < self._bounds[col]
+
+
+__all__ = ["WaveFeeder"]

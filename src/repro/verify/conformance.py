@@ -32,17 +32,23 @@ from typing import Any
 import numpy as np
 
 from repro.analysis.diagnostics import (
+    RTL_CYCLE_DIVERGENCE,
+    RTL_OUTPUT_MISMATCH,
+    RTL_TOOLCHAIN_MISSING,
+    RTL_UNSUPPORTED_DESIGN,
     VERIFY_CYCLE_MODEL_MISMATCH,
     VERIFY_ENGINE_MISMATCH,
     VERIFY_GOLDEN_MISMATCH,
     VERIFY_LEG_SKIPPED,
     AnalysisReport,
+    DiagnosticError,
     Severity,
 )
 from repro.ir.loop import LoopNest
 from repro.model.design_point import DesignPoint
 from repro.sim.engine import EngineResult, SystolicArrayEngine
 from repro.sim.fast import FastWavefrontSimulator, cycle_statistics
+from repro.sim.rtl import DEFAULT_RTL_ITERATION_LIMIT
 
 #: Cycle-accurate engine legs are skipped above this many iterations —
 #: the engine is exponential in problem size by construction.
@@ -217,6 +223,9 @@ def cross_check(
     seed: int = 0,
     rel_tol: float = DEFAULT_REL_TOL,
     engine_iteration_limit: int = DEFAULT_ENGINE_ITERATION_LIMIT,
+    rtl: bool = False,
+    rtl_iteration_limit: int = DEFAULT_RTL_ITERATION_LIMIT,
+    iverilog: str = "auto",
 ) -> ConformanceReport:
     """Run the full conformance matrix over one design point.
 
@@ -231,6 +240,16 @@ def cross_check(
         rel_tol: relative tolerance of the golden-output legs.
         engine_iteration_limit: skip the cycle-accurate engine leg above
             this iteration count (with an ``SA404`` note).
+        rtl: additionally run the generated RTL through the netlist
+            interpreter and hold it bit-identical to the fast simulator
+            (``SA151``) and cycle-identical to the analytical model
+            (``SA152``); when iverilog is on PATH the emitted Verilog is
+            also executed natively and diffed against the interpreter.
+        rtl_iteration_limit: skip the RTL legs above this iteration
+            count (with an ``SA404`` note).
+        iverilog: ``"auto"`` uses iverilog when available (an ``SA153``
+            note records its absence), ``"require"`` turns absence into
+            a mismatch, ``"off"`` skips the native leg.
 
     Returns:
         a :class:`ConformanceReport`; never raises on disagreement —
@@ -249,6 +268,10 @@ def cross_check(
     legs.append(_cycle_model_leg(design, fast_result, report))
     if layer is not None:
         legs.append(_layer_leg(design, layer, seed, rel_tol, report))
+    if rtl:
+        legs.extend(
+            _rtl_legs(design, arrays, fast_result, rtl_iteration_limit, iverilog, report)
+        )
 
     return ConformanceReport(
         design_signature=design.signature,
@@ -415,10 +438,168 @@ def _layer_leg(
     return LegResult(name, "ok", f"max relative error {max_rel:.3e}", metrics)
 
 
+def _rtl_legs(
+    design: DesignPoint,
+    arrays: dict[str, np.ndarray],
+    fast_result: EngineResult,
+    limit: int,
+    iverilog: str,
+    report: AnalysisReport,
+) -> list[LegResult]:
+    """The RTL conformance legs: interpreter identity + native cross-check.
+
+    Degradation ladder (mirroring the testbench SA5xx policy): a design
+    the RTL backend cannot lower skips all legs with an ``SA150`` note;
+    an oversized design skips with an ``SA404`` note; a missing iverilog
+    skips only the native leg with an ``SA153`` note (or fails it when
+    ``iverilog="require"``).
+    """
+    from repro.sim.rtl import (
+        RtlSimulator,
+        RtlToolchainUnavailable,
+        iverilog_available,
+        run_iverilog_check,
+    )
+
+    names = ("rtl-vs-fast", "rtl-cycles-vs-model", "rtl-vs-iverilog")
+    total = design.nest.total_iterations
+    if total > limit:
+        report.add(
+            VERIFY_LEG_SKIPPED,
+            Severity.NOTE,
+            f"RTL legs skipped: {total} iterations exceed the "
+            f"{limit}-iteration RTL interpreter budget",
+        )
+        detail = f"{total} iterations > RTL budget {limit}"
+        return [LegResult(name, "skipped", detail) for name in names]
+
+    try:
+        sim = RtlSimulator(design)
+    except DiagnosticError as exc:
+        first = exc.diagnostics[0]
+        report.add(
+            RTL_UNSUPPORTED_DESIGN,
+            Severity.NOTE,
+            f"RTL legs skipped: {first.message}",
+        )
+        return [LegResult(name, "skipped", first.message) for name in names]
+
+    legs: list[LegResult] = []
+    rtl_run = sim.run(arrays)
+    rtl_result = rtl_run.result
+
+    # Leg: RTL interpreter vs. fast simulator — bit-exact.
+    mismatches = []
+    bit_equal = (
+        fast_result.output.shape == rtl_result.output.shape
+        and fast_result.output.tobytes() == rtl_result.output.tobytes()
+    )
+    if not bit_equal:
+        diff = int(np.sum(fast_result.output != rtl_result.output))
+        mismatches.append(f"output differs in {diff} element(s)")
+    if fast_result.pe_active_cycles != rtl_result.pe_active_cycles:
+        mismatches.append(
+            f"pe_active_cycles: fast={fast_result.pe_active_cycles} "
+            f"rtl={rtl_result.pe_active_cycles}"
+        )
+    if mismatches:
+        report.add(
+            RTL_OUTPUT_MISMATCH,
+            Severity.ERROR,
+            f"RTL simulation of {design.signature} diverges from the fast "
+            f"simulator: " + "; ".join(mismatches),
+        )
+        legs.append(LegResult(names[0], "mismatch", "; ".join(mismatches)))
+    else:
+        legs.append(
+            LegResult(
+                names[0],
+                "ok",
+                f"bit-identical over {total} iterations",
+                metrics=(("iterations", float(total)),),
+            )
+        )
+
+    # Leg: RTL emergent cycle counters vs. the analytical model.
+    stats = cycle_statistics(design)
+    mismatches = []
+    for counter in (
+        "blocks", "waves", "compute_cycles", "pe_active_cycles", "first_all_active_cycle",
+    ):
+        got, want = getattr(rtl_result, counter), getattr(stats, counter)
+        if got != want:
+            mismatches.append(f"{counter}: rtl={got} model={want}")
+    if mismatches:
+        report.add(
+            RTL_CYCLE_DIVERGENCE,
+            Severity.ERROR,
+            f"RTL cycle counters of {design.signature} deviate from the "
+            f"analytical model: " + "; ".join(mismatches),
+        )
+        legs.append(LegResult(names[1], "mismatch", "; ".join(mismatches)))
+    else:
+        legs.append(
+            LegResult(
+                names[1],
+                "ok",
+                f"exact ({rtl_result.compute_cycles} cycles, "
+                f"{rtl_result.blocks} blocks)",
+                metrics=(("rtl_cycles", float(rtl_result.compute_cycles)),),
+            )
+        )
+
+    # Leg: native iverilog execution vs. the interpreter.
+    if iverilog == "off":
+        legs.append(LegResult(names[2], "skipped", "native leg disabled"))
+        return legs
+    if iverilog == "auto" and not iverilog_available():
+        report.add(
+            RTL_TOOLCHAIN_MISSING,
+            Severity.NOTE,
+            "iverilog not found on PATH; RTL checked by the Python "
+            "interpreter only",
+            hint="apt-get install iverilog to enable the native leg",
+        )
+        legs.append(LegResult(names[2], "skipped", "iverilog not on PATH"))
+        return legs
+    try:
+        check = run_iverilog_check(design, arrays)
+    except RtlToolchainUnavailable as exc:
+        diag = exc.diagnostic
+        if iverilog == "require":
+            report.add(
+                diag.code, Severity.ERROR, diag.message, hint=diag.hint
+            )
+            legs.append(LegResult(names[2], "mismatch", diag.message))
+        else:
+            report.add(diag.code, Severity.NOTE, diag.message, hint=diag.hint)
+            legs.append(LegResult(names[2], "skipped", diag.message))
+        return legs
+    if not check.ok:
+        report.add(
+            RTL_OUTPUT_MISMATCH,
+            Severity.ERROR,
+            f"iverilog execution of {design.signature} diverges from the "
+            f"RTL interpreter: {check.detail}",
+        )
+        legs.append(LegResult(names[2], "mismatch", check.detail))
+    else:
+        legs.append(
+            LegResult(
+                names[2],
+                "ok",
+                check.detail,
+                metrics=(("words_compared", float(check.words)),),
+            )
+        )
+    return legs
+
+
 __all__ = [
     "ConformanceReport",
     "DEFAULT_ENGINE_ITERATION_LIMIT",
     "DEFAULT_REL_TOL",
+    "DEFAULT_RTL_ITERATION_LIMIT",
     "LegResult",
     "cross_check",
     "golden_nest_output",

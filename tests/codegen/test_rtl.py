@@ -1,0 +1,307 @@
+"""RTL backend property suite: emit, lint, simulate, diverge on purpose.
+
+Three contracts, each checked over generated designs rather than a
+hand-picked example:
+
+* **Emission** is deterministic, registered behind the backend
+  protocol, and every module it produces passes :func:`lint_verilog`
+  with zero findings.
+* **Execution** of the emitted netlist through the Python RTL
+  interpreter is bit-identical to the cycle-accurate engine — output
+  tensor bytes and every emergent counter.
+* **Reachability**: each SA15x conformance diagnostic and each SA33x
+  Verilog lint diagnostic is actually emitted by a crafted scenario
+  (mirroring the SA6xx/SA14x mutation audits), so a regression cannot
+  silently retire a code while the catalog still advertises it.
+
+The native iverilog round-trip runs only where the toolchain exists;
+``RTL_REQUIRE_IVERILOG=1`` (the CI conformance job) turns that skip
+into a failure.
+"""
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.codegen_lint import lint_verilog
+from repro.analysis.diagnostics import CODE_CATALOG, DiagnosticError
+from repro.codegen.backend import BACKENDS, CodegenBackend, get_backend
+from repro.codegen.rtl import RTL_MAX_BOX, generate_rtl, plan_rtl, rtl_module_hash
+from repro.ir.loop import conv_loop_nest
+from repro.model.design_point import ArrayShape, DesignPoint
+from repro.model.mapping import Mapping
+from repro.resilience.faults import FaultPlan, injected
+from repro.sim import rtl as rtl_sim
+from repro.sim.engine import SystolicArrayEngine
+from repro.sim.rtl import (
+    RtlSimulator,
+    RtlToolchainUnavailable,
+    iverilog_available,
+    run_iverilog_check,
+)
+from repro.verify import conformance
+from repro.verify.conformance import cross_check, synthetic_arrays
+from tests.strategies import seeds, small_designs
+
+
+def reference_design():
+    """The workhorse fixed design: strided, nothing divides anything."""
+    nest = conv_loop_nest(4, 2, 5, 5, 3, 3, stride=2, name="rtlprop")
+    return DesignPoint.create(
+        nest, Mapping("o", "c", "i", "IN", "W"), ArrayShape(2, 3, 2), {"r": 2}
+    )
+
+
+class TestEmission:
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(design=small_designs())
+    def test_property_emit_is_deterministic_and_lint_clean(self, design):
+        """Same design -> same bytes, and the lint finds nothing."""
+        source = generate_rtl(design)
+        assert generate_rtl(design) == source
+        assert rtl_module_hash(generate_rtl(design)) == rtl_module_hash(source)
+        report = lint_verilog(source, filename="<rtl>")
+        assert not report.diagnostics, [d.render() for d in report.diagnostics]
+
+    def test_rtl_backend_is_registered(self):
+        backend = get_backend("rtl")
+        assert isinstance(backend, CodegenBackend)
+        assert backend.language == "Verilog-2001"
+        assert backend.artifacts == ("rtl",)
+        assert "rtl" in BACKENDS
+
+    def test_backend_emit_matches_direct_call(self):
+        design = reference_design()
+        artifacts = get_backend("rtl").emit(design, None)
+        assert set(artifacts) == {"rtl"}
+        assert artifacts["rtl"] == generate_rtl(design)
+
+    def test_unknown_backend_names_the_options(self):
+        with pytest.raises(KeyError, match="rtl"):
+            get_backend("vhdl")
+
+
+class TestInterpreterIdentity:
+    @settings(
+        max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(design=small_designs(), seed=seeds)
+    def test_property_rtl_equals_engine(self, design, seed):
+        """The emitted netlist, interpreted, is the engine bit-for-bit."""
+        arrays = synthetic_arrays(design.nest, seed=seed)
+        rtl = RtlSimulator(design).run(arrays).result
+        slow = SystolicArrayEngine(design).run(arrays)
+        assert rtl.output.shape == slow.output.shape
+        assert rtl.output.tobytes() == slow.output.tobytes()
+        assert rtl.compute_cycles == slow.compute_cycles
+        assert rtl.blocks == slow.blocks
+        assert rtl.waves == slow.waves
+        assert rtl.pe_active_cycles == slow.pe_active_cycles
+        assert rtl.first_all_active_cycle == slow.first_all_active_cycle
+
+    def test_run_is_deterministic(self):
+        design = reference_design()
+        arrays = synthetic_arrays(design.nest, seed=5)
+        first = RtlSimulator(design).run(arrays)
+        second = RtlSimulator(design).run(arrays)
+        assert first.block_digests == second.block_digests
+        assert first.result.output.tobytes() == second.result.output.tobytes()
+
+
+def _corrupted_run(self, arrays, **kwargs):
+    """Flip one output bit — SA151 territory."""
+    run = _REAL_RUN(self, arrays, **kwargs)
+    output = run.result.output.copy()
+    output.flat[0] += 1.0
+    return dataclasses.replace(
+        run, result=dataclasses.replace(run.result, output=output)
+    )
+
+
+def _slowed_run(self, arrays, **kwargs):
+    """Inflate a counter without touching the bits — SA152 territory."""
+    run = _REAL_RUN(self, arrays, **kwargs)
+    return dataclasses.replace(
+        run,
+        result=dataclasses.replace(
+            run.result, compute_cycles=run.result.compute_cycles + 7
+        ),
+    )
+
+
+_REAL_RUN = RtlSimulator.run
+
+
+class TestSa15xReachability:
+    """Every SA15x code is emitted by a concrete scenario.
+
+    ``cross_check`` imports the RTL simulator lazily from
+    :mod:`repro.sim.rtl`, so the mutations patch that module's
+    attributes, not the conformance module's.
+    """
+
+    def test_sa150_vector_in_output_access(self):
+        nest = conv_loop_nest(2, 2, 3, 3, 2, 2, name="sa150")
+        design = DesignPoint.create(
+            nest, Mapping("o", "c", "r", "IN", "W"), ArrayShape(2, 2, 2), {}
+        )
+        with pytest.raises(DiagnosticError) as err:
+            plan_rtl(design)
+        assert err.value.diagnostics[0].code == "SA150"
+
+    def test_sa150_box_beyond_budget(self):
+        nest = conv_loop_nest(256, 1, 128, 128, 1, 1, name="bigbox")
+        design = DesignPoint.create(
+            nest,
+            Mapping("o", "c", "i", "IN", "W"),
+            ArrayShape(2, 2, 1),
+            {"o": 128, "r": 64, "c": 64},
+        )
+        with pytest.raises(DiagnosticError) as err:
+            plan_rtl(design)
+        diag = err.value.diagnostics[0]
+        assert diag.code == "SA150"
+        assert str(RTL_MAX_BOX) in diag.message
+
+    def test_sa150_degrades_cross_check_to_skips(self):
+        nest = conv_loop_nest(2, 2, 3, 3, 2, 2, name="sa150x")
+        design = DesignPoint.create(
+            nest, Mapping("o", "c", "r", "IN", "W"), ArrayShape(2, 2, 2), {}
+        )
+        report = cross_check(design, rtl=True)
+        assert "SA150" in {d.code for d in report.report.diagnostics}
+        for name in ("rtl-vs-fast", "rtl-cycles-vs-model", "rtl-vs-iverilog"):
+            assert report.leg(name).status == "skipped"
+
+    def test_sa151_output_corruption_is_caught(self, monkeypatch):
+        monkeypatch.setattr(rtl_sim.RtlSimulator, "run", _corrupted_run)
+        report = cross_check(reference_design(), rtl=True)
+        assert not report.ok
+        assert "SA151" in {d.code for d in report.report.diagnostics}
+        assert report.leg("rtl-vs-fast").status == "mismatch"
+        assert "output differs" in report.leg("rtl-vs-fast").detail
+
+    def test_sa152_cycle_divergence_is_caught(self, monkeypatch):
+        monkeypatch.setattr(rtl_sim.RtlSimulator, "run", _slowed_run)
+        report = cross_check(reference_design(), rtl=True)
+        assert not report.ok
+        assert "SA152" in {d.code for d in report.report.diagnostics}
+        assert report.leg("rtl-cycles-vs-model").status == "mismatch"
+        assert "compute_cycles" in report.leg("rtl-cycles-vs-model").detail
+
+    def test_sa153_missing_toolchain_is_a_note_in_auto(self, monkeypatch):
+        monkeypatch.setattr(rtl_sim, "iverilog_available", lambda: False)
+        report = cross_check(reference_design(), rtl=True)
+        assert report.ok, report.render()
+        assert "SA153" in {d.code for d in report.report.diagnostics}
+        assert report.leg("rtl-vs-iverilog").status == "skipped"
+
+    def test_sa153_missing_toolchain_fails_under_require(self, monkeypatch):
+        def _unavailable(design, arrays, **kwargs):
+            raise RtlToolchainUnavailable(
+                rtl_sim.Diagnostic(
+                    "SA153", rtl_sim.Severity.ERROR, "iverilog not found"
+                )
+            )
+
+        monkeypatch.setattr(rtl_sim, "run_iverilog_check", _unavailable)
+        report = cross_check(reference_design(), rtl=True, iverilog="require")
+        assert not report.ok
+        assert "SA153" in {d.code for d in report.report.diagnostics}
+        assert report.leg("rtl-vs-iverilog").status == "mismatch"
+
+    def test_audit_every_sa15x_code_is_reachable(self):
+        """Catalog parity: this class exercises every registered SA15x."""
+        registered = {c for c in CODE_CATALOG if c.startswith("SA15")}
+        assert registered == {"SA150", "SA151", "SA152", "SA153"}
+
+
+SA33X_SNIPPETS = {
+    "SA330": """
+module m(input clk, output reg [7:0] q);
+  wire [7:0] ghost;
+  always @(posedge clk) begin
+    q <= ghost;
+  end
+endmodule
+""",
+    "SA331": """
+module m(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = a;
+  assign y = b;
+endmodule
+""",
+    "SA332": """
+module m(a, y);
+  input [7:0] a;
+  output [15:0] y;
+  assign y = a;
+endmodule
+""",
+    "SA333": """
+module m(sel, a, y);
+  input sel;
+  input [7:0] a;
+  output reg [7:0] y;
+  always @* begin
+    if (sel) begin
+      y = a;
+    end
+  end
+endmodule
+""",
+}
+
+
+class TestSa33xReachability:
+    @pytest.mark.parametrize("code", sorted(SA33X_SNIPPETS))
+    def test_snippet_fires_exactly_its_code(self, code):
+        report = lint_verilog(SA33X_SNIPPETS[code])
+        assert [d.code for d in report.diagnostics] == [code]
+
+    def test_audit_every_sa33x_code_is_reachable(self):
+        registered = {c for c in CODE_CATALOG if c.startswith("SA33")}
+        assert registered == set(SA33X_SNIPPETS)
+
+    def test_clean_module_has_no_findings(self):
+        clean = """
+module m(input [7:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+"""
+        assert not lint_verilog(clean).diagnostics
+
+
+_IVERILOG_REQUIRED = os.environ.get("RTL_REQUIRE_IVERILOG", "") not in ("", "0")
+
+
+class TestIverilogRoundTrip:
+    """Native execution of the emitted Verilog, where the tool exists."""
+
+    @pytest.mark.skipif(
+        not iverilog_available() and not _IVERILOG_REQUIRED,
+        reason="iverilog not on PATH (set RTL_REQUIRE_IVERILOG=1 to force)",
+    )
+    def test_iverilog_matches_interpreter_bit_for_bit(self):
+        design = reference_design()
+        arrays = synthetic_arrays(design.nest, seed=1)
+        check = run_iverilog_check(design, arrays)
+        assert check.ok, check.detail
+        assert check.mismatches == 0
+        assert check.words > 0
+
+    def test_unavailable_toolchain_raises_sa153(self):
+        design = reference_design()
+        arrays = synthetic_arrays(design.nest, seed=1)
+        with injected(FaultPlan.parse("rtl.compile:crash")):
+            with pytest.raises(RtlToolchainUnavailable) as err:
+                run_iverilog_check(design, arrays)
+        assert err.value.diagnostic.code == "SA153"
+
+    def test_which_miss_means_unavailable(self, monkeypatch):
+        monkeypatch.setattr(rtl_sim.shutil, "which", lambda _: None)
+        assert not iverilog_available()

@@ -107,7 +107,7 @@ class TestExtractGolden:
 
 
 class TestEmitGolden:
-    def test_extra_read_operand_sa150(self):
+    def test_extra_read_operand_sa133(self):
         nest = LoopNest(
             (Loop("i", 4), Loop("j", 4), Loop("k", 4)),
             (
@@ -121,9 +121,9 @@ class TestEmitGolden:
         with pytest.raises(EmitError) as exc:
             nest_to_c(nest)
         err = exc.value
-        assert err.code == "SA150"
+        assert err.code == "SA133"
         assert "3 read operand(s)" in str(err)
-        assert err.diagnostic.code == "SA150" and err.diagnostic.span is None
+        assert err.diagnostic.code == "SA133" and err.diagnostic.span is None
 
 
 class TestRoundTrip:

@@ -1,0 +1,143 @@
+"""Golden RTL corpus: emitted Verilog and simulated tiles, pinned.
+
+Each fixture under ``tests/sim/golden/rtl_*.json`` pins, for one scaled
+layer (small enough for the netlist interpreter to execute in under a
+second), three independent fingerprints of the RTL backend:
+
+* the SHA-256 of the emitted Verilog text — any change to the emitter,
+  intended or not, shows up here first;
+* the per-block SHA-256 digests of the drained accumulator contents
+  (PE row-major, address-ascending) — the bit-exact execution trace;
+* the emergent cycle counters, which must equal both the fixture and
+  the closed-form analytical model.
+
+Regenerate after an *intentional* backend change with::
+
+    pytest tests/sim/test_rtl_golden.py --refresh-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.codegen.rtl import generate_rtl, rtl_module_hash
+from repro.dse.tuner import MiddleTuner
+from repro.model.design_point import ArrayShape
+from repro.model.mapping import Mapping
+from repro.model.platform import Platform
+from repro.model.serialize import design_from_dict, design_to_dict
+from repro.nn.layers import ConvLayer
+from repro.sim.fast import FastWavefrontSimulator, cycle_statistics
+from repro.sim.rtl import RtlSimulator
+from repro.verify.conformance import synthetic_arrays
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The paper's winning mapping, on a 4x4x4 array — scaled so the RTL
+#: interpreter executes every tile of these layers in well under a
+#: second (the full-size layers exceed its iteration budget by design).
+RTL_MAPPING = Mapping("o", "c", "i", "IN", "W")
+RTL_SHAPE = ArrayShape(4, 4, 4)
+
+SEED = 0
+
+#: Scaled stand-ins for the acceptance layers: AlexNet's conv1 (11x11
+#: stride-4 stem on a shrunken frame) and a MobileNet depthwise layer.
+LAYERS = {
+    "rtl_alexnet_conv1": ConvLayer("conv1", 3, 16, 25, 25, kernel=11, stride=4),
+    "rtl_mobilenet_dw": ConvLayer(
+        "conv2_dw", 16, 16, 16, 16, kernel=3, pad=1, groups=16
+    ),
+}
+
+COUNTERS = (
+    "blocks",
+    "waves",
+    "compute_cycles",
+    "pe_active_cycles",
+    "first_all_active_cycle",
+)
+
+
+def tuned_design(layer):
+    nest = layer.group_view().to_loop_nest()
+    return MiddleTuner(nest, RTL_MAPPING, RTL_SHAPE, Platform()).tune().design
+
+
+def fixture_path(name):
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def write_fixture(name):
+    layer = LAYERS[name]
+    design = tuned_design(layer)
+    source = generate_rtl(design)
+    run = RtlSimulator(design).run(synthetic_arrays(design.nest, seed=SEED))
+    payload = {
+        "layer": layer.name,
+        "design": design_to_dict(design),
+        "verilog_sha256": rtl_module_hash(source),
+        "block_digests": list(run.block_digests),
+        "cycles": {c: getattr(run.result, c) for c in COUNTERS},
+    }
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2) + "\n"
+    fixture_path(name).write_text(text)
+    # JSON-normalized (tuples become lists), exactly as a reader sees it.
+    return json.loads(text)
+
+
+@pytest.fixture(scope="module", params=sorted(LAYERS))
+def corpus(request):
+    """One layer's fixture — regenerated under ``--refresh-golden``."""
+    name = request.param
+    if request.config.getoption("--refresh-golden"):
+        return name, write_fixture(name)
+    path = fixture_path(name)
+    if not path.is_file():
+        pytest.fail(
+            f"missing golden fixture {path}; run pytest --refresh-golden "
+            f"to generate it"
+        )
+    return name, json.loads(path.read_text())
+
+
+class TestGoldenRtl:
+    def test_emitted_verilog_hash_is_pinned(self, corpus):
+        """Re-emitting from the stored design reproduces the source hash."""
+        _, payload = corpus
+        design = design_from_dict(payload["design"])
+        assert rtl_module_hash(generate_rtl(design)) == payload["verilog_sha256"]
+
+    def test_tuner_still_picks_the_stored_design(self, corpus):
+        name, payload = corpus
+        fresh = json.loads(json.dumps(design_to_dict(tuned_design(LAYERS[name]))))
+        assert fresh == payload["design"]
+
+    def test_block_digests_and_counters_match_fixture(self, corpus):
+        """Re-executing the RTL reproduces every per-tile digest and the
+        emergent cycle counters, bit-for-bit."""
+        _, payload = corpus
+        design = design_from_dict(payload["design"])
+        run = RtlSimulator(design).run(synthetic_arrays(design.nest, seed=SEED))
+        assert list(run.block_digests) == payload["block_digests"]
+        got = {c: getattr(run.result, c) for c in COUNTERS}
+        assert got == payload["cycles"]
+
+    def test_rtl_output_is_bit_identical_to_fast_sim(self, corpus):
+        """The three-way identity on the corpus: the RTL run's output and
+        counters equal the fast simulator's, which equal the closed form."""
+        _, payload = corpus
+        design = design_from_dict(payload["design"])
+        arrays = synthetic_arrays(design.nest, seed=SEED)
+        rtl = RtlSimulator(design).run(arrays).result
+        fast = FastWavefrontSimulator(design).run(arrays)
+        assert rtl.output.tobytes() == fast.output.tobytes()
+        stats = cycle_statistics(design)
+        for counter in COUNTERS:
+            assert (
+                getattr(rtl, counter)
+                == getattr(fast, counter)
+                == getattr(stats, counter)
+            ), counter

@@ -163,3 +163,43 @@ class TestConformanceReportShape:
         assert isinstance(report, ConformanceReport)
         with pytest.raises(dataclasses.FrozenInstanceError):
             report.design_signature = "x"
+
+
+class TestRtlLegs:
+    """``rtl=True`` grows the report by the three RTL legs.
+
+    The default stays three legs (pinned above) so existing callers and
+    serialized reports are untouched; the SA15x divergence scenarios
+    themselves live in ``tests/codegen/test_rtl.py``.
+    """
+
+    def test_default_report_has_no_rtl_legs(self):
+        report = cross_check(small_design())
+        assert not any(leg.name.startswith("rtl-") for leg in report.legs)
+
+    def test_rtl_flag_adds_three_legs(self):
+        report = cross_check(small_design(), rtl=True)
+        assert report.ok, report.render()
+        assert [leg.name for leg in report.legs[-3:]] == [
+            "rtl-vs-fast", "rtl-cycles-vs-model", "rtl-vs-iverilog",
+        ]
+        assert report.leg("rtl-vs-fast").status == "ok"
+        assert report.leg("rtl-cycles-vs-model").status == "ok"
+        # The native leg degrades to a skip (SA153 note) off-toolchain.
+        native = report.leg("rtl-vs-iverilog")
+        assert native.status in ("ok", "skipped")
+        if native.status == "skipped":
+            assert any(d.code == "SA153" for d in report.report.diagnostics)
+
+    def test_rtl_budget_skips_all_rtl_legs(self):
+        report = cross_check(small_design(), rtl=True, rtl_iteration_limit=10)
+        assert report.ok  # a skip is a note, not an error
+        for name in ("rtl-vs-fast", "rtl-cycles-vs-model", "rtl-vs-iverilog"):
+            assert report.leg(name).status == "skipped"
+        assert any(d.code == "SA404" for d in report.report.diagnostics)
+
+    def test_render_names_the_rtl_legs(self):
+        report = cross_check(small_design(), rtl=True)
+        text = report.render()
+        assert "rtl-vs-fast" in text
+        assert "rtl-vs-iverilog" in text
