@@ -1,0 +1,205 @@
+"""Distributed synthesis fleet — jobs/s scaling from 1 to 4 workers.
+
+Not a paper exhibit: this bench characterizes ``serve --role
+coordinator|worker`` the way a capacity planner would.  For each fleet
+size it boots a fresh coordinator (in-process, so fleet counters are a
+method call away) plus N worker *processes* (the real CLI, ephemeral
+ports), then drives a mixed AlexNet/VGG/MobileNet-shaped workload with
+deliberate duplicates through the coordinator and measures end-to-end
+jobs/s, the fleet coalesce ratio, and executions actually run.
+
+Every phase starts from cold stage caches — warm caches would let a
+1-worker fleet serve mostly cache hits and flatten the curve in either
+direction.  The scaling assertion is gated on the machine: with >= 4
+effective cores a 4-worker fleet must deliver >= 3x the 1-worker jobs/s
+(the ISSUE's near-linear bar); on smaller machines (CI runners here have
+1 core — worker processes then multiplex one core and cannot scale) the
+bench still measures and records honestly, asserting only that fanning
+out does not collapse throughput.  ``cpu_count`` rides in the record's
+environment fingerprint, so the comparer refuses cross-machine diffs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _record import record_bench
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.http import run_coordinator, shutdown_coordinator
+from repro.pipeline.cache import FilesystemStore
+from repro.service.client import ServiceClient
+
+CONV_TEMPLATE = """
+#pragma systolic
+for (o = 0; o < {o}; o++)
+  for (i = 0; i < {i}; i++)
+    for (c = 0; c < {hw}; c++)
+      for (r = 0; r < {hw}; r++)
+        for (p = 0; p < {k}; p++)
+          for (q = 0; q < {k}; q++)
+            OUT[o][r][c] += W[o][i][p][q] * IN[i][r+p][c+q];
+"""
+
+# Mixed workload shaped like the three networks the importer ships:
+# AlexNet's big-kernel progression, VGG's uniform 3x3 stacks, and
+# MobileNet's 1x1 pointwise layers (the depthwise halves synthesize as
+# grouped nests and would not stress the array; pointwise dominates
+# MobileNet's MACs anyway).
+LAYERS = [
+    ("alexnet_c1", dict(o=12, i=3, hw=8, k=5)),
+    ("alexnet_c2", dict(o=16, i=8, hw=7, k=5)),
+    ("alexnet_c3", dict(o=24, i=12, hw=6, k=3)),
+    ("vgg_c1", dict(o=8, i=4, hw=10, k=3)),
+    ("vgg_c3", dict(o=16, i=8, hw=8, k=3)),
+    ("vgg_c5", dict(o=24, i=16, hw=5, k=3)),
+    ("mobilenet_pw2", dict(o=16, i=8, hw=8, k=1)),
+    ("mobilenet_pw4", dict(o=32, i=16, hw=6, k=1)),
+    ("mobilenet_pw6", dict(o=64, i=32, hw=4, k=1)),
+]
+
+DUPLICATES = 5  # per layer; fleet coalesce ratio = (D-1)/D = 0.80
+CLIENTS = 4
+OPTIONS = {"cs": 0.0, "top_n": 2}
+FLEET_SIZES = (1, 2, 4)
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _spawn_worker(tmp: Path, coordinator_url: str, node_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.flow.cli", "serve",
+            "--role", "worker", "--port", "0", "--workers", "1",
+            "--coordinator", coordinator_url,
+            "--node-id", node_id,
+            "--cache-dir", str(tmp / f"cache-{node_id}"),
+            "--journal", str(tmp / f"{node_id}.jsonl"),
+        ],
+        env=env,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _run_phase(workers: int) -> dict[str, float]:
+    """One fleet size, cold caches; returns jobs/s plus fleet counters."""
+    jobs = [
+        (name, CONV_TEMPLATE.format(**dims))
+        for name, dims in LAYERS
+        for _ in range(DUPLICATES)
+    ]
+    errors: list[str] = []
+    lock = threading.Lock()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        coordinator = ClusterCoordinator(
+            store=FilesystemStore(tmp / "shared"),
+            journal=str(tmp / "coord.jsonl"),
+            heartbeat_interval=1.0,
+        )
+        server = run_coordinator(coordinator)
+        url = f"http://127.0.0.1:{server.port}"
+        procs = [_spawn_worker(tmp, url, f"w{n}") for n in range(workers)]
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline and len(coordinator.ring) < workers:
+                time.sleep(0.1)
+            assert len(coordinator.ring) == workers, "fleet failed to assemble"
+
+            started = time.perf_counter()
+
+            def drive(lane: int) -> None:
+                client = ServiceClient(url, client_id=f"bench-{lane}")
+                for index in range(lane, len(jobs), CLIENTS):
+                    name, source = jobs[index]
+                    try:
+                        job = client.submit(source=source, name=name, options=OPTIONS)
+                        status = client.wait(job["id"], timeout=300.0)
+                        if status["state"] != "done":
+                            raise RuntimeError(status["state"])
+                    except Exception as exc:  # noqa: BLE001 - report, don't die
+                        with lock:
+                            errors.append(f"{name}: {exc}")
+
+            threads = [
+                threading.Thread(target=drive, args=(n,)) for n in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+            stats = coordinator.stats()
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=30.0)
+            shutdown_coordinator(server)
+    assert not errors, errors
+    fleet = stats["fleet"]
+    return {
+        "jobs_per_s": len(jobs) / wall,
+        "submitted": float(fleet["submitted"]),
+        "coalesce_hits": float(fleet["coalesce_hits"]),
+        "executions": float(fleet["executions"]),
+        "done": float(fleet["done"]),
+        "coalesce_ratio": fleet["coalesce_hits"] / max(1, fleet["submitted"]),
+    }
+
+
+def run_cluster_scaling():
+    from repro.experiments.common import ExperimentResult
+
+    phases = {n: _run_phase(n) for n in FLEET_SIZES}
+    cores = os.cpu_count() or 1
+
+    result = ExperimentResult(
+        name="Cluster scaling",
+        description=f"{len(LAYERS) * DUPLICATES} submissions "
+        f"({len(LAYERS)} distinct layers x {DUPLICATES} duplicates) from "
+        f"{CLIENTS} clients through one coordinator, fleet sizes "
+        f"{', '.join(map(str, FLEET_SIZES))} (worker processes, cold caches)",
+        headers=["workers", "jobs/s", "coalesce ratio", "executions"],
+    )
+    for n, phase in phases.items():
+        result.add_row(
+            str(n),
+            f"{phase['jobs_per_s']:.1f}",
+            f"{phase['coalesce_ratio']:.2f}",
+            f"{phase['executions']:.0f}",
+        )
+        result.metrics[f"w{n}_jobs_per_s"] = phase["jobs_per_s"]
+        result.metrics[f"w{n}_coalesce_ratio"] = phase["coalesce_ratio"]
+        result.metrics[f"w{n}_executions"] = phase["executions"]
+    scaling = phases[4]["jobs_per_s"] / phases[1]["jobs_per_s"]
+    result.metrics["scaling_4w_speedup"] = scaling
+    result.metrics["effective_cores"] = float(cores)
+    result.note(
+        f"4-worker speedup over 1 worker: {scaling:.2f}x on {cores} core(s). "
+        "The >=3x near-linear bar applies on machines with >= 4 cores; on "
+        "fewer cores the worker processes time-slice the same silicon and "
+        "the bench asserts only that fan-out does not collapse throughput."
+    )
+    result.note(json.dumps({"phases": {str(n): p for n, p in phases.items()}}))
+    return result
+
+
+def test_cluster_scaling(exhibit):
+    result = exhibit(run_cluster_scaling)
+    record_bench(result, "cluster")
+    for n in FLEET_SIZES:
+        # every duplicate coalesced fleet-wide: one execution per layer
+        assert result.metrics[f"w{n}_executions"] == len(LAYERS)
+        assert result.metrics[f"w{n}_coalesce_ratio"] >= 0.75
+    scaling = result.metrics["scaling_4w_speedup"]
+    if result.metrics["effective_cores"] >= 4:
+        assert scaling >= 3.0, f"near-linear scaling bar missed: {scaling:.2f}x"
+    else:
+        assert scaling >= 0.5, f"fan-out collapsed throughput: {scaling:.2f}x"

@@ -8,9 +8,13 @@ encodes the judgement calls:
   ``*_ms`` / latency percentiles regress when they grow; ``*_speedup`` /
   ``*_per_s`` / ``*_gops`` / ``*_ratio`` regress when they shrink.
   Anything else (``workers``, ``executions``) is informational only.
-* **Thresholds are relative**, default 25% — generous because shared CI
-  runners are noisy, and a real engine regression (e.g. losing the
-  columnar DSE path) is an order of magnitude, not a quartile.
+* **Thresholds are relative and tuned per metric class.**  Deterministic
+  ratios (``coalesce_ratio``) barely move between runs, so they get a
+  tight 5%; speedups divide two timings from the same run, cancelling
+  shared noise, so 20%; raw throughput 30%; wall-clock timings 25%, with
+  extra slack when the baseline is small enough for scheduler jitter to
+  dominate proportionally.  ``--tolerance`` overrides them all with one
+  flat threshold when you need the old behaviour.
 * **Tiny timings are skipped.**  A baseline under ``NOISE_FLOOR_S``
   seconds is dominated by timer and allocator jitter; flagging a 0.004 s
   cache hit that became 0.006 s helps nobody.
@@ -34,6 +38,21 @@ from pathlib import Path
 DEFAULT_TOLERANCE = 0.25
 NOISE_FLOOR_S = 0.02
 
+#: Relative regression thresholds per metric class, ordered from least
+#: to most run-to-run noise (measured over repeated local runs; shared
+#: CI runners are worse, never better, so these err generous).
+CLASS_TOLERANCES = {
+    "ratio": 0.05,    # deterministic counters divided: coalesce/hit ratios
+    "speedup": 0.20,  # two timings from one run — shared noise cancels
+    "rate": 0.30,     # raw throughput: jobs/s, configs/s, GOPS
+    "timing": 0.25,   # absolute wall-clock
+}
+
+#: Timings with a baseline under this get extra slack: a scheduler blip
+#: of a few ms is a large *fraction* of a small measurement.
+SMALL_TIMING_S = 0.25
+SMALL_TIMING_EXTRA = 0.25
+
 # Fingerprint keys whose mismatch makes a timing comparison meaningless.
 FINGERPRINT_KEYS = ("python", "implementation", "machine", "cpu_count")
 
@@ -52,6 +71,28 @@ def metric_direction(name: str) -> str:
     if name.endswith(LOWER_IS_BETTER) or name.startswith(("p50_", "p99_")):
         return "lower"
     return "info"
+
+
+def metric_class(name: str) -> str | None:
+    """The noise class of a metric name (None = informational)."""
+    if name.endswith("_ratio"):
+        return "ratio"
+    if name.endswith("_speedup"):
+        return "speedup"
+    if name.endswith(("_per_s", "_gops")):
+        return "rate"
+    if metric_direction(name) == "lower":
+        return "timing"
+    return None
+
+
+def metric_tolerance(name: str, baseline: float) -> tuple[float, str]:
+    """Per-metric threshold and a one-word rationale for the verdict line."""
+    klass = metric_class(name) or "timing"
+    tolerance = CLASS_TOLERANCES[klass]
+    if klass == "timing" and baseline < SMALL_TIMING_S:
+        return tolerance + SMALL_TIMING_EXTRA, f"{klass}, small-baseline slack"
+    return tolerance, klass
 
 
 @dataclass
@@ -101,9 +142,13 @@ def fingerprints_match(baseline: dict, fresh: dict) -> list[str]:
 
 
 def compare_records(
-    baseline: dict, fresh: dict, *, tolerance: float = DEFAULT_TOLERANCE
+    baseline: dict, fresh: dict, *, tolerance: float | None = None
 ) -> list[Verdict]:
-    """Per-metric verdicts for one bench (fingerprints already vetted)."""
+    """Per-metric verdicts for one bench (fingerprints already vetted).
+
+    ``tolerance=None`` applies the per-class thresholds; an explicit
+    float is a flat override for every metric.
+    """
     bench = fresh["bench"]
     verdicts = []
     for name, base_value in sorted(baseline["metrics"].items()):
@@ -130,12 +175,17 @@ def compare_records(
                         "zero baseline")
             )
             continue
+        if tolerance is not None:
+            threshold, why = tolerance, "flat override"
+        else:
+            threshold, why = metric_tolerance(name, base_value)
         change = (fresh_value - base_value) / abs(base_value)
-        regressed = change > tolerance if direction == "lower" else change < -tolerance
+        regressed = change > threshold if direction == "lower" else change < -threshold
         status = "regressed" if regressed else "ok"
         verdicts.append(
             Verdict(bench, name, base_value, fresh_value, status,
-                    f"{change:+.1%}, tolerance {tolerance:.0%}, {direction} is better")
+                    f"{change:+.1%}, tolerance {threshold:.0%} ({why}), "
+                    f"{direction} is better")
         )
     return verdicts
 
@@ -149,8 +199,10 @@ def main(argv: list[str] | None = None) -> int:
         help="baseline BENCH_*.json file, or a directory holding them",
     )
     parser.add_argument(
-        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
-        help=f"relative regression threshold (default {DEFAULT_TOLERANCE})",
+        "--tolerance", type=float, default=None,
+        help="flat relative threshold overriding the per-metric class "
+        "thresholds (default: ratio 5%%, speedup 20%%, rate 30%%, "
+        "timing 25%% + small-baseline slack)",
     )
     parser.add_argument("fresh", nargs="+", type=Path, help="fresh record(s)")
     try:

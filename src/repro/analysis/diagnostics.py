@@ -298,6 +298,20 @@ CONCURRENCY_NONDETERMINISM = register_code(
     "SA605", "nondeterministic operation inside a replay-critical code path"
 )
 
+# --- SA7xx: cluster / fleet operation ---------------------------------------
+CLUSTER_NODE_JOINED = register_code(
+    "SA701", "worker node joined the synthesis fleet"
+)
+CLUSTER_NODE_LOST = register_code(
+    "SA702", "worker node left the fleet (missed heartbeats or deregistered)"
+)
+CLUSTER_JOB_REASSIGNED = register_code(
+    "SA703", "journaled job reassigned to the next owner on the ring"
+)
+CLUSTER_REPLICATION_DEGRADED = register_code(
+    "SA704", "stage-cache replication degraded; node continues on its local store"
+)
+
 
 @dataclass(frozen=True)
 class Diagnostic:

@@ -1,0 +1,29 @@
+"""The multi-node tier over :mod:`repro.service`.
+
+One **coordinator** process owns the fleet: it consistent-hashes each
+submission's coalescing fingerprint (the same SHA-256 identity
+:mod:`repro.service.jobs` coalesces on) onto registered **worker**
+processes, so N identical submissions — wherever they enter — land on
+the same worker and collapse to one synthesis fleet-wide.  The
+coordinator also serves the shared content-addressed cache
+(``/v1/cache``), replicated write-through from every worker, and keeps a
+crash-safe journal of forwarded work so a worker that stops
+heartbeating has its pending jobs reassigned to the next owner on the
+ring.
+
+Pieces:
+
+* :mod:`repro.cluster.ring` — the consistent hash ring.
+* :mod:`repro.cluster.netstore` — ``HttpCacheStore`` (coordinator-served
+  backend) and ``ReplicatedStore`` (local + fleet write-through).
+* :mod:`repro.cluster.coordinator` — fleet state, routing, heartbeat
+  monitor, job reassignment.
+* :mod:`repro.cluster.http` — the coordinator's HTTP face (same job API
+  as a single node, plus ``/v1/workers`` and ``/v1/cache``).
+* :mod:`repro.cluster.worker` — the agent that registers a node and
+  keeps its heartbeat.
+"""
+
+from repro.cluster.ring import HashRing
+
+__all__ = ["HashRing"]

@@ -1,0 +1,106 @@
+"""Consistent hashing of coalescing fingerprints onto fleet nodes.
+
+The coordinator must route *logically equal* submissions to the *same*
+worker — that is what lets the existing in-process coalescing collapse
+them fleet-wide — while a node joining or leaving moves as few
+fingerprints as possible (anything that moves loses its warm in-memory
+coalescing index and has to fall back to the shared stage cache).
+
+Classic virtual-node construction: every node is hashed at
+``replicas`` points onto a 256-bit circle (SHA-256, the same hash
+discipline as the fingerprints themselves), and a fingerprint is owned
+by the first node point at or after it, wrapping around.  With R
+replicas per node the expected fraction of keys that move when one of N
+nodes leaves is 1/N, and ownership is a pure function of the membership
+set — every coordinator restart, and every test, derives the identical
+mapping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(material: str) -> int:
+    return int.from_bytes(hashlib.sha256(material.encode()).digest(), "big")
+
+
+class HashRing:
+    """Virtual-node consistent hash ring over string node ids.
+
+    Args:
+        replicas: ring points per node.  More points smooth the load
+            split between nodes at the cost of a larger sorted index;
+            64 keeps the max/mean key imbalance under ~30% for small
+            fleets.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []  # sorted ring positions
+        self._owners: dict[int, str] = {}  # position -> node id
+        self._nodes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def add(self, node: str) -> None:
+        """Register a node (idempotent)."""
+        if not node:
+            raise ValueError("node id must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.replicas):
+            position = _point(f"{node}#{index}")
+            at = bisect.bisect_left(self._points, position)
+            # SHA-256 collisions between distinct (node, index) pairs are
+            # not a practical concern; last add would win if one occurred.
+            self._points.insert(at, position)
+            self._owners[position] = node
+
+    def remove(self, node: str) -> None:
+        """Deregister a node (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if self._owners[p] != node]
+        self._owners = {p: n for p, n in self._owners.items() if n != node}
+
+    def owner(self, fingerprint: str) -> str | None:
+        """The node owning ``fingerprint``, or None on an empty ring."""
+        if not self._points:
+            return None
+        position = _point(fingerprint)
+        at = bisect.bisect_right(self._points, position)
+        if at == len(self._points):
+            at = 0  # wrap around the circle
+        return self._owners[self._points[at]]
+
+    def owners(self, fingerprint: str, count: int) -> list[str]:
+        """Up to ``count`` distinct nodes in ring order from the owner —
+        the failover preference list for this fingerprint."""
+        if not self._points or count < 1:
+            return []
+        position = _point(fingerprint)
+        start = bisect.bisect_right(self._points, position)
+        found: list[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[self._points[(start + step) % len(self._points)]]
+            if node not in found:
+                found.append(node)
+                if len(found) >= count:
+                    break
+        return found
+
+
+__all__ = ["HashRing"]

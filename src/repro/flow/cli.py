@@ -329,8 +329,11 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-dir",
-        metavar="DIR",
-        help="stage cache directory (default ~/.cache/repro-systolic)",
+        metavar="DIR_OR_SPEC",
+        help="stage cache directory (default ~/.cache/repro-systolic); "
+        "also accepts a backend spec such as sqlite:PATH (coordinator/"
+        "standalone) — fleet workers always keep a local directory store "
+        "replicated through the coordinator",
     )
     parser.add_argument(
         "--inject-fault",
@@ -356,6 +359,51 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="log every HTTP request"
+    )
+    fleet = parser.add_argument_group(
+        "fleet", "distributed synthesis (see docs/cluster.md)"
+    )
+    fleet.add_argument(
+        "--role",
+        choices=("standalone", "coordinator", "worker"),
+        default="standalone",
+        help="standalone (default): single-node daemon; coordinator: "
+        "route jobs across registered workers by coalescing fingerprint "
+        "and serve the shared stage cache; worker: single-node daemon "
+        "that registers with a coordinator and heartbeats",
+    )
+    fleet.add_argument(
+        "--coordinator",
+        metavar="URL",
+        help="worker only: coordinator base URL, e.g. http://127.0.0.1:9300",
+    )
+    fleet.add_argument(
+        "--node-id",
+        metavar="NAME",
+        help="worker only: stable fleet identity (default: advertised "
+        "host:port)",
+    )
+    fleet.add_argument(
+        "--advertise",
+        metavar="URL",
+        help="worker only: URL the coordinator should proxy to (default: "
+        "http://HOST:PORT of this server)",
+    )
+    fleet.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="coordinator: beat period handed to workers at registration; "
+        "worker: fallback period until the contract arrives",
+    )
+    fleet.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="coordinator only: consecutive missed beats before a node is "
+        "declared lost and its journaled jobs are reassigned",
     )
     return parser
 
@@ -595,12 +643,23 @@ def serve_main(argv: list[str]) -> int:
 
         configure_retries(max_attempts=args.max_retries)
 
+    if args.role == "worker" and not args.coordinator:
+        print("error: --role worker requires --coordinator URL", file=sys.stderr)
+        _reset_resilience(prior_env)
+        return 2
+    if args.role == "coordinator":
+        return _serve_coordinator(args, prior_env)
+
     from repro.service.http import run_server, shutdown_server
     from repro.service.jobs import JobManager
 
     cache: bool | str = not args.no_cache
     if args.cache_dir:
         cache = args.cache_dir
+    if args.role == "worker":
+        # The replicated fleet cache needs the manager first (SA704
+        # degradations land on it); attach it after construction.
+        cache = False
     manager = JobManager(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -618,6 +677,27 @@ def serve_main(argv: list[str]) -> int:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         _reset_resilience(prior_env)
         return 2
+    agent = None
+    if args.role == "worker":
+        from repro.cluster.worker import WorkerAgent, make_worker_cache
+        from repro.pipeline.cache import default_cache_dir
+
+        if not args.no_cache:
+            root = args.cache_dir or str(default_cache_dir())
+            manager.cache = make_worker_cache(root, args.coordinator, manager)
+        advertise = args.advertise or f"http://{args.host}:{server.port}"
+        agent = WorkerAgent(
+            manager,
+            coordinator_url=args.coordinator,
+            advertise_url=advertise,
+            node_id=args.node_id,
+            **(
+                {"interval": args.heartbeat_interval}
+                if args.heartbeat_interval
+                else {}
+            ),
+        )
+        agent.start()
     stopping = threading.Event()
 
     def on_signal(signum, frame):
@@ -629,6 +709,7 @@ def serve_main(argv: list[str]) -> int:
         f"systolic-synth serve: listening on http://{args.host}:{server.port} "
         f"({args.workers} workers, queue depth {args.queue_depth}"
         + (f", journal {args.journal}" if args.journal else "")
+        + (f", worker of {args.coordinator}" if agent is not None else "")
         + ")",
         file=sys.stderr,
         flush=True,
@@ -642,6 +723,10 @@ def serve_main(argv: list[str]) -> int:
             file=sys.stderr,
             flush=True,
         )
+        if agent is not None:
+            # Leave the fleet first so the coordinator reassigns our
+            # journaled jobs immediately instead of after K misses.
+            agent.stop(deregister=True)
         shutdown_server(server)
         stats = manager.stats()
         print(
@@ -650,6 +735,68 @@ def serve_main(argv: list[str]) -> int:
             file=sys.stderr,
             flush=True,
         )
+        return 0
+    finally:
+        _reset_resilience(prior_env)
+
+
+def _serve_coordinator(args: argparse.Namespace, prior_env: dict) -> int:
+    """``serve --role coordinator``: route jobs across the fleet and serve
+    the shared stage-cache store."""
+    import signal
+    import threading
+
+    from repro.cluster.coordinator import (
+        HEARTBEAT_INTERVAL,
+        HEARTBEAT_MISSES,
+        ClusterCoordinator,
+    )
+    from repro.cluster.http import run_coordinator, shutdown_coordinator
+    from repro.pipeline.cache import resolve_cache
+
+    store = None
+    if not args.no_cache:
+        shared = resolve_cache(args.cache_dir if args.cache_dir else True)
+        store = None if shared is None else shared.store
+    coordinator = ClusterCoordinator(
+        store=store,
+        journal=args.journal,
+        heartbeat_interval=args.heartbeat_interval or HEARTBEAT_INTERVAL,
+        heartbeat_misses=args.heartbeat_misses or HEARTBEAT_MISSES,
+    )
+    try:
+        server = run_coordinator(
+            coordinator, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        _reset_resilience(prior_env)
+        return 2
+    stopping = threading.Event()
+
+    def on_signal(signum, frame):
+        stopping.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(
+        f"systolic-synth serve: coordinating on http://{args.host}:{server.port}"
+        + (f" (journal {args.journal})" if args.journal else ""),
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        while not stopping.wait(0.2):
+            pass
+        stats = coordinator.stats()
+        print(
+            "systolic-synth serve: coordinator stopping; "
+            f"{stats['settled']} settled, {stats['pending']} pending "
+            "(journaled jobs resume on restart)",
+            file=sys.stderr,
+            flush=True,
+        )
+        shutdown_coordinator(server)
         return 0
     finally:
         _reset_resilience(prior_env)

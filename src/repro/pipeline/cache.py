@@ -1,4 +1,4 @@
-"""Content-addressed stage cache.
+"""Content-addressed stage cache over pluggable stores.
 
 Every cacheable stage result is keyed by a stable SHA-256 over
 
@@ -11,15 +11,27 @@ Every cacheable stage result is keyed by a stable SHA-256 over
   code change silently invalidates the whole cache instead of replaying
   stale results.
 
-Payloads are JSON files under ``~/.cache/repro-systolic/<stage>/`` —
-overridable per call (``--cache-dir``), via ``$REPRO_SYSTOLIC_CACHE_DIR``,
-or via ``$XDG_CACHE_HOME``.  Writes are atomic (temp file +
-``os.replace``) so concurrent compiles never observe torn entries.  The
-cache is a best-effort accelerator, never a correctness dependency: a
-corrupt or unreadable entry is *quarantined* (moved aside to
-``<key>.json.corrupt`` for post-mortem) and degrades to a cache miss,
-I/O is retried under the default :mod:`repro.resilience` policy, and
-the ``cache.read`` / ``cache.write`` fault points let the chaos suite
+The *policy* layer (:class:`StageCache`) owns hashing, retries, fault
+injection, JSON parsing, quarantine accounting and probe statistics; the
+*mechanism* is a :class:`CacheStore` backend.  Three backends ship:
+
+* :class:`FilesystemStore` — JSON files under
+  ``~/.cache/repro-systolic/<stage>/`` (overridable per call, via
+  ``$REPRO_SYSTOLIC_CACHE_DIR``, or ``$XDG_CACHE_HOME``); writes are
+  atomic (temp file + ``os.replace``) so concurrent compiles never
+  observe torn entries.
+* :class:`SqliteStore` — a single-file SQLite database (``sqlite:PATH``
+  spec), WAL-journaled, one connection per thread.
+* ``repro.cluster.netstore.HttpCacheStore`` — the coordinator-served
+  network backend (``http(s)://...`` spec), resolved lazily so the
+  pipeline never imports the cluster tier unless asked to.
+
+Whatever the backend, the cache is a best-effort accelerator, never a
+correctness dependency: a corrupt or unreadable entry is *quarantined*
+(moved aside — ``<key>.json.corrupt`` on the filesystem, a shadow table
+in SQLite — for post-mortem) and degrades to a cache miss, I/O is
+retried under the default :mod:`repro.resilience` policy, and the
+``cache.read`` / ``cache.write`` fault points let the chaos suite
 rehearse every one of those paths deterministically.
 """
 
@@ -29,10 +41,11 @@ import dataclasses
 import hashlib
 import json
 import os
+import sqlite3
 import tempfile
 import threading
 from pathlib import Path
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 from repro.resilience.faults import InjectedFault, corrupt_text, maybe_inject
 from repro.resilience.retry import RetryPolicy, call_with_retry
@@ -92,11 +105,215 @@ def stable_fingerprint(value: Any) -> Any:
     return repr(value)
 
 
+@runtime_checkable
+class CacheStore(Protocol):
+    """Mechanism behind :class:`StageCache`: raw text storage by (stage, key).
+
+    Contract (relied on by the shared backend property suite):
+
+    * ``read`` returns the stored text, or ``None`` when the entry is
+      absent; transient trouble raises :class:`OSError` (the policy
+      layer retries it).
+    * ``write`` stores text atomically with respect to concurrent
+      readers and writers of the *same* entry — a reader never observes
+      a torn interleaving of two writes; failures raise ``OSError``.
+    * ``quarantine`` atomically moves an entry aside (returning a
+      location token for post-mortem) or returns ``None`` when the
+      entry vanished meanwhile; under a quarantine race exactly one
+      caller receives a non-``None`` result.
+    * ``purge`` removes every live entry (quarantined ones survive for
+      post-mortem) and returns the number removed.
+    """
+
+    kind: str
+
+    def describe(self) -> str:
+        """Human-readable location (shown in stats/diagnostics)."""
+        ...
+
+    def read(self, stage: str, key: str) -> str | None: ...
+
+    def write(self, stage: str, key: str, text: str) -> None: ...
+
+    def quarantine(self, stage: str, key: str) -> Path | str | None: ...
+
+    def purge(self) -> int: ...
+
+
+class FilesystemStore:
+    """The original backend: one JSON file per entry under ``root``."""
+
+    kind = "filesystem"
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.json"
+
+    def read(self, stage: str, key: str) -> str | None:
+        # bytes, not text mode: universal-newline translation would turn
+        # a stored "\r" into "\n" and break round-trip fidelity
+        try:
+            return self._path(stage, key).read_bytes().decode()
+        except FileNotFoundError:
+            return None
+
+    def write(self, stage: str, key: str, text: str) -> None:
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(text.encode())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def quarantine(self, stage: str, key: str) -> Path | None:
+        path = self._path(stage, key)
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            # os.replace is atomic: under a quarantine race exactly one
+            # mover succeeds, the rest see the entry already gone.
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
+    def purge(self) -> int:
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class SqliteStore:
+    """Single-file SQLite backend (``sqlite:PATH``), one connection per thread.
+
+    WAL journaling lets concurrent readers proceed under a writer;
+    quarantine moves the row into a shadow ``quarantined`` table inside
+    a ``BEGIN IMMEDIATE`` transaction so racing movers serialize and
+    exactly one wins.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._local = threading.local()
+        with self._connect() as conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "stage TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+                " PRIMARY KEY (stage, key))"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS quarantined ("
+                "stage TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+                " PRIMARY KEY (stage, key))"
+            )
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=10.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    def _conn(self) -> sqlite3.Connection:
+        conn: sqlite3.Connection | None = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._local.conn = conn
+        return conn
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def read(self, stage: str, key: str) -> str | None:
+        try:
+            row = self._conn().execute(
+                "SELECT payload FROM entries WHERE stage = ? AND key = ?",
+                (stage, key),
+            ).fetchone()
+        except sqlite3.Error as exc:  # transient: surface as retriable I/O
+            raise OSError(str(exc)) from exc
+        return None if row is None else str(row[0])
+
+    def write(self, stage: str, key: str, text: str) -> None:
+        try:
+            with self._conn() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries (stage, key, payload)"
+                    " VALUES (?, ?, ?)",
+                    (stage, key, text),
+                )
+        except sqlite3.Error as exc:
+            raise OSError(str(exc)) from exc
+
+    def quarantine(self, stage: str, key: str) -> str | None:
+        conn = self._conn()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                moved = conn.execute(
+                    "INSERT OR REPLACE INTO quarantined (stage, key, payload)"
+                    " SELECT stage, key, payload FROM entries"
+                    " WHERE stage = ? AND key = ?",
+                    (stage, key),
+                ).rowcount
+                if moved:
+                    conn.execute(
+                        "DELETE FROM entries WHERE stage = ? AND key = ?",
+                        (stage, key),
+                    )
+                conn.commit()
+            except BaseException:
+                conn.rollback()
+                raise
+        except sqlite3.Error:
+            return None
+        if not moved:
+            return None
+        return f"{self.describe()}#quarantined/{stage}/{key}"
+
+    def quarantined_payload(self, stage: str, key: str) -> str | None:
+        """Post-mortem accessor for a quarantined entry (None if absent)."""
+        row = self._conn().execute(
+            "SELECT payload FROM quarantined WHERE stage = ? AND key = ?",
+            (stage, key),
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def purge(self) -> int:
+        try:
+            with self._conn() as conn:
+                return int(conn.execute("DELETE FROM entries").rowcount)
+        except sqlite3.Error as exc:
+            raise OSError(str(exc)) from exc
+
+    def close(self) -> None:
+        conn: sqlite3.Connection | None = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+
 class StageCache:
     """Persistent JSON store addressed by content hashes.
 
     Attributes:
-        root: cache directory (created lazily on first write).
+        store: the :class:`CacheStore` backend holding the raw entries.
         hits / misses: per-instance probe statistics.
     """
 
@@ -104,24 +321,38 @@ class StageCache:
     #: backoff tight so a sick filesystem degrades fast, not slowly).
     IO_POLICY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
 
-    def __init__(self, root: Path | str | None = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        store: CacheStore | None = None,
+    ) -> None:
+        if store is not None and root is not None:
+            raise ValueError("pass either a filesystem root or a store, not both")
+        if store is None:
+            store = FilesystemStore(Path(root) if root is not None else default_cache_dir())
+        self.store: CacheStore = store
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
         self.write_failures = 0
         # One instance may be shared by many worker threads (the service's
         # worker pool runs pipelines concurrently over a single cache).
-        # Entry I/O itself needs no mutual exclusion — writes land
-        # atomically via os.replace — so the lock guards only the
-        # statistics counters and quarantine bookkeeping, never I/O
-        # (blocking with it held would stall every worker: SA603).
+        # Entry I/O itself needs no mutual exclusion — stores commit
+        # entries atomically — so the lock guards only the statistics
+        # counters and quarantine bookkeeping, never I/O (blocking with
+        # it held would stall every worker: SA603).
         self._lock = threading.RLock()
 
     @classmethod
     def default(cls) -> "StageCache":
         """A cache rooted at the resolved default directory."""
         return cls()
+
+    @property
+    def root(self) -> Path | None:
+        """Filesystem root when backed by one, else None."""
+        return getattr(self.store, "root", None)
 
     def key_for(self, stage: str, *parts: Any) -> str:
         """Content hash of (stage, code version, *parts)."""
@@ -132,34 +363,40 @@ class StageCache:
         return hashlib.sha256(material.encode()).hexdigest()
 
     def _path(self, stage: str, key: str) -> Path:
-        return self.root / stage / f"{key}.json"
+        root = self.root
+        if root is None:
+            raise TypeError(f"{self.store.kind} store has no filesystem paths")
+        return root / stage / f"{key}.json"
 
     def get(self, stage: str, key: str) -> dict[str, Any] | None:
         """Return the stored payload, or None on miss — never raise.
 
-        An unreadable file (I/O error, injected ``cache.read`` crash) is
-        retried under :attr:`IO_POLICY` and then treated as a miss; a
-        file that reads but does not parse is *corrupt* and is moved
-        aside to ``<name>.corrupt`` so the next run recomputes instead
-        of tripping over it again.
+        An unreadable entry (I/O error, injected ``cache.read`` crash) is
+        retried under :attr:`IO_POLICY` and then treated as a miss; an
+        entry that reads but does not parse is *corrupt* and is moved
+        aside (quarantined) so the next run recomputes instead of
+        tripping over it again.
         """
-        path = self._path(stage, key)
 
-        def read() -> str:
-            text = path.read_text()
-            if maybe_inject("cache.read") == "corrupt":
+        def read() -> str | None:
+            text = self.store.read(stage, key)
+            if text is not None and maybe_inject("cache.read") == "corrupt":
                 text = corrupt_text(text)
             return text
 
         # The retried read (which sleeps between attempts) runs *outside*
-        # the lock: writers land entries atomically via os.replace, so a
-        # concurrent reader never needs mutual exclusion against them.
-        # The lock only guards the statistics counters.
+        # the lock: writers land entries atomically, so a concurrent
+        # reader never needs mutual exclusion against them.  The lock
+        # only guards the statistics counters.
         try:
             text = call_with_retry(
                 read, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
             )
         except (OSError, InjectedFault):
+            with self._lock:
+                self.misses += 1
+            return None
+        if text is None:
             with self._lock:
                 self.misses += 1
             return None
@@ -180,32 +417,24 @@ class StageCache:
     def put(self, stage: str, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist a payload; IO failures are non-fatal.
 
-        The payload lands in a temp file first and is ``os.replace``-d
-        into place, so a concurrent reader (or a crash mid-write) never
-        observes a torn entry.  An injected ``cache.write`` corrupt
-        fault writes garbled text — exercising the read-side quarantine.
+        Stores commit entries atomically (temp file + ``os.replace`` on
+        the filesystem, a transaction in SQLite), so a concurrent reader
+        (or a crash mid-write) never observes a torn entry.  An injected
+        ``cache.write`` corrupt fault writes garbled text — exercising
+        the read-side quarantine.
         """
-        path = self._path(stage, key)
         text = json.dumps(payload)
 
         def write() -> None:
             body = text
             if maybe_inject("cache.write") == "corrupt":
                 body = corrupt_text(body)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(body)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            self.store.write(stage, key, body)
 
-        # Like get(): the write (atomic via temp file + os.replace, and
-        # sleeping between retry attempts) happens outside the lock so a
-        # slow or faulted filesystem cannot stall every other worker
-        # thread; only the failure counter needs the lock.
+        # Like get(): the write (atomic inside the store, and sleeping
+        # between retry attempts) happens outside the lock so a slow or
+        # faulted backend cannot stall every other worker thread; only
+        # the failure counter needs the lock.
         try:
             call_with_retry(
                 write, policy=self.IO_POLICY, retry_on=(OSError, InjectedFault)
@@ -214,37 +443,62 @@ class StageCache:
             with self._lock:
                 self.write_failures += 1
 
-    def quarantine(self, stage: str, key: str) -> Path | None:
-        """Move a corrupt entry aside to ``<name>.corrupt``; returns the
-        quarantine path (None when the entry vanished meanwhile)."""
-        path = self._path(stage, key)
-        target = path.with_suffix(path.suffix + ".corrupt")
+    def quarantine(self, stage: str, key: str) -> Path | str | None:
+        """Move a corrupt entry aside for post-mortem; returns its new
+        location (None when the entry vanished meanwhile)."""
+        moved = self.store.quarantine(stage, key)
+        if moved is None:
+            return None
         with self._lock:
-            try:
-                os.replace(path, target)
-            except OSError:
-                return None
             self.quarantined += 1
-            return target
+        return moved
 
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.rglob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-        return removed
+        return self.store.purge()
+
+    def stats(self) -> dict[str, Any]:
+        """Probe statistics plus the backend identity."""
+        with self._lock:
+            return {
+                "backend": self.store.kind,
+                "location": self.store.describe(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "quarantined": self.quarantined,
+                "write_failures": self.write_failures,
+            }
 
 
-def resolve_cache(cache: "StageCache | Path | str | bool | None") -> StageCache | None:
+#: Everything ``resolve_cache`` accepts (mirrored by flow/compile.py).
+CacheSpec = "StageCache | CacheStore | Path | str | bool | None"
+
+
+def _store_from_spec(spec: str) -> CacheStore | None:
+    """Map a store-URL spec to a backend, or None for plain paths."""
+    if spec.startswith("sqlite:"):
+        path = spec[len("sqlite:") :]
+        if path.startswith("//"):
+            path = path[2:]
+        return SqliteStore(path)
+    if spec.startswith(("http://", "https://")):
+        # Lazy: the pipeline layer must not import the cluster tier
+        # unless a network store is actually requested.
+        from repro.cluster.netstore import HttpCacheStore
+
+        return HttpCacheStore(spec)
+    return None
+
+
+def resolve_cache(
+    cache: "StageCache | CacheStore | Path | str | bool | None",
+) -> StageCache | None:
     """Normalize the user-facing ``cache`` argument.
 
     ``None``/``False`` disable caching, ``True`` selects the default
-    directory, a path roots the cache there, and an existing
+    directory, a path roots a filesystem cache there, ``sqlite:PATH``
+    and ``http(s)://HOST`` specs select the SQLite / coordinator-served
+    network backends, a :class:`CacheStore` is wrapped, and an existing
     :class:`StageCache` passes through.
     """
     if cache is None or cache is False:
@@ -253,11 +507,23 @@ def resolve_cache(cache: "StageCache | Path | str | bool | None") -> StageCache 
         return StageCache.default()
     if isinstance(cache, StageCache):
         return cache
-    return StageCache(cache)
+    if isinstance(cache, str):
+        store = _store_from_spec(cache)
+        if store is not None:
+            return StageCache(store=store)
+        return StageCache(cache)
+    if isinstance(cache, Path):
+        return StageCache(cache)
+    if isinstance(cache, CacheStore):
+        return StageCache(store=cache)
+    raise TypeError(f"cannot resolve cache from {type(cache).__name__}")
 
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CacheStore",
+    "FilesystemStore",
+    "SqliteStore",
     "StageCache",
     "code_version",
     "default_cache_dir",

@@ -61,7 +61,12 @@ class ServiceClient:
     # ------------------------------------------------------------ plumbing
 
     def _request(
-        self, method: str, path: str, body: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        client_id: str | None = None,
     ) -> Any:
         data = None if body is None else json.dumps(body).encode()
         request = urllib.request.Request(
@@ -69,8 +74,9 @@ class ServiceClient:
         )
         if data is not None:
             request.add_header("Content-Type", "application/json")
-        if self.client_id:
-            request.add_header("X-Client-Id", self.client_id)
+        effective_id = client_id if client_id is not None else self.client_id
+        if effective_id:
+            request.add_header("X-Client-Id", effective_id)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read() or b"{}")
@@ -98,14 +104,18 @@ class ServiceClient:
         name: str | None = None,
         priority: int = 0,
         options: dict[str, Any] | None = None,
+        job_id: str | None = None,
     ) -> dict[str, Any]:
         """POST /v1/jobs; returns the job status dict (id, state, ...).
 
         Exactly one of ``source`` (restricted-C nest), ``design`` (a saved
         design-point payload) or ``network`` (a built-in network name or a
-        JSON spec object) identifies the work.
+        JSON spec object) identifies the work.  ``job_id`` preserves an
+        externally assigned identity (the cluster coordinator's handoff).
         """
         body: dict[str, Any] = {"priority": priority}
+        if job_id is not None:
+            body["id"] = job_id
         if source is not None:
             body["source"] = source
         if design is not None:
@@ -117,6 +127,14 @@ class ServiceClient:
         if options:
             body["options"] = options
         return self._request("POST", "/v1/jobs", body)
+
+    def submit_payload(
+        self, payload: dict[str, Any], *, client_id: str | None = None
+    ) -> dict[str, Any]:
+        """POST a raw, pre-built submission body verbatim (the coordinator
+        forwards client payloads — and the submitting tenant's fair-share
+        identity — without re-encoding them)."""
+        return self._request("POST", "/v1/jobs", payload, client_id=client_id)
 
     def status(self, job_id: str, *, result: bool = False) -> dict[str, Any]:
         suffix = "?result=1" if result else ""

@@ -116,15 +116,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"unreadable body: {exc}"})
             return
         priority = 0
+        job_id: str | None = None
         if isinstance(payload, dict):
             try:
                 priority = int(payload.get("priority", 0))
             except (TypeError, ValueError):
                 self._send_json(400, {"error": "'priority' must be an integer"})
                 return
+            # The cluster coordinator assigns ids at its door and forwards
+            # them so status/journal identities line up fleet-wide.
+            raw_id = payload.pop("id", None)
+            if raw_id is not None:
+                if not isinstance(raw_id, str) or not raw_id:
+                    self._send_json(
+                        400, {"error": "'id' must be a non-empty string"}
+                    )
+                    return
+                job_id = raw_id
         try:
             job = self.manager.submit(
-                payload, client=self._client_id(), priority=priority
+                payload, client=self._client_id(), priority=priority, job_id=job_id
             )
         except AdmissionError as exc:
             self._send_json(

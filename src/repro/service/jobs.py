@@ -50,7 +50,12 @@ from repro.ir.loop import LoopNest
 from repro.model.platform import Platform
 from repro.nn.models import Network
 from repro.dse.explore import DseConfig
-from repro.pipeline.cache import StageCache, code_version, stable_fingerprint
+from repro.pipeline.cache import (
+    CacheStore,
+    StageCache,
+    code_version,
+    stable_fingerprint,
+)
 from repro.pipeline.context import SynthesisContext, SynthesisResult
 from repro.pipeline.events import PipelineEvent, StageFinished
 from repro.resilience.faults import InjectedFault, maybe_inject
@@ -338,7 +343,7 @@ class JobManager:
         *,
         workers: int = 2,
         queue_depth: int = 64,
-        cache: StageCache | str | bool | None = None,
+        cache: StageCache | CacheStore | str | bool | None = None,
         rate: float | None = None,
         burst: float | None = None,
         journal: str | None = None,
@@ -373,6 +378,12 @@ class JobManager:
         self._started = False
         self._in_flight = 0
         self._executions = 0
+        # Cluster tier hooks: a worker agent stamps its node identity and
+        # folds fleet-side facts (coordinator URL, replication state)
+        # into /healthz via stats_extra; degradations mirror the SA5xx
+        # report vocabulary (code, reason) for SA7xx fleet events.
+        self.stats_extra: dict[str, Any] = {}
+        self.degradations: list[dict[str, str]] = []
 
     # ----------------------------------------------------------- lifecycle
 
@@ -493,6 +504,13 @@ class JobManager:
                 raise Draining(
                     "server is draining; resubmit to the restarted instance"
                 )
+            if job_id is not None:
+                # At-least-once handoff: a coordinator may re-forward a job
+                # this node already owns (journal resume racing a
+                # reassignment).  The existing record is authoritative.
+                existing = self._jobs.get(job_id)
+                if existing is not None:
+                    return existing
             self.metrics.inc("jobs_submitted_total")
             job = Job(
                 job_id or secrets.token_hex(8),
@@ -515,7 +533,11 @@ class JobManager:
                     f"queue is at its depth bound ({self._queue.maxsize})",
                     retry_after=1.0,
                 )
-            if self.journal is not None and job_id is None:
+            # Journal every fresh acceptance — including coordinator
+            # forwards that arrive with an explicit id.  Only the resume
+            # path (admission=False) skips: its entries are already in
+            # the ledger and re-appending them would double the debt.
+            if self.journal is not None and admission:
                 self.journal.record_accept(
                     job.id, payload, client=client, priority=priority
                 )
@@ -653,6 +675,11 @@ class JobManager:
                 "cancelled": int(cancelled),
                 "cache_hits": self.cache.hits if self.cache is not None else 0,
                 "cache_misses": self.cache.misses if self.cache is not None else 0,
+                "cache_backend": (
+                    self.cache.store.kind if self.cache is not None else "none"
+                ),
+                "degradations": list(self.degradations),
+                **self.stats_extra,
             }
 
     def render_metrics(self) -> str:
@@ -674,6 +701,14 @@ class JobManager:
                     - self.metrics.counter("stage_cache_misses_total"),
                 )
         return self.metrics.render(gauges)
+
+    def note_degradation(self, code: str, reason: str) -> None:
+        """Record a fleet-level degradation (SA7xx) on this node: counted
+        in /metrics, listed (bounded) in /healthz."""
+        with self._lock:
+            self.metrics.inc("degradations_total", code=code)
+            self.degradations.append({"code": code, "reason": reason})
+            del self.degradations[:-32]
 
     # ---------------------------------------------------------- cancellation
 

@@ -88,6 +88,13 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get((name, _labels(labels)), 0.0)
 
+    def counter_sum(self, name: str) -> float:
+        """Total of a counter across every label set (fleet rollups)."""
+        with self._lock:
+            return sum(
+                value for (key, _), value in self._counters.items() if key == name
+            )
+
     def observe_stage(self, stage: str, seconds: float) -> None:
         with self._lock:
             histogram = self._histograms.get(stage)

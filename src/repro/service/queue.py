@@ -166,19 +166,28 @@ class JobJournal:
         self._lock = threading.Lock()
 
     def record_accept(
-        self, job_id: str, payload: dict[str, Any], *, client: str = "", priority: int = 0
+        self,
+        job_id: str,
+        payload: dict[str, Any],
+        *,
+        client: str = "",
+        priority: int = 0,
+        node: str = "",
     ) -> None:
         """Persist an accepted submission (its full request payload rides
-        along, so a restarted server can resubmit it verbatim)."""
-        self._append(
-            {
-                "op": "accept",
-                "id": job_id,
-                "payload": payload,
-                "client": client,
-                "priority": priority,
-            }
-        )
+        along, so a restarted server can resubmit it verbatim).  The
+        cluster coordinator stamps ``node`` — which worker owns the job —
+        so a dead node's debt can be reassigned by fingerprint."""
+        entry: dict[str, Any] = {
+            "op": "accept",
+            "id": job_id,
+            "payload": payload,
+            "client": client,
+            "priority": priority,
+        }
+        if node:
+            entry["node"] = node
+        self._append(entry)
 
     def record_done(self, job_id: str) -> None:
         """Mark a job finished (DONE, FAILED or CANCELLED — any terminal

@@ -1,0 +1,178 @@
+"""In-process fleet integration: coordinator + two real workers over
+HTTP on ephemeral ports.  Covers sharded coalescing, bit-identical
+results across nodes, event relay, write-through cache replication,
+heartbeat chaos, and the kill-a-worker journal handoff."""
+
+import json
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.http import run_coordinator, shutdown_coordinator
+from repro.cluster.worker import WorkerAgent, make_worker_cache
+from repro.pipeline.cache import FilesystemStore
+from repro.resilience.faults import FaultPlan, activate, deactivate
+from repro.service.client import ServiceClient
+from repro.service.http import run_server, shutdown_server
+from repro.service.jobs import JobManager
+
+SRC = """
+#pragma systolic
+for (o = 0; o < 16; o++)
+  for (i = 0; i < 8; i++)
+    for (c = 0; c < 7; c++)
+      for (r = 0; r < 7; r++)
+        for (p = 0; p < 3; p++)
+          for (q = 0; q < 3; q++)
+            OUT[o][r][c] += W[o][i][p][q] * IN[i][r+p][c+q];
+"""
+OPTIONS = {"cs": 0.0, "top_n": 2}
+
+
+class Fleet:
+    def __init__(self, tmp_path, workers=2, interval=0.2, misses=2):
+        self.tmp = tmp_path
+        self.coordinator = ClusterCoordinator(
+            store=FilesystemStore(tmp_path / "shared"),
+            journal=str(tmp_path / "coord.jsonl"),
+            heartbeat_interval=interval,
+            heartbeat_misses=misses,
+        )
+        self.server = run_coordinator(self.coordinator)
+        self.url = f"http://127.0.0.1:{self.server.port}"
+        self.workers: list[tuple[JobManager, object, WorkerAgent]] = []
+        for i in range(workers):
+            self.add_worker(f"w{i}", interval)
+        self.client = ServiceClient(self.url)
+
+    def add_worker(self, node_id, interval=0.2):
+        manager = JobManager(
+            workers=1, journal=str(self.tmp / f"{node_id}.jsonl")
+        )
+        server = run_server(manager)
+        manager.cache = make_worker_cache(
+            str(self.tmp / f"cache-{node_id}"), self.url, manager
+        )
+        agent = WorkerAgent(
+            manager,
+            coordinator_url=self.url,
+            advertise_url=f"http://127.0.0.1:{server.port}",
+            node_id=node_id,
+            interval=interval,
+        )
+        agent.start()
+        self.workers.append((manager, server, agent))
+        return self.workers[-1]
+
+    def kill_worker(self, index):
+        """Abrupt death: no deregistration, no drain."""
+        manager, server, agent = self.workers[index]
+        agent._stop.set()
+        server.shutdown()
+        server.server_close()
+
+    def close(self):
+        for manager, server, agent in self.workers:
+            agent._stop.set()
+            try:
+                shutdown_server(server)
+            except Exception:
+                pass
+        shutdown_coordinator(self.server)
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    f = Fleet(tmp_path)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and len(f.coordinator.ring) < 2:
+        time.sleep(0.05)
+    assert len(f.coordinator.ring) == 2
+    yield f
+    f.close()
+
+
+class TestShardedCoalescing:
+    def test_identical_submissions_coalesce_on_one_node(self, fleet):
+        answers = [
+            fleet.client.submit(source=SRC, options=OPTIONS) for _ in range(4)
+        ]
+        assert len({a["node"] for a in answers}) == 1  # same ring owner
+        coalesced = [a.get("coalesced", False) for a in answers]
+        assert coalesced.count(True) == 3  # one primary, three riders
+        finals = [fleet.client.wait(a["id"], timeout=120) for a in answers]
+        assert all(f["state"] == "done" for f in finals)
+        payloads = {json.dumps(f["result"], sort_keys=True) for f in finals}
+        assert len(payloads) == 1  # bit-identical across the fleet
+        health = fleet.client.health()
+        assert health["fleet"]["executions"] == 1
+        assert health["fleet"]["coalesce_hits"] == 3
+
+    def test_results_replicate_into_the_shared_store(self, fleet):
+        answer = fleet.client.submit(source=SRC, options=OPTIONS)
+        fleet.client.wait(answer["id"], timeout=120)
+        shared = fleet.tmp / "shared"
+        assert list(shared.rglob("*.json"))  # write-through landed
+
+    def test_event_relay_preserves_sequence_numbers(self, fleet):
+        answer = fleet.client.submit(source=SRC, options=OPTIONS)
+        events = list(fleet.client.events(answer["id"]))
+        assert events[-1]["event"] == "JobFinished"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_fleet_jobs_listing_is_node_tagged(self, fleet):
+        answer = fleet.client.submit(source=SRC, options=OPTIONS)
+        fleet.client.wait(answer["id"], timeout=120)
+        listed = {j["id"]: j for j in fleet.client.jobs()}
+        assert listed[answer["id"]]["node"] == answer["node"]
+
+
+class TestFailover:
+    def test_killed_worker_jobs_finish_on_the_survivor(self, fleet):
+        answer = fleet.client.submit(source=SRC, options=OPTIONS)
+        victim = next(
+            i for i, (m, s, a) in enumerate(fleet.workers)
+            if a.node_id == answer["node"]
+        )
+        fleet.kill_worker(victim)
+        final = fleet.client.wait(answer["id"], timeout=120)
+        assert final["state"] == "done"
+        survivors = {a.node_id for i, (m, s, a) in enumerate(fleet.workers) if i != victim}
+        assert final.get("node") in survivors or final.get("settled")
+        codes = [d["code"] for d in fleet.coordinator.degradations]
+        assert "SA702" in codes and "SA703" in codes
+        assert not fleet.coordinator.journal.pending()  # zero lost jobs
+
+    def test_graceful_leave_reassigns_immediately(self, fleet):
+        manager, server, agent = fleet.workers[0]
+        agent.stop(deregister=True)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and "w0" in fleet.coordinator.ring:
+            time.sleep(0.05)
+        assert "w0" not in fleet.coordinator.ring
+        # the fleet still serves on the survivor
+        answer = fleet.client.submit(source=SRC, options=OPTIONS)
+        assert answer["node"] == "w1"
+        assert fleet.client.wait(answer["id"], timeout=120)["state"] == "done"
+
+
+class TestHeartbeatChaos:
+    def test_dropped_beats_are_counted_and_survivable(self, fleet):
+        manager, server, agent = fleet.workers[0]
+        activate(FaultPlan.parse("cluster.heartbeat:crash:p=1.0:times=1"))
+        try:
+            assert agent.beat_once() is False
+        finally:
+            deactivate()
+        assert agent.beats_dropped == 1
+        # one dropped beat is inside the misses budget: still registered
+        assert fleet.coordinator.heartbeat(agent.node_id) is True
+
+    def test_worker_reregisters_after_coordinator_forgets_it(self, fleet):
+        manager, server, agent = fleet.workers[0]
+        # simulate a coordinator restart: drop the node server-side only
+        fleet.coordinator.deregister(agent.node_id)
+        assert agent.beat_once() is True  # 404 -> re-register on the spot
+        assert agent.node_id in fleet.coordinator.ring

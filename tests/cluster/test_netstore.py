@@ -1,0 +1,125 @@
+"""Write-through replication semantics of :class:`ReplicatedStore` —
+local-authoritative, remote best-effort, degradation fired once per
+outage streak."""
+
+import pytest
+
+from repro.cluster.netstore import ReplicatedStore
+from repro.pipeline.cache import FilesystemStore
+from repro.resilience.faults import FaultPlan, activate, deactivate
+
+
+class MemoryStore:
+    """Minimal in-memory CacheStore used as the fake remote."""
+
+    kind = "memory"
+
+    def __init__(self):
+        self.entries: dict[tuple[str, str], str] = {}
+        self.failing = False
+        self.writes = 0
+
+    def describe(self):
+        return "memory"
+
+    def read(self, stage, key):
+        if self.failing:
+            raise OSError("remote down")
+        return self.entries.get((stage, key))
+
+    def write(self, stage, key, text):
+        if self.failing:
+            raise OSError("remote down")
+        self.writes += 1
+        self.entries[(stage, key)] = text
+
+    def quarantine(self, stage, key):
+        if self.failing:
+            raise OSError("remote down")
+        return "memory#q" if self.entries.pop((stage, key), None) is not None else None
+
+    def purge(self):
+        n = len(self.entries)
+        self.entries.clear()
+        return n
+
+
+@pytest.fixture
+def rig(tmp_path):
+    local = FilesystemStore(tmp_path / "local")
+    remote = MemoryStore()
+    degradations: list[str] = []
+    store = ReplicatedStore(local, remote, on_degraded=degradations.append)
+    return store, local, remote, degradations
+
+
+class TestReadPath:
+    def test_local_hit_never_touches_the_remote(self, rig):
+        store, local, remote, _ = rig
+        local.write("s", "k", "payload")
+        remote.failing = True  # would raise if consulted
+        assert store.read("s", "k") == "payload"
+
+    def test_remote_hit_backfills_local(self, rig):
+        store, local, remote, _ = rig
+        remote.entries[("s", "k")] = "shared"
+        assert store.read("s", "k") == "shared"
+        assert local.read("s", "k") == "shared"  # next read is local
+
+    def test_both_missing_is_none(self, rig):
+        store, _, _, _ = rig
+        assert store.read("s", "absent") is None
+
+    def test_remote_outage_degrades_to_local_miss(self, rig):
+        store, _, remote, _ = rig
+        remote.failing = True
+        assert store.read("s", "k") is None  # no raise
+
+
+class TestWritePath:
+    def test_write_lands_on_both_sides(self, rig):
+        store, local, remote, _ = rig
+        store.write("s", "k", "v")
+        assert local.read("s", "k") == "v"
+        assert remote.entries[("s", "k")] == "v"
+
+    def test_remote_failure_is_swallowed_and_noted_once_per_streak(self, rig):
+        store, local, remote, degradations = rig
+        remote.failing = True
+        store.write("s", "k1", "v1")
+        store.write("s", "k2", "v2")
+        assert local.read("s", "k1") == "v1"  # local side unaffected
+        assert len(degradations) == 1  # one streak, one SA704
+        remote.failing = False
+        store.write("s", "k3", "v3")  # recovery re-arms the detector
+        remote.failing = True
+        store.write("s", "k4", "v4")
+        assert len(degradations) == 2
+        assert store.replication_failures == 3
+
+    def test_injected_replicate_fault_degrades_deterministically(self, rig):
+        store, local, remote, degradations = rig
+        activate(FaultPlan.parse("cluster.replicate:crash:p=1.0:times=1"))
+        try:
+            store.write("s", "k", "v")
+        finally:
+            deactivate()
+        assert local.read("s", "k") == "v"
+        assert ("s", "k") not in remote.entries
+        assert degradations  # the guarded hop counted as an outage
+
+
+class TestQuarantineAndPurge:
+    def test_quarantine_hits_both_sides(self, rig):
+        store, local, remote, _ = rig
+        store.write("s", "bad", "{garbage")
+        assert store.quarantine("s", "bad") is not None
+        assert local.read("s", "bad") is None
+        assert ("s", "bad") not in remote.entries
+
+    def test_purge_is_local_only(self, rig):
+        store, _, remote, _ = rig
+        store.write("s", "k", "v")
+        assert store.purge() == 1
+        # the shared side is the coordinator's to purge (DELETE /v1/cache)
+        assert remote.entries[("s", "k")] == "v"

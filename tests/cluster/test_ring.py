@@ -1,0 +1,90 @@
+"""Consistent-hash ring invariants — the routing layer must be a pure,
+stable function of the membership set, or fleet-wide coalescing breaks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+node_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+)
+fingerprints = st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("a")
+        ring.remove("a")
+        assert len(ring) == 0
+
+    def test_empty_node_id_is_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_contains_and_nodes(self):
+        ring = HashRing()
+        for n in ("w2", "w0", "w1"):
+            ring.add(n)
+        assert "w1" in ring and "w9" not in ring
+        assert ring.nodes() == ("w0", "w1", "w2")
+
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().owner("deadbeef") is None
+        assert HashRing().owners("deadbeef", 3) == []
+
+
+class TestOwnership:
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=st.sets(node_ids, min_size=1, max_size=6), fp=fingerprints)
+    def test_owner_is_a_member_and_deterministic(self, nodes, fp):
+        a, b = HashRing(), HashRing()
+        for n in sorted(nodes):
+            a.add(n)
+        for n in sorted(nodes, reverse=True):  # insertion order is irrelevant
+            b.add(n)
+        assert a.owner(fp) in nodes
+        assert a.owner(fp) == b.owner(fp)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nodes=st.sets(node_ids, min_size=2, max_size=6),
+        fps=st.lists(fingerprints, min_size=20, max_size=20, unique=True),
+    )
+    def test_removal_only_moves_the_removed_nodes_keys(self, nodes, fps):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        before = {fp: ring.owner(fp) for fp in fps}
+        victim = sorted(nodes)[0]
+        ring.remove(victim)
+        for fp, owner in before.items():
+            if owner != victim:
+                assert ring.owner(fp) == owner  # stability: survivors keep keys
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=st.sets(node_ids, min_size=1, max_size=6), fp=fingerprints)
+    def test_preference_list_is_distinct_and_starts_with_the_owner(self, nodes, fp):
+        ring = HashRing()
+        for n in nodes:
+            ring.add(n)
+        prefs = ring.owners(fp, len(nodes) + 2)
+        assert prefs[0] == ring.owner(fp)
+        assert len(prefs) == len(set(prefs)) == len(nodes)
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        counts: dict[str, int] = {}
+        for i in range(4000):
+            owner = ring.owner(f"fp-{i:05d}")
+            counts[owner] = counts.get(owner, 0) + 1
+        assert set(counts) == {"w0", "w1", "w2", "w3"}
+        # 64 virtual points per node keep imbalance well under 2x
+        assert max(counts.values()) < 2 * min(counts.values())

@@ -105,6 +105,67 @@ class TestCompareRecords:
         assert verdict.status == "ok"
 
 
+class TestPerMetricThresholds:
+    """Noise-aware per-class thresholds (ROADMAP item 5): a deterministic
+    ratio is judged far tighter than a raw wall-clock timing."""
+
+    @pytest.mark.parametrize(
+        ("name", "klass"),
+        [
+            ("coalesce_ratio", "ratio"),
+            ("vector_speedup", "speedup"),
+            ("configs_per_s", "rate"),
+            ("aggregate_gops", "rate"),
+            ("run_seconds", "timing"),
+            ("p99_seconds", "timing"),
+            ("workers", None),
+        ],
+    )
+    def test_metric_class(self, name, klass):
+        assert compare.metric_class(name) == klass
+
+    def test_ratio_threshold_is_tight(self):
+        base = make_record(metrics={"coalesce_ratio": 0.80})
+        fresh = make_record(metrics={"coalesce_ratio": 0.70})  # -12.5%
+        (verdict,) = compare.compare_records(base, fresh)
+        assert verdict.status == "regressed"
+        within = make_record(metrics={"coalesce_ratio": 0.78})  # -2.5%
+        (verdict,) = compare.compare_records(base, within)
+        assert verdict.status == "ok"
+
+    def test_rate_threshold_is_looser_than_speedup(self):
+        rate, speedup = compare.metric_tolerance("jobs_per_s", 100.0), compare.metric_tolerance("dse_speedup", 4.0)
+        assert rate[0] > speedup[0]
+        # -25% throughput is inside the rate band but outside the speedup band
+        base = make_record(metrics={"jobs_per_s": 100.0, "dse_speedup": 4.0})
+        fresh = make_record(metrics={"jobs_per_s": 75.0, "dse_speedup": 3.0})
+        by_name = {v.metric: v.status for v in compare.compare_records(base, fresh)}
+        assert by_name == {"jobs_per_s": "ok", "dse_speedup": "regressed"}
+
+    def test_small_timings_get_extra_slack(self):
+        tight, _ = compare.metric_tolerance("run_seconds", 10.0)
+        loose, why = compare.metric_tolerance("run_seconds", 0.1)
+        assert loose > tight
+        assert "slack" in why
+        base = make_record(metrics={"warm_seconds": 0.10})
+        fresh = make_record(metrics={"warm_seconds": 0.14})  # +40%: jitter range
+        (verdict,) = compare.compare_records(base, fresh)
+        assert verdict.status == "ok"
+
+    def test_flat_override_beats_the_class_table(self):
+        base = make_record(metrics={"coalesce_ratio": 0.80})
+        fresh = make_record(metrics={"coalesce_ratio": 0.70})
+        (verdict,) = compare.compare_records(base, fresh, tolerance=0.25)
+        assert verdict.status == "ok"
+        assert "flat override" in verdict.detail
+
+    def test_verdict_detail_names_the_class(self):
+        base = make_record(metrics={"run_seconds": 1.0})
+        fresh = make_record(metrics={"run_seconds": 1.1})
+        (verdict,) = compare.compare_records(base, fresh)
+        assert "timing" in verdict.detail
+
+
 class TestFingerprintGate:
     def test_identical_environments_compare(self):
         assert compare.fingerprints_match(make_record(), make_record()) == []

@@ -330,6 +330,60 @@ class TestCancellation:
         assert manager.cancel("deadbeef") is None
 
 
+class TestCacheThreading:
+    """The resolved CacheStore is threaded through the manager into the
+    pipeline — the environment is read once at construction, never again
+    per stage or per job."""
+
+    def test_env_change_mid_run_does_not_redirect_writes(self, tmp_path, monkeypatch):
+        from repro.pipeline.cache import CACHE_ENV_VAR
+
+        chosen = tmp_path / "chosen"
+        hijack = tmp_path / "hijack"
+        mgr = JobManager(workers=1, cache=str(chosen))
+        mgr.start()
+        try:
+            monkeypatch.setenv(CACHE_ENV_VAR, str(hijack))
+            nest = mgr.submit(payload())
+            net = mgr.submit(network_payload())
+            assert mgr.wait(nest.id, timeout=60.0).state is JobState.DONE
+            assert mgr.wait(net.id, timeout=120.0).state is JobState.DONE
+        finally:
+            mgr.drain(timeout=30.0)
+        assert list(chosen.rglob("*.json"))  # writes landed where resolved
+        assert not hijack.exists()  # env var was never re-read
+
+    def test_sqlite_spec_threads_through_to_the_engine(self, tmp_path):
+        db = tmp_path / "stages.db"
+        mgr = JobManager(workers=1, cache=f"sqlite:{db}")
+        mgr.start()
+        try:
+            assert mgr.cache is not None and mgr.cache.store.kind == "sqlite"
+            job = mgr.submit(payload())
+            assert mgr.wait(job.id, timeout=60.0).state is JobState.DONE
+            assert mgr.stats()["cache_backend"] == "sqlite"
+        finally:
+            mgr.drain(timeout=30.0)
+        assert db.exists()
+        # a second manager over the same database replays from it
+        again = JobManager(workers=1, cache=f"sqlite:{db}")
+        again.start()
+        try:
+            job = again.submit(payload())
+            assert again.wait(job.id, timeout=60.0).state is JobState.DONE
+            assert again.cache.hits > 0
+        finally:
+            again.drain(timeout=30.0)
+
+    def test_explicit_job_id_is_idempotent(self, manager):
+        first = manager.submit(payload(), job_id="fleet-handoff-1")
+        again = manager.submit(payload(), job_id="fleet-handoff-1")
+        assert again is first
+        done = manager.wait("fleet-handoff-1", timeout=30.0)
+        assert done.state is JobState.DONE
+        assert manager.stats()["executions"] == 1
+
+
 class TestDrainResume:
     def test_drain_loses_no_accepted_jobs(self, tmp_path):
         """The SIGTERM acceptance: 20 distinct jobs, drain mid-flight,
